@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the oblivious operators (host-side execution cost of
+//! the simulation; the *simulated* MPC cost is reported by the figure binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incshrink_mpc::cost::CostMeter;
+use incshrink_oblivious::{
+    cache_read, oblivious_sort_by_field, truncated_nested_loop_join, JoinSpec, PlainTable,
+    SortOrder,
+};
+use incshrink_secretshare::arrays::SharedArrayPair;
+use incshrink_secretshare::tuple::PlainRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_array(n: usize, arity: usize, seed: u64) -> SharedArrayPair {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records: Vec<PlainRecord> = (0..n)
+        .map(|_| PlainRecord::real((0..arity).map(|_| rng.gen()).collect()))
+        .collect();
+    SharedArrayPair::share_records(&records, &mut rng)
+}
+
+fn bench_oblivious_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oblivious_sort");
+    for &n in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let base = random_array(n, 2, 7);
+            b.iter(|| {
+                let mut arr = base.clone();
+                let mut meter = CostMeter::new();
+                oblivious_sort_by_field(&mut arr, 0, SortOrder::Ascending, &mut meter);
+                arr.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_truncated_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truncated_nested_loop_join");
+    for &(outer, inner) in &[(8usize, 64usize), (8, 256), (16, 256)] {
+        let mut left = PlainTable::new(&["k", "t"]);
+        let mut right = PlainTable::new(&["k", "t"]);
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..outer {
+            left.push_row(vec![i as u32 % 32, rng.gen_range(0..100)]);
+        }
+        for i in 0..inner {
+            right.push_row(vec![i as u32 % 32, rng.gen_range(0..100)]);
+        }
+        let left = left.share(&mut rng);
+        let right = right.share(&mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{outer}x{inner}")),
+            &(outer, inner),
+            |b, _| {
+                b.iter(|| {
+                    let mut meter = CostMeter::new();
+                    let mut rng = StdRng::seed_from_u64(3);
+                    let spec = JoinSpec::equi(0, 0);
+                    truncated_nested_loop_join(&left, &right, &spec, 2, &mut meter, &mut rng).len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_read");
+    for &n in &[256usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let base = random_array(n, 4, 13);
+            b.iter(|| {
+                let mut cache = base.clone();
+                let mut meter = CostMeter::new();
+                cache_read(&mut cache, n / 4, &mut meter).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_oblivious_sort,
+    bench_truncated_join,
+    bench_cache_read
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmark of the end-to-end view-update pipeline: a short simulation run
+//! per strategy, measuring host-side throughput of the whole framework.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incshrink::prelude::*;
+
+fn short_dataset() -> Dataset {
+    TpcDsGenerator::new(WorkloadParams {
+        steps: 40,
+        view_entries_per_step: 2.7,
+        seed: 77,
+    })
+    .generate()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let dataset = short_dataset();
+    let mut group = c.benchmark_group("simulation_40_steps");
+    group.sample_size(10);
+    for strategy in [
+        UpdateStrategy::DpTimer { interval: 11 },
+        UpdateStrategy::DpAnt { threshold: 30.0 },
+        UpdateStrategy::ExhaustivePadding,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let config = IncShrinkConfig::tpcds_default(strategy);
+                    Simulation::new(dataset.clone(), config, 1).run().summary
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

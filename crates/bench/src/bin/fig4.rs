@@ -1,0 +1,42 @@
+//! Regenerate **Figure 4**: the end-to-end comparison scatter — average L1 error
+//! (x-axis) versus average QET (y-axis) for every strategy on both workloads.
+//!
+//! ```bash
+//! cargo run -p incshrink-bench --bin fig4 --release
+//! ```
+
+use incshrink::prelude::*;
+use incshrink_bench::{build_dataset, default_steps, print_csv, run_strategy, strategy_set, write_json, ExperimentPoint};
+
+fn main() {
+    let steps = default_steps();
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+
+    for kind in [DatasetKind::TpcDs, DatasetKind::Cpdb] {
+        let dataset = build_dataset(kind, steps, 0xF144);
+        for strategy in strategy_set(kind) {
+            let report = run_strategy(&dataset, strategy, 5, 0x44);
+            let point = ExperimentPoint::from_report(
+                report.summary.avg_l1_error,
+                format!("{}/{kind}", strategy.label()),
+                &report,
+            );
+            rows.push(vec![
+                kind.to_string(),
+                strategy.label().to_string(),
+                format!("{:.3}", report.summary.avg_l1_error),
+                format!("{:.6}", report.summary.avg_qet_secs),
+            ]);
+            points.push(point);
+        }
+    }
+
+    println!("# Figure 4: avg L1 error vs avg QET (one point per strategy per dataset)");
+    print_csv(&["dataset", "strategy", "avg_l1_error", "avg_qet_secs"], &rows);
+    write_json("fig4", &points);
+    println!(
+        "# Expected shape: NM sits at the top (slow, exact), OTM at the far right (fast,\n\
+         # inaccurate), EP on the upper left, and the two DP protocols at the bottom-middle."
+    );
+}

@@ -1,0 +1,194 @@
+//! Experiment drivers shared by the table/figure binaries.
+
+use incshrink::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Default number of upload epochs used by the benchmark binaries. Override with the
+/// `INCSHRINK_BENCH_STEPS` environment variable.
+#[must_use]
+pub fn default_steps() -> u64 {
+    std::env::var("INCSHRINK_BENCH_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(240)
+}
+
+/// Build the standard workload for a dataset kind at a given horizon.
+#[must_use]
+pub fn build_dataset(kind: DatasetKind, steps: u64, seed: u64) -> Dataset {
+    let params = match kind {
+        DatasetKind::TpcDs => WorkloadParams {
+            steps,
+            view_entries_per_step: 2.7,
+            seed,
+        },
+        DatasetKind::Cpdb => WorkloadParams {
+            steps,
+            view_entries_per_step: 9.8,
+            seed,
+        },
+    };
+    match kind {
+        DatasetKind::TpcDs => TpcDsGenerator::new(params).generate(),
+        DatasetKind::Cpdb => CpdbGenerator::new(params).generate(),
+    }
+}
+
+/// Default configuration for a dataset/strategy combination, matching Section 7's
+/// "Default setting" (ε = 1.5, θ = 30, T = ⌊θ/rate⌋, f = 2000, s = 15).
+#[must_use]
+pub fn default_config(kind: DatasetKind, strategy: UpdateStrategy) -> IncShrinkConfig {
+    match kind {
+        DatasetKind::TpcDs => IncShrinkConfig::tpcds_default(strategy),
+        DatasetKind::Cpdb => IncShrinkConfig::cpdb_default(strategy),
+    }
+}
+
+/// The five strategies compared by Table 2 / Figure 4 for a dataset kind, using the
+/// paper's threshold↔interval correspondence.
+#[must_use]
+pub fn strategy_set(kind: DatasetKind) -> Vec<UpdateStrategy> {
+    let rate = match kind {
+        DatasetKind::TpcDs => 2.7,
+        DatasetKind::Cpdb => 9.8,
+    };
+    let interval = IncShrinkConfig::timer_interval_for_threshold(30.0, rate);
+    vec![
+        UpdateStrategy::DpTimer { interval },
+        UpdateStrategy::DpAnt { threshold: 30.0 },
+        UpdateStrategy::OneTimeMaterialization,
+        UpdateStrategy::ExhaustivePadding,
+        UpdateStrategy::NonMaterialized,
+    ]
+}
+
+/// Run one strategy on a dataset with the default configuration (query every
+/// `query_interval` steps to keep the NM baseline affordable).
+#[must_use]
+pub fn run_strategy(
+    dataset: &Dataset,
+    strategy: UpdateStrategy,
+    query_interval: u64,
+    seed: u64,
+) -> RunReport {
+    let mut config = default_config(dataset.kind, strategy);
+    config.query_interval = query_interval;
+    Simulation::new(dataset.clone(), config, seed).run()
+}
+
+/// One row of the Table-2 style comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Dataset the row belongs to.
+    pub dataset: String,
+    /// Strategy label (DP-Timer, DP-ANT, OTM, EP, NM).
+    pub strategy: String,
+    /// Average L1 error.
+    pub avg_l1_error: f64,
+    /// Average relative error.
+    pub avg_relative_error: f64,
+    /// Average query execution time (seconds).
+    pub avg_qet_secs: f64,
+    /// Average Transform invocation time (seconds).
+    pub avg_transform_secs: f64,
+    /// Average Shrink step time (seconds).
+    pub avg_shrink_secs: f64,
+    /// Final materialized view size (MB).
+    pub view_mb: f64,
+    /// Total simulated MPC time (seconds).
+    pub total_mpc_secs: f64,
+    /// Total simulated query time (seconds).
+    pub total_query_secs: f64,
+}
+
+impl ComparisonRow {
+    /// Build a row from a run report.
+    #[must_use]
+    pub fn from_report(report: &RunReport) -> Self {
+        let s = &report.summary;
+        Self {
+            dataset: report.dataset.to_string(),
+            strategy: report.config.strategy.label().to_string(),
+            avg_l1_error: s.avg_l1_error,
+            avg_relative_error: s.avg_relative_error,
+            avg_qet_secs: s.avg_qet_secs,
+            avg_transform_secs: s.avg_transform_secs,
+            avg_shrink_secs: s.avg_shrink_secs,
+            view_mb: s.final_view_mb,
+            total_mpc_secs: s.total_mpc_secs,
+            total_query_secs: s.total_query_secs,
+        }
+    }
+}
+
+/// One (x, series of y) point of a figure sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentPoint {
+    /// The swept parameter value (ε, ω, T, scale factor, ...).
+    pub x: f64,
+    /// Series label (e.g. "sDPTimer/TPC-ds").
+    pub series: String,
+    /// Measured average L1 error.
+    pub avg_l1_error: f64,
+    /// Measured average QET in seconds.
+    pub avg_qet_secs: f64,
+    /// Measured average Transform time in seconds.
+    pub avg_transform_secs: f64,
+    /// Measured average Shrink time in seconds.
+    pub avg_shrink_secs: f64,
+    /// Total MPC time in seconds.
+    pub total_mpc_secs: f64,
+    /// Total query time in seconds.
+    pub total_query_secs: f64,
+}
+
+impl ExperimentPoint {
+    /// Build a point from a run report.
+    #[must_use]
+    pub fn from_report(x: f64, series: impl Into<String>, report: &RunReport) -> Self {
+        let s = &report.summary;
+        Self {
+            x,
+            series: series.into(),
+            avg_l1_error: s.avg_l1_error,
+            avg_qet_secs: s.avg_qet_secs,
+            avg_transform_secs: s.avg_transform_secs,
+            avg_shrink_secs: s.avg_shrink_secs,
+            total_mpc_secs: s.total_mpc_secs,
+            total_query_secs: s.total_query_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_steps_reads_environment() {
+        // Can't mutate the environment safely in parallel tests; just check the default.
+        assert!(default_steps() >= 1);
+    }
+
+    #[test]
+    fn strategy_set_has_five_members_with_paper_intervals() {
+        let tpcds = strategy_set(DatasetKind::TpcDs);
+        assert_eq!(tpcds.len(), 5);
+        assert!(matches!(tpcds[0], UpdateStrategy::DpTimer { interval: 11 }));
+        let cpdb = strategy_set(DatasetKind::Cpdb);
+        assert!(matches!(cpdb[0], UpdateStrategy::DpTimer { interval: 3 }));
+    }
+
+    #[test]
+    fn run_strategy_and_row_conversion() {
+        let dataset = build_dataset(DatasetKind::TpcDs, 40, 1);
+        let report = run_strategy(&dataset, UpdateStrategy::DpTimer { interval: 11 }, 2, 9);
+        let row = ComparisonRow::from_report(&report);
+        assert_eq!(row.dataset, "TPC-ds");
+        assert_eq!(row.strategy, "DP-Timer");
+        assert!(row.avg_qet_secs > 0.0);
+        let point = ExperimentPoint::from_report(1.5, "sDPTimer/TPC-ds", &report);
+        assert_eq!(point.series, "sDPTimer/TPC-ds");
+        assert!((point.x - 1.5).abs() < 1e-12);
+    }
+}

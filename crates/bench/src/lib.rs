@@ -1,0 +1,21 @@
+//! Shared experiment harness for the benchmark binaries.
+//!
+//! Every table and figure of the paper's evaluation (Section 7) has a binary in
+//! `src/bin/` that regenerates it; the heavy lifting — building datasets, running the
+//! simulation for each strategy/parameter point, formatting rows — lives here so the
+//! binaries stay thin and the logic is unit-testable.
+//!
+//! Scale control: the binaries default to a laptop-friendly horizon
+//! ([`default_steps`]); set `INCSHRINK_BENCH_STEPS` to change it (e.g. 720 for a
+//! longer, closer-to-paper run).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    build_dataset, default_steps, run_strategy, strategy_set, ComparisonRow, ExperimentPoint,
+};
+pub use report::{print_csv, print_table, write_json};

@@ -1,0 +1,107 @@
+//! Console and file reporters for the experiment binaries.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Print a fixed-width table from header + rows of strings.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", joined.join("  "));
+    };
+    line(&headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Print rows as CSV to stdout (header first).
+pub fn print_csv(headers: &[&str], rows: &[Vec<String>]) {
+    println!("{}", headers.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+}
+
+/// Serialize a result object as JSON under `results/<name>.json` (best effort: errors
+/// are reported to stderr but do not abort the experiment).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create results directory: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::File::create(&path).and_then(|mut f| {
+        let text = serde_json::to_string_pretty(value).unwrap_or_else(|_| "{}".into());
+        f.write_all(text.as_bytes())
+    }) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Format a float with a sensible number of digits for table output.
+#[must_use]
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Format an improvement factor ("123x" or "N/A" for non-positive baselines).
+#[must_use]
+pub fn fmt_improvement(baseline: f64, value: f64) -> String {
+    if value <= 0.0 || baseline <= 0.0 {
+        "N/A".to_string()
+    } else {
+        format!("{:.0}x", baseline / value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(123.456), "123.5");
+        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(0.01234), "0.0123");
+        assert_eq!(fmt_improvement(100.0, 1.0), "100x");
+        assert_eq!(fmt_improvement(100.0, 0.0), "N/A");
+        assert_eq!(fmt_improvement(0.0, 1.0), "N/A");
+    }
+
+    #[test]
+    fn table_and_csv_do_not_panic() {
+        let rows = vec![
+            vec!["a".to_string(), "1.0".to_string()],
+            vec!["bb".to_string(), "2.0".to_string()],
+        ];
+        print_table(&["name", "value"], &rows);
+        print_csv(&["name", "value"], &rows);
+    }
+}

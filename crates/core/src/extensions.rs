@@ -1,0 +1,261 @@
+//! Extensions from Section 8 / Appendix D: composition with DP-Sync and operator-level
+//! privacy-budget allocation.
+//!
+//! * [`composed_system_epsilon`] / [`composed_error_bound`] — when owners run a
+//!   DP-Sync private record-synchronization strategy with its own ε₁ leakage, the
+//!   composed system is (ε₁ + ε₂)-DP and its error bounds add (Theorem 17).
+//! * [`budget_alloc`] — the operator-level privacy-budget allocation problem of
+//!   Appendix D.2 (Definitions 6-8): given per-operator dummy-count estimators, choose
+//!   a split of the total ε that maximises query efficiency subject to the budget and
+//!   logical-gap constraints. Implemented as a simple grid search, which is all the
+//!   two-operator plans of the evaluation queries need.
+
+use incshrink_dp::bounds;
+use incshrink_dp::sync::RecordSyncStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Total ε of the composed DP-Sync + IncShrink system (sequential composition).
+#[must_use]
+pub fn composed_system_epsilon<S: RecordSyncStrategy + ?Sized>(
+    owner_strategy: &S,
+    view_update_epsilon: f64,
+) -> f64 {
+    incshrink_dp::sync::composed_epsilon(owner_strategy, view_update_epsilon)
+}
+
+/// Error bound of the composed system (Theorem 17): `O(b·α + deferred(ε₂))` where α is
+/// the owner strategy's accuracy parameter.
+#[must_use]
+pub fn composed_error_bound(
+    contribution_bound: u64,
+    view_update_epsilon: f64,
+    owner_alpha: f64,
+    updates_or_time: u64,
+    beta: f64,
+    timer_strategy: bool,
+) -> f64 {
+    bounds::composed_error_bound(
+        contribution_bound,
+        view_update_epsilon,
+        owner_alpha,
+        updates_or_time,
+        beta,
+        timer_strategy,
+    )
+}
+
+/// One operator of a multi-level "Transform-and-Shrink" plan (Appendix D.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatorProfile {
+    /// Kind of operator (affects the efficiency formula).
+    pub kind: OperatorKind,
+    /// Input sizes (one for filters, two for joins).
+    pub input_sizes: (u64, u64),
+    /// Output cardinality estimate `|O_i|` used to weight the operator's efficiency.
+    pub output_size: u64,
+    /// Sensitivity of the operator's DP-noised cardinality release.
+    pub sensitivity: f64,
+}
+
+/// Operator kinds of Definitions 6-7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// Filter: efficiency `1 − Y(ε)/n`.
+    Filter,
+    /// Join: efficiency `1 − (Y1(ε)+Y2(ε))/(n1+n2)`.
+    Join,
+}
+
+impl OperatorProfile {
+    /// Expected number of dummy records carried at privacy level ε: the expected
+    /// absolute Laplace noise `sensitivity/ε` accumulated over the releases feeding
+    /// this operator (a standard estimate; the optimisation only needs monotonicity
+    /// in 1/ε, which this has).
+    #[must_use]
+    pub fn expected_dummies(&self, epsilon: f64) -> f64 {
+        assert!(epsilon > 0.0);
+        self.sensitivity / epsilon
+    }
+
+    /// Operator efficiency `E(ε)` per Definitions 6-7, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn efficiency(&self, epsilon: f64) -> f64 {
+        let dummies = self.expected_dummies(epsilon);
+        let total_input = match self.kind {
+            OperatorKind::Filter => self.input_sizes.0 as f64,
+            OperatorKind::Join => (self.input_sizes.0 + self.input_sizes.1) as f64,
+        };
+        if total_input <= 0.0 {
+            return 0.0;
+        }
+        let penalty = match self.kind {
+            OperatorKind::Filter => dummies / total_input,
+            OperatorKind::Join => 2.0 * dummies / total_input,
+        };
+        (1.0 - penalty).clamp(0.0, 1.0)
+    }
+}
+
+/// Result of the budget-allocation optimisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetAllocation {
+    /// Per-operator ε values, in input order.
+    pub epsilons: Vec<f64>,
+    /// The achieved query efficiency `E_Q(P)` (Definition 8).
+    pub query_efficiency: f64,
+}
+
+/// Grid-search the privacy-budget allocation that maximises query efficiency
+/// (Definition 8) subject to `Σ ε_i ≤ total_epsilon`. `grid` controls the search
+/// resolution (shares of the total budget in units of `1/grid`).
+#[must_use]
+pub fn budget_alloc(
+    operators: &[OperatorProfile],
+    total_epsilon: f64,
+    grid: u32,
+) -> BudgetAllocation {
+    assert!(total_epsilon > 0.0, "total epsilon must be positive");
+    assert!(!operators.is_empty(), "need at least one operator");
+    assert!(grid >= 1);
+
+    let total_output: u64 = operators.iter().map(|o| o.output_size).sum();
+    let query_efficiency = |epsilons: &[f64]| -> f64 {
+        operators
+            .iter()
+            .zip(epsilons)
+            .map(|(op, &eps)| {
+                let weight = if total_output == 0 {
+                    1.0 / operators.len() as f64
+                } else {
+                    op.output_size as f64 / total_output as f64
+                };
+                weight * op.efficiency(eps)
+            })
+            .sum()
+    };
+
+    // Enumerate compositions of `grid` units across the operators (each operator gets
+    // at least one unit so every ε_i > 0).
+    fn compositions(units: u32, parts: usize) -> Vec<Vec<u32>> {
+        if parts == 1 {
+            return vec![vec![units]];
+        }
+        let mut out = Vec::new();
+        for first in 1..=(units - (parts as u32 - 1)) {
+            for mut rest in compositions(units - first, parts - 1) {
+                let mut v = vec![first];
+                v.append(&mut rest);
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    let parts = operators.len();
+    let units = grid.max(parts as u32);
+    let mut best: Option<BudgetAllocation> = None;
+    for split in compositions(units, parts) {
+        let epsilons: Vec<f64> = split
+            .iter()
+            .map(|&u| total_epsilon * f64::from(u) / f64::from(units))
+            .collect();
+        let eff = query_efficiency(&epsilons);
+        if best.as_ref().map_or(true, |b| eff > b.query_efficiency) {
+            best = Some(BudgetAllocation {
+                epsilons,
+                query_efficiency: eff,
+            });
+        }
+    }
+    best.expect("at least one composition exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incshrink_dp::sync::{DpTimerSync, FixedIntervalSync};
+
+    #[test]
+    fn composed_epsilon_and_error_bounds() {
+        let fixed = FixedIntervalSync::new(1, 8);
+        assert!((composed_system_epsilon(&fixed, 1.5) - 1.5).abs() < 1e-12);
+        let dp = DpTimerSync::new(1, 0.5);
+        assert!((composed_system_epsilon(&dp, 1.5) - 2.0).abs() < 1e-12);
+
+        let without = composed_error_bound(10, 1.5, 0.0, 30, 0.05, true);
+        let with = composed_error_bound(10, 1.5, 4.0, 30, 0.05, true);
+        assert!((with - without - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn operator_efficiency_monotone_in_epsilon() {
+        let op = OperatorProfile {
+            kind: OperatorKind::Join,
+            input_sizes: (1000, 1000),
+            output_size: 500,
+            sensitivity: 20.0,
+        };
+        assert!(op.efficiency(10.0) > op.efficiency(0.1));
+        assert!(op.efficiency(1e9) <= 1.0);
+        assert!(op.efficiency(1e-9) >= 0.0);
+
+        let filt = OperatorProfile {
+            kind: OperatorKind::Filter,
+            input_sizes: (100, 0),
+            output_size: 50,
+            sensitivity: 5.0,
+        };
+        assert!(filt.efficiency(1.0) > 0.9);
+    }
+
+    #[test]
+    fn budget_alloc_favours_the_sensitive_operator() {
+        // Operator 0 is far more sensitive to noise than operator 1 and dominates the
+        // output, so it should receive the larger share of the budget.
+        let ops = [
+            OperatorProfile {
+                kind: OperatorKind::Join,
+                input_sizes: (200, 200),
+                output_size: 900,
+                sensitivity: 50.0,
+            },
+            OperatorProfile {
+                kind: OperatorKind::Filter,
+                input_sizes: (10_000, 0),
+                output_size: 100,
+                sensitivity: 1.0,
+            },
+        ];
+        let alloc = budget_alloc(&ops, 2.0, 20);
+        assert_eq!(alloc.epsilons.len(), 2);
+        let total: f64 = alloc.epsilons.iter().sum();
+        assert!(total <= 2.0 + 1e-9);
+        assert!(alloc.epsilons[0] > alloc.epsilons[1]);
+        assert!(alloc.query_efficiency > 0.0 && alloc.query_efficiency <= 1.0);
+    }
+
+    #[test]
+    fn budget_alloc_single_operator_gets_everything() {
+        let ops = [OperatorProfile {
+            kind: OperatorKind::Filter,
+            input_sizes: (100, 0),
+            output_size: 10,
+            sensitivity: 2.0,
+        }];
+        let alloc = budget_alloc(&ops, 1.5, 10);
+        assert_eq!(alloc.epsilons.len(), 1);
+        assert!((alloc.epsilons[0] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "total epsilon must be positive")]
+    fn invalid_budget_rejected() {
+        let ops = [OperatorProfile {
+            kind: OperatorKind::Filter,
+            input_sizes: (1, 0),
+            output_size: 1,
+            sensitivity: 1.0,
+        }];
+        let _ = budget_alloc(&ops, 0.0, 10);
+    }
+}

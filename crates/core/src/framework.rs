@@ -1,0 +1,392 @@
+//! The end-to-end IncShrink simulation driver.
+//!
+//! [`Simulation`] replays a workload's upload epochs against the framework exactly as
+//! Figure 1 describes: owners upload padded batches each step, Transform converts them
+//! into cached view entries, Shrink synchronizes DP-sized batches into the
+//! materialized view (or a baseline strategy routes ΔV directly), and the analyst's
+//! counting query is issued every `query_interval` steps. The result is a
+//! [`RunReport`] with a per-step trace and the Table-2 style [`Summary`].
+
+use crate::baselines::{delta_routing, route_delta, DeltaRouting};
+use crate::config::{IncShrinkConfig, UpdateStrategy};
+use crate::metrics::{relative_error, Summary, SummaryBuilder};
+use crate::query::{non_materialized_query_cost, view_count_query};
+use crate::shrink::ShrinkProtocol;
+use crate::transform::TransformProtocol;
+use crate::view::{MaterializedView, ViewDefinition};
+use incshrink_mpc::cost::{CostModel, SimDuration};
+use incshrink_mpc::party::ObservedEvent;
+use incshrink_mpc::runtime::TwoPartyContext;
+use incshrink_storage::{OutsourcedStore, Relation, SecureCache, UploadBatch};
+use incshrink_workload::{logical_join_counts_per_step, Dataset, DatasetKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One per-step record of the simulation trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// The time step (1-based).
+    pub time: u64,
+    /// Ground-truth logical answer `q_t(D_t)`.
+    pub true_count: u64,
+    /// The view-based (or NM) answer returned to the analyst; `None` when no query was
+    /// issued this step.
+    pub answer: Option<u64>,
+    /// L1 error of the answer (0 when no query was issued).
+    pub l1_error: f64,
+    /// Simulated query execution time in seconds (0 when no query was issued).
+    pub qet_secs: f64,
+    /// Simulated Transform time this step.
+    pub transform_secs: f64,
+    /// Simulated Shrink time this step.
+    pub shrink_secs: f64,
+    /// View length (real + dummy) after this step.
+    pub view_len: usize,
+    /// Real view entries after this step.
+    pub view_real: usize,
+    /// Secure-cache length after this step.
+    pub cache_len: usize,
+    /// Whether Shrink issued a view synchronization this step.
+    pub synced: bool,
+}
+
+/// Full result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Which dataset kind was replayed.
+    pub dataset: DatasetKind,
+    /// The configuration used.
+    pub config: IncShrinkConfig,
+    /// Per-step trace.
+    pub steps: Vec<StepRecord>,
+    /// Aggregated summary (Table-2 style statistics).
+    pub summary: Summary,
+}
+
+impl RunReport {
+    /// Convenience accessor: the number of simulated steps.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.steps.len() as u64
+    }
+}
+
+/// The end-to-end simulation.
+pub struct Simulation {
+    dataset: Dataset,
+    config: IncShrinkConfig,
+    seed: u64,
+    cost_model: CostModel,
+}
+
+impl Simulation {
+    /// Create a simulation over a workload with a configuration and RNG seed.
+    ///
+    /// # Panics
+    /// Panics when the configuration fails [`IncShrinkConfig::validate`].
+    #[must_use]
+    pub fn new(dataset: Dataset, config: IncShrinkConfig, seed: u64) -> Self {
+        if let Some(problem) = config.validate() {
+            panic!("invalid IncShrink configuration: {problem}");
+        }
+        Self {
+            dataset,
+            config,
+            seed,
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Use a non-default cost model (e.g. WAN) for the simulated timings.
+    #[must_use]
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Run the simulation to completion.
+    #[must_use]
+    pub fn run(self) -> RunReport {
+        let Simulation {
+            dataset,
+            config,
+            seed,
+            cost_model,
+        } = self;
+
+        let steps = dataset.params.steps;
+        let view_def = ViewDefinition::for_dataset(&dataset);
+        let truth = logical_join_counts_per_step(&dataset, &view_def.as_query(), steps);
+
+        let mut ctx = TwoPartyContext::new(seed, cost_model);
+        let mut upload_rng = StdRng::seed_from_u64(seed ^ 0x0B17_A5E5);
+        let mut store = OutsourcedStore::new();
+        let mut cache = SecureCache::new();
+        let mut view = MaterializedView::new();
+
+        let public_right: Option<Vec<Vec<u32>>> = dataset.right_is_public.then(|| {
+            dataset
+                .right
+                .updates()
+                .iter()
+                .map(|u| u.fields.clone())
+                .collect()
+        });
+        let public_right_len = public_right.as_ref().map_or(0, Vec::len);
+
+        let mut transform = TransformProtocol::new(
+            view_def,
+            config.truncation_bound,
+            config.contribution_budget,
+            public_right.clone(),
+        );
+        let mut shrink = ShrinkProtocol::new(&config);
+
+        let left_arity = dataset.left.schema.arity();
+        let right_arity = dataset.right.schema.arity();
+
+        let mut builder = SummaryBuilder::new();
+        let mut trace = Vec::with_capacity(steps as usize);
+
+        for t in 1..=steps {
+            // --- Owner uploads (fixed-size padded batches every step).
+            let left_updates = dataset.left.arrivals_at(t);
+            let left_batch = UploadBatch::from_updates(
+                Relation::Left,
+                t,
+                &left_updates,
+                left_arity,
+                dataset.left_batch_size,
+                &mut upload_rng,
+            );
+            ctx.servers.observe_both(ObservedEvent::UploadBatch {
+                time: t,
+                count: left_batch.len(),
+            });
+            store.ingest(&left_batch);
+
+            let right_batch = if dataset.right_is_public {
+                None
+            } else {
+                let right_updates = dataset.right.arrivals_at(t);
+                let batch = UploadBatch::from_updates(
+                    Relation::Right,
+                    t,
+                    &right_updates,
+                    right_arity,
+                    dataset.right_batch_size,
+                    &mut upload_rng,
+                );
+                ctx.servers.observe_both(ObservedEvent::UploadBatch {
+                    time: t,
+                    count: batch.len(),
+                });
+                store.ingest(&batch);
+                Some(batch)
+            };
+
+            // --- Transform (strategy dependent).
+            let routing = delta_routing(config.strategy, t);
+            let mut transform_secs = 0.0;
+            if routing != DeltaRouting::NoTransform && routing != DeltaRouting::Drop {
+                let full_right_len = if dataset.right_is_public {
+                    public_right_len
+                } else {
+                    store.relation(Relation::Right).len()
+                };
+                let full_left_len = store.relation(Relation::Left).len();
+                let outcome = transform.invoke(
+                    &mut ctx,
+                    &left_batch,
+                    right_batch.as_ref(),
+                    full_right_len,
+                    full_left_len,
+                );
+                transform_secs = outcome.duration.as_secs_f64();
+                builder.record_transform(outcome.duration);
+                ctx.servers.observe_both(ObservedEvent::CacheAppend {
+                    time: t,
+                    count: outcome.delta.len(),
+                });
+                if let Some(delta) = route_delta(routing, outcome.delta, &mut view) {
+                    cache.write(delta);
+                }
+            } else if routing == DeltaRouting::Drop {
+                // OTM after its one-time materialization: owners still upload, but the
+                // servers perform no view maintenance work.
+            }
+
+            // --- Shrink (DP strategies only).
+            let mut shrink_secs = 0.0;
+            let mut synced = false;
+            if config.strategy.uses_shrink() {
+                let outcome = shrink.step(&mut ctx, &mut cache, &mut view, t);
+                shrink_secs = outcome.duration.as_secs_f64();
+                synced = outcome.updated;
+                builder.record_shrink(outcome.duration, outcome.updated || outcome.flushed);
+            }
+
+            // --- Query.
+            let true_count = truth[(t - 1) as usize];
+            let mut answer = None;
+            let mut l1 = 0.0;
+            let mut qet = SimDuration::ZERO;
+            if t % config.query_interval == 0 {
+                let (ans, duration) = match config.strategy {
+                    UpdateStrategy::NonMaterialized => {
+                        let n_left = store.relation(Relation::Left).len() as u64;
+                        let n_right = if dataset.right_is_public {
+                            public_right_len as u64
+                        } else {
+                            store.relation(Relation::Right).len() as u64
+                        };
+                        let (d, _) = non_materialized_query_cost(
+                            n_left,
+                            n_right,
+                            (left_arity + right_arity) as u64,
+                            config.truncation_bound,
+                            &cost_model,
+                        );
+                        (true_count, d)
+                    }
+                    _ => {
+                        let res = view_count_query(&view, &cost_model);
+                        (res.answer, res.qet)
+                    }
+                };
+                answer = Some(ans);
+                l1 = ans.abs_diff(true_count) as f64;
+                qet = duration;
+                builder.record_query(l1, relative_error(ans, true_count), duration);
+            }
+
+            builder.record_view_size(view.size_mb());
+            trace.push(StepRecord {
+                time: t,
+                true_count,
+                answer,
+                l1_error: l1,
+                qet_secs: qet.as_secs_f64(),
+                transform_secs,
+                shrink_secs,
+                view_len: view.len(),
+                view_real: view.true_cardinality(),
+                cache_len: cache.len(),
+                synced,
+            });
+        }
+
+        builder.record_totals(view.sync_count(), transform.truncation_losses());
+        RunReport {
+            dataset: dataset.kind,
+            config,
+            steps: trace,
+            summary: builder.build(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incshrink_workload::{CpdbGenerator, TpcDsGenerator, WorkloadParams};
+
+    fn tpcds_small() -> Dataset {
+        TpcDsGenerator::new(WorkloadParams {
+            steps: 60,
+            view_entries_per_step: 2.7,
+            seed: 21,
+        })
+        .generate()
+    }
+
+    fn cpdb_small() -> Dataset {
+        CpdbGenerator::new(WorkloadParams {
+            steps: 50,
+            view_entries_per_step: 9.8,
+            seed: 22,
+        })
+        .generate()
+    }
+
+    #[test]
+    fn dp_timer_run_produces_low_relative_error() {
+        let cfg = IncShrinkConfig::tpcds_default(UpdateStrategy::DpTimer { interval: 10 });
+        let report = Simulation::new(tpcds_small(), cfg, 1).run();
+        assert_eq!(report.horizon(), 60);
+        assert!(report.summary.sync_count >= 5, "periodic updates happened");
+        assert!(
+            report.summary.avg_relative_error < 0.6,
+            "avg relative error {} too large",
+            report.summary.avg_relative_error
+        );
+        assert!(report.summary.avg_qet_secs > 0.0);
+        assert!(report.summary.avg_transform_secs > 0.0);
+        // The final view contains most of the true entries.
+        let last = report.steps.last().unwrap();
+        assert!(last.view_real as u64 <= last.true_count);
+        assert!(last.view_real as f64 >= last.true_count as f64 * 0.5);
+    }
+
+    #[test]
+    fn dp_ant_run_on_cpdb_tracks_truth() {
+        let cfg = IncShrinkConfig::cpdb_default(UpdateStrategy::DpAnt { threshold: 30.0 });
+        let report = Simulation::new(cpdb_small(), cfg, 2).run();
+        assert!(report.summary.sync_count >= 3);
+        assert!(
+            report.summary.avg_relative_error < 0.6,
+            "avg relative error {}",
+            report.summary.avg_relative_error
+        );
+    }
+
+    #[test]
+    fn ep_is_exact_but_slower_and_larger_than_dp() {
+        let ds = tpcds_small();
+        let dp_cfg = IncShrinkConfig::tpcds_default(UpdateStrategy::DpTimer { interval: 10 });
+        let ep_cfg = IncShrinkConfig::tpcds_default(UpdateStrategy::ExhaustivePadding);
+        let dp = Simulation::new(ds.clone(), dp_cfg, 3).run();
+        let ep = Simulation::new(ds, ep_cfg, 3).run();
+
+        assert!(ep.summary.avg_l1_error <= dp.summary.avg_l1_error + 1e-9);
+        assert!(ep.summary.avg_qet_secs > dp.summary.avg_qet_secs);
+        assert!(ep.summary.final_view_mb > dp.summary.final_view_mb);
+    }
+
+    #[test]
+    fn otm_is_fast_but_inaccurate() {
+        let ds = tpcds_small();
+        let otm_cfg = IncShrinkConfig::tpcds_default(UpdateStrategy::OneTimeMaterialization);
+        let otm = Simulation::new(ds, otm_cfg, 4).run();
+        // Relative error converges towards 1 because the view never updates.
+        assert!(otm.summary.avg_relative_error > 0.7);
+        assert!(otm.summary.final_view_mb < 0.01);
+    }
+
+    #[test]
+    fn nm_is_exact_but_much_slower_than_view_based() {
+        let ds = tpcds_small();
+        let nm_cfg = IncShrinkConfig::tpcds_default(UpdateStrategy::NonMaterialized);
+        let dp_cfg = IncShrinkConfig::tpcds_default(UpdateStrategy::DpTimer { interval: 10 });
+        let nm = Simulation::new(ds.clone(), nm_cfg, 5).run();
+        let dp = Simulation::new(ds, dp_cfg, 5).run();
+
+        assert!(nm.summary.avg_l1_error < 1e-9, "NM recomputes exactly");
+        assert!(
+            nm.summary.avg_qet_secs > dp.summary.avg_qet_secs * 5.0,
+            "NM {} vs DP {}",
+            nm.summary.avg_qet_secs,
+            dp.summary.avg_qet_secs
+        );
+        assert_eq!(nm.summary.sync_count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid IncShrink configuration")]
+    fn invalid_config_is_rejected() {
+        let mut cfg = IncShrinkConfig::tpcds_default(UpdateStrategy::DpTimer { interval: 10 });
+        cfg.epsilon = -1.0;
+        let _ = Simulation::new(tpcds_small(), cfg, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Experiment metrics: per-step records and run-level summaries.
+//!
+//! The paper reports average L1 error, average relative error, average query execution
+//! time (QET), average Transform / Shrink execution time and materialized view size
+//! (Table 2), plus total MPC and total query time for the scaling experiment
+//! (Figure 9). [`Summary`] aggregates exactly those quantities from the per-step
+//! [`crate::framework::StepRecord`]s.
+
+use incshrink_mpc::cost::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated statistics of one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Mean L1 error over all issued queries.
+    pub avg_l1_error: f64,
+    /// Mean relative error (`L1 / max(true, 1)`) over all issued queries.
+    pub avg_relative_error: f64,
+    /// Mean query execution time in seconds.
+    pub avg_qet_secs: f64,
+    /// Mean Transform invocation time in seconds.
+    pub avg_transform_secs: f64,
+    /// Mean Shrink step time in seconds (DP strategies only; 0 otherwise).
+    pub avg_shrink_secs: f64,
+    /// Final materialized view size in megabytes.
+    pub final_view_mb: f64,
+    /// Mean materialized view size in megabytes across steps.
+    pub avg_view_mb: f64,
+    /// Number of view synchronizations performed.
+    pub sync_count: u64,
+    /// Total simulated MPC time (Transform + Shrink) in seconds.
+    pub total_mpc_secs: f64,
+    /// Total simulated query time in seconds.
+    pub total_query_secs: f64,
+    /// Total real join pairs dropped by the ω truncation.
+    pub truncation_losses: u64,
+    /// Number of queries issued.
+    pub queries_issued: u64,
+}
+
+/// Incremental builder for [`Summary`].
+#[derive(Debug, Clone, Default)]
+pub struct SummaryBuilder {
+    l1_sum: f64,
+    rel_sum: f64,
+    qet_sum: f64,
+    queries: u64,
+    transform_sum: f64,
+    transform_count: u64,
+    shrink_sum: f64,
+    shrink_count: u64,
+    view_mb_sum: f64,
+    view_samples: u64,
+    final_view_mb: f64,
+    sync_count: u64,
+    truncation_losses: u64,
+}
+
+impl SummaryBuilder {
+    /// Fresh builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one issued query.
+    pub fn record_query(&mut self, l1: f64, relative: f64, qet: SimDuration) {
+        self.l1_sum += l1;
+        self.rel_sum += relative;
+        self.qet_sum += qet.as_secs_f64();
+        self.queries += 1;
+    }
+
+    /// Record one Transform invocation.
+    pub fn record_transform(&mut self, duration: SimDuration) {
+        self.transform_sum += duration.as_secs_f64();
+        self.transform_count += 1;
+    }
+
+    /// Record one Shrink step (only steps that did DP work are counted so the average
+    /// reflects per-invocation cost, matching the paper's "average execution time").
+    pub fn record_shrink(&mut self, duration: SimDuration, did_work: bool) {
+        if did_work {
+            self.shrink_sum += duration.as_secs_f64();
+            self.shrink_count += 1;
+        }
+    }
+
+    /// Record the view size observed at one step.
+    pub fn record_view_size(&mut self, mb: f64) {
+        self.view_mb_sum += mb;
+        self.view_samples += 1;
+        self.final_view_mb = mb;
+    }
+
+    /// Record final counters at the end of the run.
+    pub fn record_totals(&mut self, sync_count: u64, truncation_losses: u64) {
+        self.sync_count = sync_count;
+        self.truncation_losses = truncation_losses;
+    }
+
+    /// Produce the summary.
+    #[must_use]
+    pub fn build(&self) -> Summary {
+        let div = |sum: f64, n: u64| if n == 0 { 0.0 } else { sum / n as f64 };
+        Summary {
+            avg_l1_error: div(self.l1_sum, self.queries),
+            avg_relative_error: div(self.rel_sum, self.queries),
+            avg_qet_secs: div(self.qet_sum, self.queries),
+            avg_transform_secs: div(self.transform_sum, self.transform_count),
+            avg_shrink_secs: div(self.shrink_sum, self.shrink_count),
+            final_view_mb: self.final_view_mb,
+            avg_view_mb: div(self.view_mb_sum, self.view_samples),
+            sync_count: self.sync_count,
+            total_mpc_secs: self.transform_sum + self.shrink_sum,
+            total_query_secs: self.qet_sum,
+            truncation_losses: self.truncation_losses,
+            queries_issued: self.queries,
+        }
+    }
+}
+
+/// Relative error helper used by the framework: `L1 / max(true, 1)`.
+#[must_use]
+pub fn relative_error(answer: u64, truth: u64) -> f64 {
+    let l1 = answer.abs_diff(truth) as f64;
+    l1 / (truth.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_handles_zero_truth() {
+        assert_eq!(relative_error(0, 0), 0.0);
+        assert_eq!(relative_error(5, 0), 5.0);
+        assert!((relative_error(90, 100) - 0.1).abs() < 1e-12);
+        assert!((relative_error(110, 100) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_averages_and_totals() {
+        let mut b = SummaryBuilder::new();
+        b.record_query(4.0, 0.1, SimDuration::from_secs_f64(0.02));
+        b.record_query(6.0, 0.3, SimDuration::from_secs_f64(0.04));
+        b.record_transform(SimDuration::from_secs_f64(1.0));
+        b.record_transform(SimDuration::from_secs_f64(3.0));
+        b.record_shrink(SimDuration::from_secs_f64(0.5), true);
+        b.record_shrink(SimDuration::from_secs_f64(9.0), false); // ignored
+        b.record_view_size(1.0);
+        b.record_view_size(2.0);
+        b.record_totals(7, 11);
+
+        let s = b.build();
+        assert!((s.avg_l1_error - 5.0).abs() < 1e-12);
+        assert!((s.avg_relative_error - 0.2).abs() < 1e-12);
+        assert!((s.avg_qet_secs - 0.03).abs() < 1e-12);
+        assert!((s.avg_transform_secs - 2.0).abs() < 1e-12);
+        assert!((s.avg_shrink_secs - 0.5).abs() < 1e-12);
+        assert!((s.avg_view_mb - 1.5).abs() < 1e-12);
+        assert!((s.final_view_mb - 2.0).abs() < 1e-12);
+        assert_eq!(s.sync_count, 7);
+        assert_eq!(s.truncation_losses, 11);
+        assert!((s.total_mpc_secs - 4.5).abs() < 1e-12);
+        assert!((s.total_query_secs - 0.06).abs() < 1e-12);
+        assert_eq!(s.queries_issued, 2);
+    }
+
+    #[test]
+    fn empty_builder_is_all_zero() {
+        let s = SummaryBuilder::new().build();
+        assert_eq!(s, Summary::default());
+    }
+}

@@ -1,0 +1,495 @@
+//! The Transform protocol (Algorithm 1).
+//!
+//! Invoked whenever owners submit new data, Transform:
+//!
+//! 1. converts the newly outsourced data into its corresponding view entries using a
+//!    **truncated** oblivious join (each record contributes at most ω rows, Eq. 3),
+//! 2. writes the exhaustively padded result ΔV to the secure cache, and
+//! 3. maintains a secret-shared cardinality counter of how many real view entries have
+//!    been cached since the last synchronization, re-sharing it with fresh joint
+//!    randomness (Section 5.1, "Secret-sharing inside MPC").
+//!
+//! Lifetime contribution budgets (Section 5.1, "Contribution over time") are enforced
+//! here: every record used as Transform input is charged ω against its budget `b`;
+//! retired records are excluded from future invocations, which is what makes the
+//! composed transformation `b`-stable and the total privacy loss bounded.
+
+use crate::view::ViewDefinition;
+use incshrink_dp::accountant::ContributionLedger;
+use incshrink_mpc::cost::{CostReport, SimDuration};
+use incshrink_mpc::runtime::TwoPartyContext;
+use incshrink_oblivious::join::truncated_nested_loop_join;
+use incshrink_secretshare::arrays::SharedArrayPair;
+use incshrink_secretshare::tuple::{PlainRecord, SharedRecordPair};
+use incshrink_storage::{RecordId, UploadBatch};
+
+/// Name under which the cardinality counter is secret-shared on the two servers.
+pub const CARDINALITY_SHARE: &str = "cardinality";
+
+/// A record currently eligible to participate in view transformations (it still has
+/// contribution budget). The framework keeps these as the plaintext mirror of the
+/// secret-shared outsourced store; the joins themselves run over shares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveRecord {
+    /// The record's id, used for contribution accounting.
+    pub id: RecordId,
+    /// The record's column values.
+    pub fields: Vec<u32>,
+}
+
+/// Result of one Transform invocation.
+#[derive(Debug, Clone)]
+pub struct TransformOutcome {
+    /// The exhaustively padded ΔV to append to the secure cache.
+    pub delta: SharedArrayPair,
+    /// Number of real view entries in ΔV (protocol-internal).
+    pub new_entries: usize,
+    /// Oblivious-operation counts of this invocation.
+    pub report: CostReport,
+    /// Simulated execution time of this invocation.
+    pub duration: SimDuration,
+}
+
+/// The Transform protocol state.
+pub struct TransformProtocol {
+    view: ViewDefinition,
+    omega: u64,
+    ledger: ContributionLedger,
+    active_left: Vec<ActiveRecord>,
+    active_right: Vec<ActiveRecord>,
+    /// Full public right relation (CPDB's Award table), when the right side is public.
+    public_right: Option<Vec<Vec<u32>>>,
+    initialized: bool,
+    total_truncation_losses: u64,
+}
+
+impl TransformProtocol {
+    /// Create the protocol. `public_right` carries the full public relation when the
+    /// right side is public (its records are not privacy-tracked).
+    #[must_use]
+    pub fn new(
+        view: ViewDefinition,
+        truncation_bound: u64,
+        contribution_budget: u64,
+        public_right: Option<Vec<Vec<u32>>>,
+    ) -> Self {
+        assert!(truncation_bound >= 1);
+        assert!(contribution_budget >= truncation_bound);
+        Self {
+            view,
+            omega: truncation_bound,
+            ledger: ContributionLedger::new(contribution_budget),
+            active_left: Vec::new(),
+            active_right: Vec::new(),
+            public_right,
+            initialized: false,
+            total_truncation_losses: 0,
+        }
+    }
+
+    /// The contribution ledger (exposed for privacy-accounting inspection).
+    #[must_use]
+    pub fn ledger(&self) -> &ContributionLedger {
+        &self.ledger
+    }
+
+    /// Number of currently active (non-retired) records on each side.
+    #[must_use]
+    pub fn active_counts(&self) -> (usize, usize) {
+        (self.active_left.len(), self.active_right.len())
+    }
+
+    /// Cumulative number of real join pairs dropped because of the ω truncation.
+    #[must_use]
+    pub fn truncation_losses(&self) -> u64 {
+        self.total_truncation_losses
+    }
+
+    fn charge_active(ledger: &mut ContributionLedger, omega: u64, set: &mut Vec<ActiveRecord>) {
+        set.retain(|rec| ledger.charge(rec.id, omega));
+    }
+
+    fn batch_real_records(batch: &UploadBatch) -> Vec<ActiveRecord> {
+        batch
+            .ids
+            .iter()
+            .zip(batch.records.entries().iter())
+            .filter_map(|(id, rec)| {
+                id.map(|id| ActiveRecord {
+                    id,
+                    fields: rec.recover().fields,
+                })
+            })
+            .collect()
+    }
+
+    fn share_active(
+        records: &[ActiveRecord],
+        arity: usize,
+        ctx: &mut TwoPartyContext,
+    ) -> SharedArrayPair {
+        let mut out = SharedArrayPair::with_arity(arity);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            0x5EED_0000 ^ ctx.time_step().wrapping_mul(0x9E37_79B9),
+        );
+        use rand::SeedableRng;
+        for r in records {
+            out.push(SharedRecordPair::share(
+                &PlainRecord::real(r.fields.clone()),
+                &mut rng,
+            ))
+            .expect("uniform arity");
+        }
+        out
+    }
+
+    /// Count the real join pairs that exist among this invocation's inputs *before*
+    /// truncation. The difference between this and the emitted entries is the
+    /// truncation loss tracked for the ω-sweep experiment of Section 7.4.
+    fn count_potential_pairs(
+        &self,
+        outer: &[ActiveRecord],
+        inner_fields: &[Vec<u32>],
+        reversed: bool,
+    ) -> u64 {
+        let mut pairs = 0u64;
+        for o in outer {
+            pairs += inner_fields
+                .iter()
+                .filter(|inner| {
+                    let (l, r) = if reversed {
+                        (inner.as_slice(), o.fields.as_slice())
+                    } else {
+                        (o.fields.as_slice(), inner.as_slice())
+                    };
+                    let keys = l.get(self.view.left_key) == r.get(self.view.right_key)
+                        && l.get(self.view.left_key).is_some();
+                    let lt = l.get(self.view.left_time).copied().unwrap_or(0);
+                    let rt = r.get(self.view.right_time).copied().unwrap_or(0);
+                    keys && rt >= lt && rt - lt <= self.view.window
+                })
+                .count() as u64;
+        }
+        pairs
+    }
+
+    /// Run one Transform invocation over the owner deltas submitted at this time step.
+    ///
+    /// `delta_left` is the left relation's padded upload; `delta_right` is the right
+    /// relation's padded upload (absent when the right relation is public).
+    /// `full_right_len` / `full_left_len` are the *unpruned* sizes of the relation the
+    /// deltas are joined against; the difference between those and the active sets is
+    /// charged to the cost meter so simulated time reflects a join against the entire
+    /// outsourced relation even though retired records are (correctly) excluded from
+    /// the plaintext matching.
+    pub fn invoke(
+        &mut self,
+        ctx: &mut TwoPartyContext,
+        delta_left: &UploadBatch,
+        delta_right: Option<&UploadBatch>,
+        full_right_len: usize,
+        full_left_len: usize,
+    ) -> TransformOutcome {
+        // Algorithm 1 line 1-2: on the first invocation, initialise and share c = 0.
+        if !self.initialized {
+            ctx.reshare_and_store(CARDINALITY_SHARE, 0);
+            self.initialized = true;
+        }
+
+        let left_arity = delta_left.records.arity().unwrap_or(2);
+        let right_arity = delta_right
+            .and_then(|d| d.records.arity())
+            .or_else(|| self.public_right.as_ref().and_then(|p| p.first().map(Vec::len)))
+            .unwrap_or(left_arity);
+
+        // Contribution accounting: charge ω to every record used as input.
+        let new_left = Self::batch_real_records(delta_left);
+        for rec in &new_left {
+            self.ledger.register(rec.id);
+            let charged = self.ledger.charge(rec.id, self.omega);
+            debug_assert!(charged, "fresh records always have budget >= omega");
+        }
+        let new_right: Vec<ActiveRecord> = delta_right
+            .map(|d| Self::batch_real_records(d))
+            .unwrap_or_default();
+        for rec in &new_right {
+            self.ledger.register(rec.id);
+            let charged = self.ledger.charge(rec.id, self.omega);
+            debug_assert!(charged, "fresh records always have budget >= omega");
+        }
+        Self::charge_active(&mut self.ledger, self.omega, &mut self.active_left);
+        Self::charge_active(&mut self.ledger, self.omega, &mut self.active_right);
+
+        // Build the inner relations the deltas join against.
+        let omega = self.omega as usize;
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(0xA11CE ^ ctx.time_step())
+        };
+
+        let (inner_right_records, inner_right_fields): (SharedArrayPair, Vec<Vec<u32>>) =
+            if let Some(public) = &self.public_right {
+                // Public right relation: prune to the join window for host-side speed;
+                // the skipped records are charged to the meter below.
+                let times: Vec<u32> = new_left
+                    .iter()
+                    .filter_map(|r| r.fields.get(self.view.left_time).copied())
+                    .collect();
+                let (lo, hi) = match (times.iter().min(), times.iter().max()) {
+                    (Some(&lo), Some(&hi)) => (lo, hi.saturating_add(self.view.window)),
+                    _ => (u32::MAX, 0),
+                };
+                let pruned: Vec<Vec<u32>> = public
+                    .iter()
+                    .filter(|r| {
+                        let t = r.get(self.view.right_time).copied().unwrap_or(0);
+                        t >= lo && t <= hi
+                    })
+                    .cloned()
+                    .collect();
+                let shared = {
+                    let recs: Vec<ActiveRecord> = pruned
+                        .iter()
+                        .map(|f| ActiveRecord {
+                            id: 0,
+                            fields: f.clone(),
+                        })
+                        .collect();
+                    Self::share_active(&recs, right_arity, ctx)
+                };
+                (shared, pruned)
+            } else {
+                let shared = Self::share_active(&self.active_right, right_arity, ctx);
+                let fields = self.active_right.iter().map(|r| r.fields.clone()).collect();
+                (shared, fields)
+            };
+        let inner_left_records = Self::share_active(&self.active_left, left_arity, ctx);
+        let inner_left_fields: Vec<Vec<u32>> =
+            self.active_left.iter().map(|r| r.fields.clone()).collect();
+
+        // Truncation-loss bookkeeping (evaluation metric, not protocol state).
+        let potential_pairs = self.count_potential_pairs(&new_left, &inner_right_fields, false)
+            + self.count_potential_pairs(&new_right, &inner_left_fields, true);
+
+        // ΔV part 1: new left records ⋈ accumulated right relation.
+        let spec = self.view.join_spec();
+        let join_left = truncated_nested_loop_join(
+            &delta_left.records,
+            &inner_right_records,
+            &spec,
+            omega,
+            ctx.meter(),
+            &mut rng,
+        );
+        // Charge the records the plaintext pruning skipped, so simulated time matches
+        // an oblivious join against the full outsourced relation.
+        let skipped_right = full_right_len.saturating_sub(inner_right_records.len()) as u64;
+        ctx.meter()
+            .compares(delta_left.records.len() as u64 * skipped_right);
+        ctx.meter()
+            .ands(2 * delta_left.records.len() as u64 * skipped_right);
+
+        // ΔV part 2: new right records ⋈ accumulated left relation (private-right
+        // workloads only).
+        let join_right = delta_right.map(|d| {
+            let spec_rev = self.view.join_spec_reversed();
+            let joined = truncated_nested_loop_join(
+                &d.records,
+                &inner_left_records,
+                &spec_rev,
+                omega,
+                ctx.meter(),
+                &mut rng,
+            );
+            let skipped_left = full_left_len.saturating_sub(inner_left_records.len()) as u64;
+            ctx.meter().compares(d.records.len() as u64 * skipped_left);
+            ctx.meter().ands(2 * d.records.len() as u64 * skipped_left);
+            joined
+        });
+
+        // Assemble ΔV.
+        let mut delta = SharedArrayPair::with_arity(left_arity + right_arity);
+        delta.extend(join_left).expect("arity");
+        if let Some(j) = join_right {
+            delta.extend(j).expect("arity");
+        }
+
+        // Algorithm 1 lines 4-6: recover the counter, add the new cardinality, and
+        // re-share it with fresh joint randomness.
+        let new_entries = delta.true_cardinality();
+        self.total_truncation_losses += potential_pairs.saturating_sub(new_entries as u64);
+        ctx.meter().ands(delta.len() as u64);
+        let counter = ctx.recover_named(CARDINALITY_SHARE).unwrap_or(0);
+        ctx.reshare_and_store(CARDINALITY_SHARE, counter + new_entries as u32);
+
+        // The new records become part of the accumulated relations for future steps
+        // (they retain budget b − ω).
+        self.active_left.extend(new_left);
+        self.active_right.extend(new_right);
+
+        let (report, duration) = ctx.charge();
+        ctx.advance_time_step();
+        TransformOutcome {
+            delta,
+            new_entries,
+            report,
+            duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incshrink_mpc::cost::CostModel;
+    use incshrink_storage::{LogicalUpdate, Relation, UploadBatch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn view_def() -> ViewDefinition {
+        ViewDefinition {
+            left_key: 0,
+            left_time: 1,
+            right_key: 0,
+            right_time: 1,
+            window: 10,
+        }
+    }
+
+    fn batch(relation: Relation, time: u64, rows: &[(u64, u32, u32)], padded: usize) -> UploadBatch {
+        let mut rng = StdRng::seed_from_u64(time ^ 0xBA7C4);
+        let updates: Vec<LogicalUpdate> = rows
+            .iter()
+            .map(|&(id, key, t)| LogicalUpdate {
+                id,
+                relation,
+                arrival: time,
+                fields: vec![key, t],
+            })
+            .collect();
+        let refs: Vec<&LogicalUpdate> = updates.iter().collect();
+        UploadBatch::from_updates(relation, time, &refs, 2, padded, &mut rng)
+    }
+
+    #[test]
+    fn transform_produces_padded_delta_and_counts_entries() {
+        let mut ctx = TwoPartyContext::new(1, CostModel::default());
+        let mut transform = TransformProtocol::new(view_def(), 1, 10, None);
+
+        // Step 1: two sales arrive, no returns yet.
+        let left = batch(Relation::Left, 1, &[(1, 100, 1), (2, 200, 1)], 4);
+        let right = batch(Relation::Right, 1, &[], 4);
+        let out = transform.invoke(&mut ctx, &left, Some(&right), 0, 0);
+        assert_eq!(out.new_entries, 0);
+        // ΔV padded size = ω·(|deltaL| + |deltaR|).
+        assert_eq!(out.delta.len(), 4 + 4);
+        assert!(out.duration.as_secs_f64() > 0.0);
+
+        // Step 2: a matching return for pid 100 arrives within the window.
+        let left2 = batch(Relation::Left, 2, &[], 4);
+        let right2 = batch(Relation::Right, 2, &[(3, 100, 3)], 4);
+        let out2 = transform.invoke(&mut ctx, &left2, Some(&right2), 8, 8);
+        assert_eq!(out2.new_entries, 1);
+        assert_eq!(out2.delta.true_cardinality(), 1);
+
+        // The shared cardinality counter accumulated 0 + 1.
+        assert_eq!(ctx.recover_named(CARDINALITY_SHARE), Some(1));
+        assert_eq!(transform.active_counts(), (2, 1));
+    }
+
+    #[test]
+    fn truncation_bound_limits_per_record_contribution() {
+        let mut ctx = TwoPartyContext::new(2, CostModel::default());
+        // ω = 2 but three matching right records exist for the same left key.
+        let mut transform = TransformProtocol::new(view_def(), 2, 4, None);
+        let left = batch(Relation::Left, 1, &[(1, 7, 1)], 2);
+        let right = batch(
+            Relation::Right,
+            1,
+            &[(2, 7, 2), (3, 7, 3), (4, 7, 4)],
+            4,
+        );
+        // Right delta joins against active left — but left only becomes active after
+        // its own invocation, so feed left first, then right in the next invocation.
+        let _ = transform.invoke(&mut ctx, &left, Some(&batch(Relation::Right, 1, &[], 4)), 0, 0);
+        let out = transform.invoke(
+            &mut ctx,
+            &batch(Relation::Left, 2, &[], 2),
+            Some(&right),
+            4,
+            2,
+        );
+        assert_eq!(out.new_entries, 2, "ω=2 caps the pairs generated");
+        assert_eq!(transform.truncation_losses(), 1);
+    }
+
+    #[test]
+    fn records_retire_after_budget_exhaustion() {
+        let mut ctx = TwoPartyContext::new(3, CostModel::default());
+        // b = 2, ω = 1: a record may participate in two invocations then retires.
+        let mut transform = TransformProtocol::new(view_def(), 1, 2, None);
+        let left = batch(Relation::Left, 1, &[(1, 9, 1)], 2);
+        let empty_r = |t| batch(Relation::Right, t, &[], 2);
+        let empty_l = |t| batch(Relation::Left, t, &[], 2);
+
+        let _ = transform.invoke(&mut ctx, &left, Some(&empty_r(1)), 0, 0);
+        assert_eq!(transform.active_counts().0, 1);
+        // Second invocation: the record is charged again and hits its budget.
+        let _ = transform.invoke(&mut ctx, &empty_l(2), Some(&empty_r(2)), 2, 2);
+        // Third invocation: it is excluded (retired) before any join.
+        let _ = transform.invoke(&mut ctx, &empty_l(3), Some(&empty_r(3)), 2, 2);
+        assert_eq!(transform.active_counts().0, 0);
+
+        // A matching return arriving now can no longer produce a view entry.
+        let right = batch(Relation::Right, 4, &[(5, 9, 4)], 2);
+        let out = transform.invoke(&mut ctx, &empty_l(4), Some(&right), 2, 2);
+        assert_eq!(out.new_entries, 0);
+    }
+
+    #[test]
+    fn public_right_relation_joins_without_budget_tracking() {
+        let mut ctx = TwoPartyContext::new(4, CostModel::default());
+        let public: Vec<Vec<u32>> = vec![vec![5, 12], vec![5, 30], vec![6, 14]];
+        let mut transform = TransformProtocol::new(view_def(), 10, 20, Some(public));
+        // One allegation for officer 5 at time 10: award at 12 is in window, at 30 not.
+        let left = batch(Relation::Left, 10, &[(1, 5, 10)], 3);
+        let out = transform.invoke(&mut ctx, &left, None, 3, 0);
+        assert_eq!(out.new_entries, 1);
+        assert_eq!(out.delta.len(), 30, "ω·|deltaL| exhaustive padding");
+        assert_eq!(transform.active_counts(), (1, 0));
+    }
+
+    #[test]
+    fn cardinality_counter_is_secret_shared_between_servers() {
+        let mut ctx = TwoPartyContext::new(5, CostModel::default());
+        let mut transform = TransformProtocol::new(view_def(), 1, 10, None);
+        let left = batch(Relation::Left, 1, &[(1, 1, 1)], 2);
+        let right = batch(Relation::Right, 1, &[(2, 1, 1)], 2);
+        let _ = transform.invoke(&mut ctx, &left, Some(&right), 0, 0);
+
+        let s0 = ctx.servers.s0.load_share(CARDINALITY_SHARE).unwrap();
+        let s1 = ctx.servers.s1.load_share(CARDINALITY_SHARE).unwrap();
+        let true_counter = ctx.recover_named(CARDINALITY_SHARE).unwrap();
+        assert_eq!(s0.word ^ s1.word, true_counter);
+        // Overwhelmingly, neither share alone equals the counter.
+        assert!(s0.word != true_counter || s1.word != true_counter);
+    }
+
+    #[test]
+    fn delta_size_is_data_independent() {
+        // Two runs with identical batch sizes but different data must produce ΔV of
+        // identical length and identical operation counts.
+        let run = |rows_l: &[(u64, u32, u32)], rows_r: &[(u64, u32, u32)]| {
+            let mut ctx = TwoPartyContext::new(6, CostModel::default());
+            let mut transform = TransformProtocol::new(view_def(), 1, 10, None);
+            let left = batch(Relation::Left, 1, rows_l, 4);
+            let right = batch(Relation::Right, 1, rows_r, 4);
+            let out = transform.invoke(&mut ctx, &left, Some(&right), 0, 0);
+            (out.delta.len(), out.report)
+        };
+        let (len_a, rep_a) = run(&[(1, 1, 1), (2, 2, 1)], &[(3, 1, 2)]);
+        let (len_b, rep_b) = run(&[(10, 99, 1)], &[]);
+        assert_eq!(len_a, len_b);
+        assert_eq!(rep_a, rep_b);
+    }
+}

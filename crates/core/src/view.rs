@@ -1,0 +1,207 @@
+//! View definitions and the materialized view object.
+
+use incshrink_oblivious::JoinSpec;
+use incshrink_secretshare::arrays::SharedArrayPair;
+use incshrink_workload::{Dataset, JoinQuery};
+use serde::{Deserialize, Serialize};
+
+/// Definition of the materialized view: an equi-join between the two relations of a
+/// dataset with a temporal window predicate (the shape of both Q1 and Q2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewDefinition {
+    /// Join-key column index in the left relation.
+    pub left_key: usize,
+    /// Timestamp column index in the left relation.
+    pub left_time: usize,
+    /// Join-key column index in the right relation.
+    pub right_key: usize,
+    /// Timestamp column index in the right relation.
+    pub right_time: usize,
+    /// The temporal window: `right.time − left.time ∈ [0, window]`.
+    pub window: u32,
+}
+
+impl ViewDefinition {
+    /// Derive the view definition from a workload dataset (the generators use the
+    /// `(key, time)` column convention).
+    #[must_use]
+    pub fn for_dataset(dataset: &Dataset) -> Self {
+        Self {
+            left_key: dataset.left.schema.key_column,
+            left_time: dataset.left.schema.time_column,
+            right_key: dataset.right.schema.key_column,
+            right_time: dataset.right.schema.time_column,
+            window: dataset.join_window,
+        }
+    }
+
+    /// The equivalent logical counting query (for ground-truth evaluation).
+    #[must_use]
+    pub fn as_query(&self) -> JoinQuery {
+        JoinQuery {
+            window: self.window,
+        }
+    }
+
+    /// Build the oblivious join specification for `left ⋈ right`.
+    #[must_use]
+    pub fn join_spec(&self) -> JoinSpec<'static> {
+        let window = self.window;
+        let lt = self.left_time;
+        let rt = self.right_time;
+        JoinSpec::with_condition(self.left_key, self.right_key, move |l, r| {
+            let lt_v = l.get(lt).copied().unwrap_or(0);
+            let rt_v = r.get(rt).copied().unwrap_or(0);
+            rt_v >= lt_v && rt_v - lt_v <= window
+        })
+    }
+
+    /// Build the mirrored join specification for `right ⋈ left` (used when new right
+    /// records join the accumulated left relation). Field order in the output is
+    /// (right, left); only the hidden flags matter for counting queries.
+    #[must_use]
+    pub fn join_spec_reversed(&self) -> JoinSpec<'static> {
+        let window = self.window;
+        let lt = self.left_time;
+        let rt = self.right_time;
+        JoinSpec::with_condition(self.right_key, self.left_key, move |r, l| {
+            let lt_v = l.get(lt).copied().unwrap_or(0);
+            let rt_v = r.get(rt).copied().unwrap_or(0);
+            rt_v >= lt_v && rt_v - lt_v <= window
+        })
+    }
+}
+
+/// The growing materialized view `V = {V_t}`: a secret-shared array of view entries
+/// plus dummy tuples introduced by the DP-sized synchronizations.
+#[derive(Debug, Clone, Default)]
+pub struct MaterializedView {
+    entries: SharedArrayPair,
+    syncs: u64,
+}
+
+impl MaterializedView {
+    /// Empty view.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of (real + dummy) entries currently materialized.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been synchronized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of real view entries (protocol-internal / evaluation use).
+    #[must_use]
+    pub fn true_cardinality(&self) -> usize {
+        self.entries.true_cardinality()
+    }
+
+    /// Number of dummy tuples carried by the view.
+    #[must_use]
+    pub fn dummy_count(&self) -> usize {
+        self.len() - self.true_cardinality()
+    }
+
+    /// Number of synchronization operations applied so far.
+    #[must_use]
+    pub fn sync_count(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Append a batch of synchronized entries (`V ← V ∪ o`).
+    pub fn append(&mut self, batch: SharedArrayPair) {
+        if batch.is_empty() {
+            return;
+        }
+        self.syncs += 1;
+        self.entries
+            .extend(batch)
+            .expect("view entries share one arity");
+    }
+
+    /// Size of the view in bytes (logical record width × entries), for the Table-2
+    /// "materialized view size" rows.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        let width = self.entries.arity().map_or(0, |a| (a + 1) * 4);
+        (self.len() * width) as u64
+    }
+
+    /// Size in megabytes.
+    #[must_use]
+    pub fn size_mb(&self) -> f64 {
+        self.size_bytes() as f64 / 1.0e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incshrink_secretshare::tuple::PlainRecord;
+    use incshrink_workload::{DatasetKind, TpcDsGenerator, WorkloadParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn view_definition_from_dataset_and_query() {
+        let ds = TpcDsGenerator::new(WorkloadParams::small(DatasetKind::TpcDs)).generate();
+        let def = ViewDefinition::for_dataset(&ds);
+        assert_eq!(def.window, 10);
+        assert_eq!(def.left_key, 0);
+        assert_eq!(def.as_query().window, 10);
+    }
+
+    #[test]
+    fn join_spec_window_condition() {
+        let def = ViewDefinition {
+            left_key: 0,
+            left_time: 1,
+            right_key: 0,
+            right_time: 1,
+            window: 10,
+        };
+        let spec = def.join_spec();
+        assert!(spec.condition.as_ref().unwrap()(&[1, 100], &[1, 105]));
+        assert!(!spec.condition.as_ref().unwrap()(&[1, 100], &[1, 120]));
+        assert!(!spec.condition.as_ref().unwrap()(&[1, 100], &[1, 90]));
+
+        let rev = def.join_spec_reversed();
+        // Reversed spec receives (right, left).
+        assert!(rev.condition.as_ref().unwrap()(&[1, 105], &[1, 100]));
+        assert!(!rev.condition.as_ref().unwrap()(&[1, 90], &[1, 100]));
+    }
+
+    #[test]
+    fn materialized_view_accounting() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut view = MaterializedView::new();
+        assert!(view.is_empty());
+        assert_eq!(view.size_bytes(), 0);
+
+        let batch = SharedArrayPair::share_records(
+            &[
+                PlainRecord::real(vec![1, 2, 3, 4]),
+                PlainRecord::dummy(4),
+                PlainRecord::real(vec![5, 6, 7, 8]),
+            ],
+            &mut rng,
+        );
+        view.append(batch);
+        view.append(SharedArrayPair::new()); // empty appends are ignored
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.true_cardinality(), 2);
+        assert_eq!(view.dummy_count(), 1);
+        assert_eq!(view.sync_count(), 1);
+        assert_eq!(view.size_bytes(), 3 * 5 * 4);
+        assert!(view.size_mb() > 0.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Stability bookkeeping and privacy accounting.
+//!
+//! IncShrink's privacy argument (Section 5.1, Lemmas 1-2, Theorem 3) has two parts:
+//!
+//! 1. each invocation of Transform is a *q-stable* transformation (each input record
+//!    changes at most `q = ω` rows of the output), so an ε-DP mechanism applied to the
+//!    output is `qε`-DP with respect to the input; and
+//! 2. across time, every record carries a lifetime **contribution budget** `b`; once a
+//!    record's budget is exhausted it is retired and never fed to Transform again, so
+//!    the composed transformation is `b`-stable and the total privacy loss is bounded
+//!    by `b · max_i ε_i` (Theorem 3 specialised to budgeted contributions).
+//!
+//! [`ContributionLedger`] tracks the per-record budgets; [`PrivacyAccountant`] tracks
+//! the ε consumed by each mechanism application and evaluates the Theorem-3 bound.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A q-stable transformation descriptor (Lemma 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StableTransform {
+    /// Stability constant: each input record affects at most `stability` output rows.
+    pub stability: u64,
+}
+
+impl StableTransform {
+    /// Effective privacy parameter of an ε-DP mechanism applied to the transformation's
+    /// output (Lemma 2): `q · ε`.
+    #[must_use]
+    pub fn amplified_epsilon(&self, mechanism_epsilon: f64) -> f64 {
+        self.stability as f64 * mechanism_epsilon
+    }
+}
+
+/// Per-record lifetime contribution budgets.
+///
+/// `charge` is called whenever a record is used as input to Transform (regardless of
+/// whether a real view tuple came out of it — the paper charges the truncation limit ω
+/// per use). Records whose remaining budget is below the next charge are *retired*.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ContributionLedger {
+    total_budget: u64,
+    remaining: HashMap<u64, u64>,
+    retired: u64,
+}
+
+impl ContributionLedger {
+    /// Create a ledger assigning `total_budget` (the paper's `b`) to every new record.
+    #[must_use]
+    pub fn new(total_budget: u64) -> Self {
+        Self {
+            total_budget,
+            remaining: HashMap::new(),
+            retired: 0,
+        }
+    }
+
+    /// The lifetime budget assigned to each record.
+    #[must_use]
+    pub fn total_budget(&self) -> u64 {
+        self.total_budget
+    }
+
+    /// Register a new record (idempotent).
+    pub fn register(&mut self, record_id: u64) {
+        self.remaining.entry(record_id).or_insert(self.total_budget);
+    }
+
+    /// Remaining budget for a record; unregistered records have the full budget.
+    #[must_use]
+    pub fn remaining(&self, record_id: u64) -> u64 {
+        self.remaining
+            .get(&record_id)
+            .copied()
+            .unwrap_or(self.total_budget)
+    }
+
+    /// Whether the record may still be fed to Transform with per-use charge `omega`.
+    #[must_use]
+    pub fn is_active(&self, record_id: u64, omega: u64) -> bool {
+        self.remaining(record_id) >= omega
+    }
+
+    /// Charge `omega` units against a record's budget. Returns `true` when the charge
+    /// was applied; `false` when the record had already been retired (insufficient
+    /// budget), in which case nothing is deducted and the caller must exclude the
+    /// record from the transformation input.
+    pub fn charge(&mut self, record_id: u64, omega: u64) -> bool {
+        self.register(record_id);
+        let remaining = self.remaining.get_mut(&record_id).expect("just registered");
+        if *remaining >= omega {
+            *remaining -= omega;
+            if *remaining < omega {
+                self.retired += 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of records whose budget has dropped below one more `omega`-charge.
+    #[must_use]
+    pub fn retired_count(&self) -> u64 {
+        self.retired
+    }
+
+    /// Number of records the ledger has seen.
+    #[must_use]
+    pub fn tracked_records(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Maximum lifetime contribution any record can ever make — the `b` bound used in
+    /// the Theorem-3 style accounting.
+    #[must_use]
+    pub fn lifetime_stability(&self) -> u64 {
+        self.total_budget
+    }
+}
+
+/// One mechanism application recorded by the accountant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MechanismApplication {
+    /// ε of the mechanism as applied to the *transformed* data.
+    pub mechanism_epsilon: f64,
+    /// Stability of the transformation feeding the mechanism.
+    pub stability: u64,
+    /// Whether this application touches data disjoint from every other application
+    /// (parallel composition) or potentially overlapping data (sequential composition).
+    pub disjoint: bool,
+}
+
+/// Privacy-loss accountant evaluating the bounds of Lemma 2 / Theorem 3 and the
+/// parallel-composition argument used in Theorem 7.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PrivacyAccountant {
+    applications: Vec<MechanismApplication>,
+}
+
+impl PrivacyAccountant {
+    /// Fresh accountant with no recorded applications.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a mechanism application.
+    pub fn record(&mut self, app: MechanismApplication) {
+        self.applications.push(app);
+    }
+
+    /// Number of recorded applications.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.applications.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.applications.is_empty()
+    }
+
+    /// Worst-case privacy loss for a single logical update under the budgeted
+    /// contribution scheme: because a record can contribute to at most
+    /// `b = lifetime_stability` output rows over its lifetime, Theorem 3's
+    /// `max_u Σ_{i : τ_i(u) > 0} q_i ε_i` is bounded by `b · max_i ε_i` when every
+    /// per-invocation mechanism uses the same ε, and more generally by
+    /// `lifetime_stability · max_i ε_i`.
+    #[must_use]
+    pub fn budgeted_epsilon(&self, lifetime_stability: u64) -> f64 {
+        let max_eps = self
+            .applications
+            .iter()
+            .map(|a| a.mechanism_epsilon)
+            .fold(0.0_f64, f64::max);
+        lifetime_stability as f64 * max_eps
+    }
+
+    /// Naive sequential-composition bound (no contribution constraint): the sum of
+    /// `q_i · ε_i` over all non-disjoint applications plus the max over disjoint ones.
+    /// This is the quantity that *grows without bound* when contributions are not
+    /// constrained — exposed so tests can demonstrate why the budget is needed.
+    #[must_use]
+    pub fn unbudgeted_epsilon(&self) -> f64 {
+        let sequential: f64 = self
+            .applications
+            .iter()
+            .filter(|a| !a.disjoint)
+            .map(|a| a.stability as f64 * a.mechanism_epsilon)
+            .sum();
+        let parallel_max = self
+            .applications
+            .iter()
+            .filter(|a| a.disjoint)
+            .map(|a| a.stability as f64 * a.mechanism_epsilon)
+            .fold(0.0_f64, f64::max);
+        sequential + parallel_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stable_transform_amplification() {
+        let t = StableTransform { stability: 10 };
+        assert!((t.amplified_epsilon(0.15) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_charges_and_retires() {
+        let mut ledger = ContributionLedger::new(10);
+        assert_eq!(ledger.total_budget(), 10);
+        assert_eq!(ledger.remaining(5), 10);
+        assert!(ledger.is_active(5, 4));
+
+        assert!(ledger.charge(5, 4));
+        assert_eq!(ledger.remaining(5), 6);
+        assert!(ledger.charge(5, 4));
+        assert_eq!(ledger.remaining(5), 2);
+        // Remaining 2 < 4: record is retired for ω=4 charges.
+        assert!(!ledger.is_active(5, 4));
+        assert!(!ledger.charge(5, 4));
+        assert_eq!(ledger.remaining(5), 2, "failed charge deducts nothing");
+        assert_eq!(ledger.retired_count(), 1);
+        assert_eq!(ledger.tracked_records(), 1);
+
+        // A different record still has its full budget.
+        assert!(ledger.charge(6, 4));
+        assert_eq!(ledger.lifetime_stability(), 10);
+    }
+
+    #[test]
+    fn ledger_exact_budget_consumption() {
+        let mut ledger = ContributionLedger::new(6);
+        assert!(ledger.charge(1, 3));
+        assert!(ledger.charge(1, 3));
+        assert_eq!(ledger.remaining(1), 0);
+        assert!(!ledger.charge(1, 1));
+        // ω = 0 charges are always allowed and never retire anything.
+        assert!(ledger.charge(2, 0));
+        assert_eq!(ledger.remaining(2), 6);
+    }
+
+    #[test]
+    fn accountant_budgeted_vs_unbudgeted() {
+        let mut acc = PrivacyAccountant::new();
+        assert!(acc.is_empty());
+        // 100 invocations of an ε=0.15 mechanism over ω=1-stable transforms of
+        // overlapping data: unbudgeted loss grows to 15, budgeted stays at b·ε.
+        for _ in 0..100 {
+            acc.record(MechanismApplication {
+                mechanism_epsilon: 0.15,
+                stability: 1,
+                disjoint: false,
+            });
+        }
+        assert_eq!(acc.len(), 100);
+        assert!((acc.unbudgeted_epsilon() - 15.0).abs() < 1e-9);
+        assert!((acc.budgeted_epsilon(10) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accountant_parallel_composition_takes_max() {
+        let mut acc = PrivacyAccountant::new();
+        for eps in [0.2, 0.5, 0.3] {
+            acc.record(MechanismApplication {
+                mechanism_epsilon: eps,
+                stability: 2,
+                disjoint: true,
+            });
+        }
+        // Parallel composition over disjoint data: only the max term counts.
+        assert!((acc.unbudgeted_epsilon() - 1.0).abs() < 1e-9);
+        assert!((acc.budgeted_epsilon(4) - 2.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ledger_never_exceeds_lifetime_budget(
+            budget in 1u64..20, omega in 1u64..5, charges in 1usize..50) {
+            let mut ledger = ContributionLedger::new(budget);
+            let mut consumed = 0u64;
+            for _ in 0..charges {
+                if ledger.charge(42, omega) {
+                    consumed += omega;
+                }
+            }
+            prop_assert!(consumed <= budget);
+            prop_assert_eq!(ledger.remaining(42), budget - consumed);
+        }
+
+        #[test]
+        fn prop_budgeted_epsilon_independent_of_invocation_count(
+            eps in 0.01f64..2.0, b in 1u64..30, n in 1usize..200) {
+            let mut acc = PrivacyAccountant::new();
+            for _ in 0..n {
+                acc.record(MechanismApplication {
+                    mechanism_epsilon: eps,
+                    stability: 1,
+                    disjoint: false,
+                });
+            }
+            let bound = acc.budgeted_epsilon(b);
+            prop_assert!((bound - b as f64 * eps).abs() < 1e-9);
+        }
+    }
+}

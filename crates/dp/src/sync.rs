@@ -1,0 +1,182 @@
+//! Owner-side record-synchronization strategies (DP-Sync integration, Section 8).
+//!
+//! The IncShrink prototype assumes owners upload a fixed-size, dummy-padded batch at
+//! fixed intervals. The framework composes with DP-Sync: owners may instead run a
+//! private synchronization strategy whose own leakage is ε₁-DP, and the total leakage
+//! of the composed system is (ε₁ + ε₂)-DP by sequential composition. This module
+//! provides the fixed-interval default plus two DP-Sync style strategies so the
+//! composition can be exercised end-to-end.
+
+use crate::laplace::LaplaceMechanism;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What the owner does at one time step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncDecision {
+    /// Do not upload anything this step.
+    Skip,
+    /// Upload a batch padded (or truncated) to exactly `padded_size` records.
+    Upload {
+        /// The padded batch size visible to the servers.
+        padded_size: usize,
+    },
+}
+
+/// A record-synchronization strategy executed by the data owner.
+pub trait RecordSyncStrategy {
+    /// Decide what to do at `time`, given the number of real records accumulated
+    /// locally since the last upload.
+    fn decide<R: Rng + ?Sized>(&mut self, time: u64, pending: usize, rng: &mut R) -> SyncDecision;
+
+    /// ε consumed by the strategy's own leakage (0 for the deterministic default).
+    fn epsilon(&self) -> f64;
+}
+
+/// The paper's default: upload a fixed-size padded batch every `interval` steps.
+/// Deterministic, so it leaks nothing beyond public parameters (ε = 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedIntervalSync {
+    /// Upload every this many time steps.
+    pub interval: u64,
+    /// Every upload is padded to exactly this many records.
+    pub batch_size: usize,
+}
+
+impl FixedIntervalSync {
+    /// Create the strategy.
+    #[must_use]
+    pub fn new(interval: u64, batch_size: usize) -> Self {
+        assert!(interval > 0 && batch_size > 0);
+        Self {
+            interval,
+            batch_size,
+        }
+    }
+}
+
+impl RecordSyncStrategy for FixedIntervalSync {
+    fn decide<R: Rng + ?Sized>(&mut self, time: u64, _pending: usize, _rng: &mut R) -> SyncDecision {
+        if time > 0 && time % self.interval == 0 {
+            SyncDecision::Upload {
+                padded_size: self.batch_size,
+            }
+        } else {
+            SyncDecision::Skip
+        }
+    }
+
+    fn epsilon(&self) -> f64 {
+        0.0
+    }
+}
+
+/// DP-Sync "DP timer" owner strategy: upload every `interval` steps with a batch whose
+/// padded size is the DP-noised number of pending records (clamped to at least the
+/// pending count so no record is left behind, which keeps the strategy (0, β)-accurate
+/// while still hiding the exact arrival counts).
+#[derive(Debug, Clone)]
+pub struct DpTimerSync {
+    /// Upload every this many steps.
+    pub interval: u64,
+    mechanism: LaplaceMechanism,
+}
+
+impl DpTimerSync {
+    /// Create the strategy with privacy parameter ε (sensitivity 1: one logical update
+    /// changes the pending count by one).
+    #[must_use]
+    pub fn new(interval: u64, epsilon: f64) -> Self {
+        assert!(interval > 0);
+        Self {
+            interval,
+            mechanism: LaplaceMechanism::new(1.0, epsilon),
+        }
+    }
+}
+
+impl RecordSyncStrategy for DpTimerSync {
+    fn decide<R: Rng + ?Sized>(&mut self, time: u64, pending: usize, rng: &mut R) -> SyncDecision {
+        if time > 0 && time % self.interval == 0 {
+            let noised = self.mechanism.randomize_count(pending as u64, rng) as usize;
+            SyncDecision::Upload {
+                padded_size: noised.max(pending).max(1),
+            }
+        } else {
+            SyncDecision::Skip
+        }
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.mechanism.epsilon
+    }
+}
+
+/// Total ε of the composed system (sequential composition of the owner strategy's
+/// leakage and the view-update protocol's leakage).
+#[must_use]
+pub fn composed_epsilon<S: RecordSyncStrategy + ?Sized>(
+    owner: &S,
+    view_update_epsilon: f64,
+) -> f64 {
+    owner.epsilon() + view_update_epsilon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_interval_uploads_on_schedule() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut strategy = FixedIntervalSync::new(5, 100);
+        let mut uploads = 0;
+        for t in 1..=50 {
+            match strategy.decide(t, 7, &mut rng) {
+                SyncDecision::Upload { padded_size } => {
+                    uploads += 1;
+                    assert_eq!(padded_size, 100);
+                    assert_eq!(t % 5, 0);
+                }
+                SyncDecision::Skip => assert_ne!(t % 5, 0),
+            }
+        }
+        assert_eq!(uploads, 10);
+        assert_eq!(strategy.epsilon(), 0.0);
+    }
+
+    #[test]
+    fn dp_timer_sync_never_drops_records_and_hides_counts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut strategy = DpTimerSync::new(1, 0.5);
+        let mut exact_matches = 0;
+        for t in 1..=200 {
+            let pending = 13;
+            if let SyncDecision::Upload { padded_size } = strategy.decide(t, pending, &mut rng) {
+                assert!(padded_size >= pending, "no record is left behind");
+                if padded_size == pending {
+                    exact_matches += 1;
+                }
+            }
+        }
+        // The padded size should usually differ from the true pending count.
+        assert!(exact_matches < 150);
+        assert!(strategy.epsilon() > 0.0);
+    }
+
+    #[test]
+    fn composed_epsilon_adds_up() {
+        let owner = DpTimerSync::new(2, 0.7);
+        assert!((composed_epsilon(&owner, 1.5) - 2.2).abs() < 1e-12);
+        let fixed = FixedIntervalSync::new(2, 10);
+        assert!((composed_epsilon(&fixed, 1.5) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_rejected() {
+        let _ = FixedIntervalSync::new(0, 10);
+    }
+}

@@ -1,0 +1,130 @@
+//! Event-level → user-level privacy conversions (Section 4.2).
+//!
+//! The protocols in this repository guarantee ε-**event-level** DP: each logical update
+//! is a secret. The paper notes that stronger units of privacy follow from group
+//! privacy: if a single user owns at most ℓ updates, running the event-level mechanism
+//! with parameter ε/ℓ yields ε-user-level DP; and for correlated updates, recent work
+//! gives an ε′ ∈ (ε, ℓ·ε] bound that can be much smaller than the naive ℓ·ε. This
+//! module packages those conversions so deployments can budget at the right unit.
+
+use serde::{Deserialize, Serialize};
+
+/// The unit of privacy a deployment wants to protect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PrivacyUnit {
+    /// Each logical update (row insertion) is a secret — what the protocols provide.
+    Event,
+    /// Every set of at most `max_updates_per_user` updates belonging to one user is a
+    /// secret (group privacy over ℓ events).
+    User {
+        /// Upper bound ℓ on the number of updates a single user may contribute. If the
+        /// true bound is unknown, choose a pessimistically large value.
+        max_updates_per_user: u64,
+    },
+}
+
+/// Convert a target guarantee at `unit` into the event-level ε the protocols must be
+/// configured with: ε_event = ε_target / ℓ (and ε_target for the event unit).
+#[must_use]
+pub fn event_epsilon_for(unit: PrivacyUnit, target_epsilon: f64) -> f64 {
+    assert!(target_epsilon > 0.0, "target epsilon must be positive");
+    match unit {
+        PrivacyUnit::Event => target_epsilon,
+        PrivacyUnit::User {
+            max_updates_per_user,
+        } => {
+            assert!(max_updates_per_user >= 1, "a user owns at least one update");
+            target_epsilon / max_updates_per_user as f64
+        }
+    }
+}
+
+/// The guarantee obtained at `unit` when the protocols run with `event_epsilon`
+/// (the group-privacy direction: ε_user = ℓ · ε_event).
+#[must_use]
+pub fn achieved_epsilon_at(unit: PrivacyUnit, event_epsilon: f64) -> f64 {
+    assert!(event_epsilon > 0.0);
+    match unit {
+        PrivacyUnit::Event => event_epsilon,
+        PrivacyUnit::User {
+            max_updates_per_user,
+        } => event_epsilon * max_updates_per_user as f64,
+    }
+}
+
+/// Privacy loss under temporally correlated updates. Following the paper's discussion
+/// of [Cao et al., Song et al.], an ε-event-level mechanism run over data whose
+/// correlations span at most ℓ updates with pairwise correlation strength
+/// `rho ∈ [0, 1]` suffers a loss of at most `ε · (1 + rho · (ℓ − 1))`:
+/// `rho = 0` recovers independent events (ε), `rho = 1` the worst-case group bound
+/// (ℓ·ε).
+#[must_use]
+pub fn correlated_epsilon(event_epsilon: f64, correlation_span: u64, rho: f64) -> f64 {
+    assert!(event_epsilon > 0.0);
+    assert!((0.0..=1.0).contains(&rho), "rho must lie in [0, 1]");
+    let span = correlation_span.max(1) as f64;
+    event_epsilon * (1.0 + rho * (span - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn event_unit_is_identity() {
+        assert_eq!(event_epsilon_for(PrivacyUnit::Event, 1.5), 1.5);
+        assert_eq!(achieved_epsilon_at(PrivacyUnit::Event, 0.3), 0.3);
+    }
+
+    #[test]
+    fn user_unit_divides_and_multiplies_by_l() {
+        let unit = PrivacyUnit::User {
+            max_updates_per_user: 20,
+        };
+        assert!((event_epsilon_for(unit, 2.0) - 0.1).abs() < 1e-12);
+        assert!((achieved_epsilon_at(unit, 0.1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlated_epsilon_interpolates_between_event_and_group() {
+        let eps = 0.5;
+        assert!((correlated_epsilon(eps, 10, 0.0) - eps).abs() < 1e-12);
+        assert!((correlated_epsilon(eps, 10, 1.0) - 10.0 * eps).abs() < 1e-12);
+        let mid = correlated_epsilon(eps, 10, 0.3);
+        assert!(mid > eps && mid < 10.0 * eps);
+        // Span of 1 is just event-level privacy regardless of rho.
+        assert!((correlated_epsilon(eps, 1, 0.9) - eps).abs() < 1e-12);
+        assert!((correlated_epsilon(eps, 0, 0.9) - eps).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must lie in [0, 1]")]
+    fn invalid_rho_rejected() {
+        let _ = correlated_epsilon(1.0, 5, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "target epsilon must be positive")]
+    fn invalid_target_rejected() {
+        let _ = event_epsilon_for(PrivacyUnit::Event, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_user_conversion(target in 0.01f64..10.0, l in 1u64..1000) {
+            let unit = PrivacyUnit::User { max_updates_per_user: l };
+            let event = event_epsilon_for(unit, target);
+            let back = achieved_epsilon_at(unit, event);
+            prop_assert!((back - target).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_correlation_bound_between_event_and_group(
+            eps in 0.01f64..5.0, span in 1u64..100, rho in 0.0f64..1.0) {
+            let c = correlated_epsilon(eps, span, rho);
+            prop_assert!(c >= eps - 1e-12);
+            prop_assert!(c <= eps * span as f64 + 1e-9);
+        }
+    }
+}

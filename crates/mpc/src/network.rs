@@ -1,0 +1,89 @@
+//! Network configuration between the two outsourcing servers.
+//!
+//! Only used by the cost model: the simulation never opens sockets, but the network
+//! parameters determine how communicated bytes and protocol rounds translate into
+//! simulated time.
+
+use crate::cost::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth/latency description of the link between `S0` and `S1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Link bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way latency in seconds.
+    pub latency_secs: f64,
+}
+
+impl NetworkConfig {
+    /// LAN link matching the paper's GCP same-region deployment.
+    #[must_use]
+    pub fn lan() -> Self {
+        Self {
+            bandwidth_bps: 1.0e9,
+            latency_secs: 0.15e-3,
+        }
+    }
+
+    /// WAN link (cross-region) for robustness ablations.
+    #[must_use]
+    pub fn wan() -> Self {
+        Self {
+            bandwidth_bps: 100.0e6,
+            latency_secs: 20.0e-3,
+        }
+    }
+
+    /// Fold the network parameters into a [`CostModel`], keeping its compute constants.
+    #[must_use]
+    pub fn apply_to(self, base: CostModel) -> CostModel {
+        CostModel {
+            secs_per_byte: 8.0 / self.bandwidth_bps,
+            secs_per_round: 2.0 * self.latency_secs,
+            ..base
+        }
+    }
+
+    /// Time to ship `bytes` across the link once, including one round-trip of latency.
+    #[must_use]
+    pub fn transfer_secs(self, bytes: u64) -> f64 {
+        (bytes as f64 * 8.0) / self.bandwidth_bps + 2.0 * self.latency_secs
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostModel, CostReport};
+
+    #[test]
+    fn lan_faster_than_wan() {
+        let lan = NetworkConfig::lan();
+        let wan = NetworkConfig::wan();
+        assert!(lan.transfer_secs(1 << 20) < wan.transfer_secs(1 << 20));
+        assert_eq!(NetworkConfig::default(), lan);
+    }
+
+    #[test]
+    fn apply_to_overrides_network_constants_only() {
+        let base = CostModel::default();
+        let model = NetworkConfig::wan().apply_to(base);
+        assert_eq!(model.secs_per_compare, base.secs_per_compare);
+        assert!(model.secs_per_byte > base.secs_per_byte);
+        let report = CostReport::communication_only(1_000_000);
+        assert!(model.simulate(&report) > base.simulate(&report));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let lan = NetworkConfig::lan();
+        assert!(lan.transfer_secs(2_000_000) > lan.transfer_secs(1_000_000));
+    }
+}

@@ -1,0 +1,207 @@
+//! The two-party protocol execution context.
+//!
+//! [`TwoPartyContext`] bundles the two servers, a cost meter and the simulated clock.
+//! Protocols (Transform, Shrink, query evaluation) borrow the context, perform
+//! share-level work, record their oblivious-operation counts, and advance simulated
+//! time. [`JointRandomness`] implements the paper's joint noise-seed generation, in
+//! which each server contributes a uniform word and the protocol combines them with
+//! XOR so that neither server can predict or bias the result (Section 5.2).
+
+use crate::cost::{CostMeter, CostModel, CostReport, SimDuration};
+use crate::party::ServerPair;
+use incshrink_secretshare::SharePair;
+use serde::{Deserialize, Serialize};
+
+/// Joint randomness produced by both servers inside MPC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JointRandomness {
+    /// XOR of the two 32-bit contributions, `z = z0 ⊕ z1`.
+    pub word: u32,
+    /// XOR of two 64-bit contributions for higher-precision fixed-point seeds.
+    pub word64: u64,
+}
+
+impl JointRandomness {
+    /// Convert the 64-bit joint word into a fixed-point value strictly inside (0, 1).
+    ///
+    /// Algorithm 2 line 5: `r ← fixed_point(z)`, `r ∈ (0, 1)`. Zero is mapped to the
+    /// smallest representable positive value so `ln(r)` stays finite.
+    #[must_use]
+    pub fn unit_interval(&self) -> f64 {
+        let denom = u64::MAX as f64 + 2.0;
+        ((self.word64 as f64) + 1.0) / denom
+    }
+
+    /// The sign bit derived from the most significant bit of the 32-bit joint word
+    /// (Algorithm 2 line 6).
+    #[must_use]
+    pub fn sign(&self) -> f64 {
+        if self.word & 0x8000_0000 != 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// Execution context for a simulated 2PC protocol.
+#[derive(Debug)]
+pub struct TwoPartyContext {
+    /// The two non-colluding servers.
+    pub servers: ServerPair,
+    /// Cost model used to convert operation counts to time.
+    pub cost_model: CostModel,
+    meter: CostMeter,
+    clock: SimDuration,
+    time_step: u64,
+}
+
+impl TwoPartyContext {
+    /// Build a context from a master seed and a cost model.
+    #[must_use]
+    pub fn new(seed: u64, cost_model: CostModel) -> Self {
+        Self {
+            servers: ServerPair::new(seed),
+            cost_model,
+            meter: CostMeter::new(),
+            clock: SimDuration::ZERO,
+            time_step: 0,
+        }
+    }
+
+    /// Context with the default (LAN) cost model.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(seed, CostModel::default())
+    }
+
+    /// Current logical time step (owner upload epochs).
+    #[must_use]
+    pub fn time_step(&self) -> u64 {
+        self.time_step
+    }
+
+    /// Advance the logical time step by one epoch.
+    pub fn advance_time_step(&mut self) {
+        self.time_step += 1;
+    }
+
+    /// Access to the cost meter for recording oblivious operations.
+    pub fn meter(&mut self) -> &mut CostMeter {
+        &mut self.meter
+    }
+
+    /// Drain the meter, convert its report to simulated time, advance the clock, and
+    /// return `(report, duration)`. Protocols call this at the end of each invocation
+    /// so per-invocation timings can be attributed to Transform / Shrink / queries.
+    pub fn charge(&mut self) -> (CostReport, SimDuration) {
+        let report = self.meter.take();
+        let duration = self.cost_model.simulate(&report);
+        self.clock += duration;
+        (report, duration)
+    }
+
+    /// Total simulated time elapsed so far.
+    #[must_use]
+    pub fn elapsed(&self) -> SimDuration {
+        self.clock
+    }
+
+    /// Jointly sample randomness: each server contributes fresh uniform words, the
+    /// protocol XOR-combines them. Charges the communication of the contributions.
+    pub fn joint_randomness(&mut self) -> JointRandomness {
+        let z0 = self.servers.s0.random_word();
+        let z1 = self.servers.s1.random_word();
+        let w0 = self.servers.s0.random_word64();
+        let w1 = self.servers.s1.random_word64();
+        self.meter.bytes(4 + 4 + 8 + 8);
+        self.meter.round();
+        JointRandomness {
+            word: z0 ^ z1,
+            word64: w0 ^ w1,
+        }
+    }
+
+    /// Re-share a value inside MPC using server-contributed masks
+    /// (Section 5.1 "Secret-sharing inside MPC") and store it under `name` on both
+    /// servers. Charges the communication of the resulting shares.
+    pub fn reshare_and_store(&mut self, name: &str, value: u32) {
+        let z0 = self.servers.s0.random_word();
+        let z1 = self.servers.s1.random_word();
+        let pair = SharePair::reshare_joint(value, z0, z1);
+        self.servers.store_share_pair(name, pair);
+        self.meter.bytes(8);
+        self.meter.round();
+    }
+
+    /// Recover a named shared value inside the protocol. Returns `None` when the value
+    /// was never stored. Charges one exchange of the shares.
+    pub fn recover_named(&mut self, name: &str) -> Option<u32> {
+        let pair = self.servers.load_share_pair(name)?;
+        self.meter.bytes(8);
+        self.meter.round();
+        Some(pair.recover())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn joint_randomness_in_unit_interval() {
+        let mut ctx = TwoPartyContext::with_seed(11);
+        for _ in 0..256 {
+            let r = ctx.joint_randomness();
+            let u = r.unit_interval();
+            assert!(u > 0.0 && u < 1.0, "u = {u}");
+            assert!(r.sign() == 1.0 || r.sign() == -1.0);
+        }
+    }
+
+    #[test]
+    fn charge_drains_meter_and_advances_clock() {
+        let mut ctx = TwoPartyContext::with_seed(1);
+        ctx.meter().compares(1000);
+        let (report, d1) = ctx.charge();
+        assert_eq!(report.secure_compares, 1000);
+        assert!(d1.as_secs_f64() > 0.0);
+        assert_eq!(ctx.elapsed(), d1);
+        // Meter is empty now.
+        let (r2, d2) = ctx.charge();
+        assert!(r2.is_empty());
+        assert_eq!(d2, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reshare_and_recover_named_value() {
+        let mut ctx = TwoPartyContext::with_seed(5);
+        ctx.reshare_and_store("counter", 321);
+        assert_eq!(ctx.recover_named("counter"), Some(321));
+        assert_eq!(ctx.recover_named("absent"), None);
+        // Each server's stored share alone is not the value (overwhelmingly likely).
+        let s0 = ctx.servers.s0.load_share("counter").unwrap();
+        let s1 = ctx.servers.s1.load_share("counter").unwrap();
+        assert_eq!(s0.word ^ s1.word, 321);
+    }
+
+    #[test]
+    fn time_steps_advance() {
+        let mut ctx = TwoPartyContext::with_seed(2);
+        assert_eq!(ctx.time_step(), 0);
+        ctx.advance_time_step();
+        ctx.advance_time_step();
+        assert_eq!(ctx.time_step(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_unit_interval_strictly_inside(word64: u64, word: u32) {
+            let r = JointRandomness { word, word64 };
+            let u = r.unit_interval();
+            prop_assert!(u > 0.0);
+            prop_assert!(u < 1.0);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Oblivious aggregation over secret-shared arrays.
+//!
+//! The analyst-facing queries of the evaluation are COUNT aggregates over the
+//! materialized view. Inside a 2PC execution the count is accumulated as a secret
+//! shared register while linearly scanning the array — the access pattern is a fixed
+//! left-to-right pass, so nothing about which entries are real leaks. This module
+//! provides the oblivious COUNT / SUM primitives (optionally filtered by a predicate)
+//! plus a grouped count used by the multi-operator pipeline extension.
+
+use crate::filter::Predicate;
+use incshrink_mpc::cost::CostMeter;
+use incshrink_secretshare::arrays::SharedArrayPair;
+use std::collections::BTreeMap;
+
+/// Obliviously count the real (`isView = 1`) entries of `array` that satisfy
+/// `predicate` (pass [`Predicate::new("all", |_| true)`] for an unfiltered count).
+/// Charges one secure comparison, one AND and one addition per entry.
+pub fn oblivious_count(
+    array: &SharedArrayPair,
+    predicate: &Predicate<'_>,
+    meter: &mut CostMeter,
+) -> u64 {
+    let n = array.len() as u64;
+    meter.compares(n);
+    meter.ands(n);
+    meter.adds(n);
+    meter.bytes(8);
+    meter.round();
+    array
+        .entries()
+        .iter()
+        .filter(|e| {
+            let plain = e.recover();
+            plain.is_view && (predicate.test)(&plain.fields)
+        })
+        .count() as u64
+}
+
+/// Obliviously sum `field` over the real entries of `array` that satisfy `predicate`.
+/// Saturating 64-bit arithmetic (the paper's aggregates are counts; sums are provided
+/// for completeness of the operator set).
+pub fn oblivious_sum(
+    array: &SharedArrayPair,
+    field: usize,
+    predicate: &Predicate<'_>,
+    meter: &mut CostMeter,
+) -> u64 {
+    let n = array.len() as u64;
+    meter.compares(n);
+    meter.ands(n);
+    meter.adds(2 * n);
+    meter.bytes(8);
+    meter.round();
+    array
+        .entries()
+        .iter()
+        .map(|e| {
+            let plain = e.recover();
+            if plain.is_view && (predicate.test)(&plain.fields) {
+                u64::from(plain.fields.get(field).copied().unwrap_or(0))
+            } else {
+                0
+            }
+        })
+        .fold(0u64, u64::saturating_add)
+}
+
+/// Obliviously count real entries grouped by the value of `group_field`. The output
+/// map's *keys* are revealed (group-by results are part of the query answer); the scan
+/// itself remains a fixed pass over the array. Dummy entries contribute to no group.
+pub fn oblivious_group_count(
+    array: &SharedArrayPair,
+    group_field: usize,
+    meter: &mut CostMeter,
+) -> BTreeMap<u32, u64> {
+    let n = array.len() as u64;
+    meter.compares(n);
+    meter.ands(n);
+    meter.adds(n);
+    meter.bytes(8 * 16);
+    meter.round();
+    let mut groups = BTreeMap::new();
+    for entry in array.entries() {
+        let plain = entry.recover();
+        if plain.is_view {
+            if let Some(&key) = plain.fields.get(group_field) {
+                *groups.entry(key).or_insert(0u64) += 1;
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incshrink_secretshare::tuple::PlainRecord;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn array_with(rows: &[(u32, u32)], dummies: usize) -> SharedArrayPair {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut records: Vec<PlainRecord> = rows
+            .iter()
+            .map(|&(a, b)| PlainRecord::real(vec![a, b]))
+            .collect();
+        records.extend((0..dummies).map(|_| PlainRecord::dummy(2)));
+        SharedArrayPair::share_records(&records, &mut rng)
+    }
+
+    #[test]
+    fn count_ignores_dummies_and_applies_predicate() {
+        let mut meter = CostMeter::new();
+        let arr = array_with(&[(1, 5), (2, 15), (3, 25)], 4);
+        let all = Predicate::new("all", |_| true);
+        assert_eq!(oblivious_count(&arr, &all, &mut meter), 3);
+        let small = Predicate::le("f1 <= 15", 1, 15);
+        assert_eq!(oblivious_count(&arr, &small, &mut meter), 2);
+        assert!(meter.report().secure_adds >= 7);
+    }
+
+    #[test]
+    fn sum_over_selected_rows() {
+        let mut meter = CostMeter::new();
+        let arr = array_with(&[(1, 5), (2, 15), (3, 25)], 2);
+        let all = Predicate::new("all", |_| true);
+        assert_eq!(oblivious_sum(&arr, 1, &all, &mut meter), 45);
+        let small = Predicate::le("f1 <= 15", 1, 15);
+        assert_eq!(oblivious_sum(&arr, 1, &small, &mut meter), 20);
+        // Missing field sums to zero.
+        assert_eq!(oblivious_sum(&arr, 7, &all, &mut meter), 0);
+    }
+
+    #[test]
+    fn group_count_by_key() {
+        let mut meter = CostMeter::new();
+        let arr = array_with(&[(1, 5), (1, 6), (2, 7), (3, 8), (3, 9)], 3);
+        let groups = oblivious_group_count(&arr, 0, &mut meter);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[&1], 2);
+        assert_eq!(groups[&2], 1);
+        assert_eq!(groups[&3], 2);
+    }
+
+    #[test]
+    fn cost_depends_only_on_length() {
+        let all = Predicate::new("all", |_| true);
+        let mut m1 = CostMeter::new();
+        let _ = oblivious_count(&array_with(&[(1, 1), (2, 2)], 2), &all, &mut m1);
+        let mut m2 = CostMeter::new();
+        let _ = oblivious_count(&array_with(&[], 4), &all, &mut m2);
+        assert_eq!(m1.report(), m2.report());
+    }
+
+    #[test]
+    fn empty_array_aggregates() {
+        let mut meter = CostMeter::new();
+        let arr = SharedArrayPair::new();
+        let all = Predicate::new("all", |_| true);
+        assert_eq!(oblivious_count(&arr, &all, &mut meter), 0);
+        assert_eq!(oblivious_sum(&arr, 0, &all, &mut meter), 0);
+        assert!(oblivious_group_count(&arr, 0, &mut meter).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_count_matches_plaintext(rows in proptest::collection::vec((0u32..10, 0u32..100), 0..30),
+                                        dummies in 0usize..10) {
+            let mut meter = CostMeter::new();
+            let arr = array_with(&rows, dummies);
+            let all = Predicate::new("all", |_| true);
+            prop_assert_eq!(oblivious_count(&arr, &all, &mut meter), rows.len() as u64);
+
+            let groups = oblivious_group_count(&arr, 0, &mut meter);
+            let total: u64 = groups.values().sum();
+            prop_assert_eq!(total, rows.len() as u64);
+        }
+
+        #[test]
+        fn prop_sum_matches_plaintext(rows in proptest::collection::vec((0u32..10, 0u32..100), 0..30)) {
+            let mut meter = CostMeter::new();
+            let arr = array_with(&rows, 3);
+            let all = Predicate::new("all", |_| true);
+            let expect: u64 = rows.iter().map(|&(_, v)| u64::from(v)).sum();
+            prop_assert_eq!(oblivious_sum(&arr, 1, &all, &mut meter), expect);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Oblivious compaction and the Shrink cache-read operation (Figure 3).
+//!
+//! The Shrink protocols fetch a DP-noised number of tuples from the exhaustively
+//! padded secure cache. To guarantee that real tuples are always fetched before
+//! dummies, the cache is first obliviously sorted on the `isView` bit, then the first
+//! `sz` slots are cut off; the remainder stays in the cache.
+
+use crate::sort::oblivious_sort_by_is_view;
+use incshrink_mpc::cost::CostMeter;
+use incshrink_secretshare::arrays::SharedArrayPair;
+
+/// Obliviously compact `array` so that all real tuples precede all dummy tuples.
+/// The length is unchanged; only the (hidden) order moves.
+pub fn oblivious_compact(array: &mut SharedArrayPair, meter: &mut CostMeter) {
+    oblivious_sort_by_is_view(array, meter);
+}
+
+/// The secure cache read of Figure 3: obliviously sort the cache by `isView`, cut off
+/// the first `read_size` entries and return them; the remaining entries stay in
+/// `cache`. `read_size` larger than the cache simply drains it.
+///
+/// Returns the fetched entries. The servers observe only `read_size` (which the
+/// calling Shrink protocol derives from a DP mechanism) — never the true cardinality.
+pub fn cache_read(
+    cache: &mut SharedArrayPair,
+    read_size: usize,
+    meter: &mut CostMeter,
+) -> SharedArrayPair {
+    oblivious_sort_by_is_view(cache, meter);
+    let width = cache.arity().unwrap_or(0) as u64 + 1;
+    meter.bytes(read_size.min(cache.len()) as u64 * width * 4);
+    meter.round();
+    cache.split_front(read_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incshrink_secretshare::tuple::PlainRecord;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mixed_cache(real: usize, dummy: usize) -> SharedArrayPair {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut records = Vec::new();
+        // Interleave real and dummy entries.
+        let mut r = 0;
+        let mut d = 0;
+        while r < real || d < dummy {
+            if r < real {
+                records.push(PlainRecord::real(vec![r as u32, 100 + r as u32]));
+                r += 1;
+            }
+            if d < dummy {
+                records.push(PlainRecord::dummy(2));
+                d += 1;
+            }
+        }
+        SharedArrayPair::share_records(&records, &mut rng)
+    }
+
+    #[test]
+    fn compact_moves_real_tuples_to_front() {
+        let mut meter = CostMeter::new();
+        let mut cache = mixed_cache(4, 6);
+        oblivious_compact(&mut cache, &mut meter);
+        let plain = cache.recover_all();
+        assert!(plain[..4].iter().all(|r| r.is_view));
+        assert!(plain[4..].iter().all(|r| !r.is_view));
+        assert_eq!(cache.true_cardinality(), 4);
+    }
+
+    #[test]
+    fn cache_read_fetches_real_before_dummy() {
+        let mut meter = CostMeter::new();
+        let mut cache = mixed_cache(5, 10);
+        // Read fewer entries than there are real tuples: everything fetched is real,
+        // the rest stays deferred in the cache.
+        let fetched = cache_read(&mut cache, 3, &mut meter);
+        assert_eq!(fetched.len(), 3);
+        assert_eq!(fetched.true_cardinality(), 3);
+        assert_eq!(cache.true_cardinality(), 2);
+        assert_eq!(cache.len(), 12);
+    }
+
+    #[test]
+    fn cache_read_larger_than_true_cardinality_includes_dummies() {
+        let mut meter = CostMeter::new();
+        let mut cache = mixed_cache(2, 8);
+        let fetched = cache_read(&mut cache, 6, &mut meter);
+        assert_eq!(fetched.len(), 6);
+        assert_eq!(fetched.true_cardinality(), 2);
+        assert_eq!(cache.true_cardinality(), 0);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn cache_read_larger_than_cache_drains_it() {
+        let mut meter = CostMeter::new();
+        let mut cache = mixed_cache(3, 3);
+        let fetched = cache_read(&mut cache, 100, &mut meter);
+        assert_eq!(fetched.len(), 6);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_read_zero_returns_nothing() {
+        let mut meter = CostMeter::new();
+        let mut cache = mixed_cache(3, 3);
+        let fetched = cache_read(&mut cache, 0, &mut meter);
+        assert!(fetched.is_empty());
+        assert_eq!(cache.len(), 6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cache_read_never_skips_real_tuples(
+            real in 0usize..20, dummy in 0usize..20, read in 0usize..50) {
+            let mut meter = CostMeter::new();
+            let mut cache = mixed_cache(real, dummy);
+            let fetched = cache_read(&mut cache, read, &mut meter);
+            // Every fetched dummy implies no real tuple was left behind.
+            let fetched_real = fetched.true_cardinality();
+            let left_real = cache.true_cardinality();
+            prop_assert_eq!(fetched_real + left_real, real);
+            if fetched_real < fetched.len() {
+                // A dummy was fetched, so all real tuples must have been fetched.
+                prop_assert_eq!(left_real, 0);
+            }
+            prop_assert_eq!(fetched.len(), read.min(real + dummy));
+        }
+    }
+}

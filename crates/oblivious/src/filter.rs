@@ -1,0 +1,162 @@
+//! Oblivious selection (filter) — Appendix A.1.1.
+//!
+//! Each input record can contribute to the output of a selection at most once, so no
+//! extra truncation machinery is needed. To preserve obliviousness the operator
+//! returns *all* input rows; rows that fail the predicate simply have their hidden
+//! `isView` bit cleared and become dummies. The servers observe only the (public)
+//! input length.
+
+use incshrink_mpc::cost::CostMeter;
+use incshrink_secretshare::arrays::SharedArrayPair;
+use incshrink_secretshare::tuple::{PlainRecord, SharedRecordPair};
+use rand::Rng;
+
+/// A selection predicate over plaintext field values.
+///
+/// The closure is evaluated "inside" the simulated MPC: in a garbled-circuit
+/// execution the predicate circuit would see the joint value without revealing it to
+/// either server. The cost accounting charges one secure comparison and one AND gate
+/// per record regardless of the outcome.
+pub struct Predicate<'a> {
+    /// Human-readable name used in logs and plan explanations.
+    pub name: &'a str,
+    /// The predicate function over the record's fields.
+    pub test: Box<dyn Fn(&[u32]) -> bool + 'a>,
+}
+
+impl<'a> Predicate<'a> {
+    /// Build a predicate from a closure.
+    #[must_use]
+    pub fn new(name: &'a str, test: impl Fn(&[u32]) -> bool + 'a) -> Self {
+        Self {
+            name,
+            test: Box::new(test),
+        }
+    }
+
+    /// `field <= bound` predicate, the shape used by the paper's Q1/Q2 temporal filters.
+    #[must_use]
+    pub fn le(name: &'a str, field: usize, bound: u32) -> Self {
+        Self::new(name, move |fields| {
+            fields.get(field).copied().unwrap_or(u32::MAX) <= bound
+        })
+    }
+
+    /// Equality predicate on one field.
+    #[must_use]
+    pub fn eq(name: &'a str, field: usize, value: u32) -> Self {
+        Self::new(name, move |fields| fields.get(field).copied() == Some(value))
+    }
+}
+
+/// Obliviously filter `input`: the output has exactly the same length and record
+/// order; records failing `predicate` (and records that were already dummies) have
+/// `isView = 0` in the output.
+pub fn oblivious_filter<R: Rng + ?Sized>(
+    input: &SharedArrayPair,
+    predicate: &Predicate<'_>,
+    meter: &mut CostMeter,
+    rng: &mut R,
+) -> SharedArrayPair {
+    let mut out = match input.arity() {
+        Some(a) => SharedArrayPair::with_arity(a),
+        None => SharedArrayPair::new(),
+    };
+    meter.compares(input.len() as u64);
+    meter.ands(input.len() as u64);
+    meter.bytes((input.len() * (input.arity().unwrap_or(0) + 1) * 4) as u64);
+    meter.round();
+
+    for entry in input.entries() {
+        let plain = entry.recover();
+        let keep = plain.is_view && (predicate.test)(&plain.fields);
+        let rewritten = PlainRecord {
+            fields: plain.fields,
+            is_view: keep,
+        };
+        out.push(SharedRecordPair::share(&rewritten, rng))
+            .expect("uniform arity");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn input_array() -> SharedArrayPair {
+        let mut rng = StdRng::seed_from_u64(5);
+        let records = vec![
+            PlainRecord::real(vec![3, 30]),
+            PlainRecord::real(vec![12, 120]),
+            PlainRecord::dummy(2),
+            PlainRecord::real(vec![7, 70]),
+        ];
+        SharedArrayPair::share_records(&records, &mut rng)
+    }
+
+    #[test]
+    fn filter_preserves_length_and_clears_non_matches() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut meter = CostMeter::new();
+        let input = input_array();
+        let pred = Predicate::le("field0 <= 10", 0, 10);
+        let out = oblivious_filter(&input, &pred, &mut meter, &mut rng);
+
+        assert_eq!(out.len(), input.len());
+        let plain = out.recover_all();
+        // Rows 0 (3) and 3 (7) match; row 1 (12) fails; row 2 was a dummy.
+        assert!(plain[0].is_view);
+        assert!(!plain[1].is_view);
+        assert!(!plain[2].is_view);
+        assert!(plain[3].is_view);
+        assert_eq!(out.true_cardinality(), 2);
+        // Field values of non-matching real rows are preserved (only the flag changes).
+        assert_eq!(plain[1].fields, vec![12, 120]);
+    }
+
+    #[test]
+    fn eq_predicate_and_missing_field_behaviour() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut meter = CostMeter::new();
+        let input = input_array();
+        let pred = Predicate::eq("field1 == 70", 1, 70);
+        let out = oblivious_filter(&input, &pred, &mut meter, &mut rng);
+        assert_eq!(out.true_cardinality(), 1);
+
+        // Predicate over a non-existent field matches nothing (le with u32::MAX bound
+        // would match everything, eq never matches).
+        let pred = Predicate::eq("missing", 9, 1);
+        let out = oblivious_filter(&input, &pred, &mut meter, &mut rng);
+        assert_eq!(out.true_cardinality(), 0);
+        assert_eq!(pred.name, "missing");
+    }
+
+    #[test]
+    fn cost_depends_only_on_input_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let input = input_array();
+
+        let mut m1 = CostMeter::new();
+        let all = Predicate::new("always", |_| true);
+        let _ = oblivious_filter(&input, &all, &mut m1, &mut rng);
+
+        let mut m2 = CostMeter::new();
+        let none = Predicate::new("never", |_| false);
+        let _ = oblivious_filter(&input, &none, &mut m2, &mut rng);
+
+        assert_eq!(m1.report(), m2.report());
+    }
+
+    #[test]
+    fn filter_on_empty_input() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut meter = CostMeter::new();
+        let input = SharedArrayPair::new();
+        let pred = Predicate::new("always", |_| true);
+        let out = oblivious_filter(&input, &pred, &mut meter, &mut rng);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,472 @@
+//! Truncated oblivious joins.
+//!
+//! Two instantiations of the paper's *truncated view transformation*:
+//!
+//! * [`truncated_sort_merge_join`] — Example 5.1: union both tables, obliviously sort
+//!   by join key (left-table records break ties first), then linearly scan, emitting
+//!   exactly `b` (possibly dummy) output tuples after accessing each merged tuple.
+//!   The output is therefore exhaustively padded to `b · (|T1| + |T2|)` entries while
+//!   each input record contributes at most `b` real join tuples.
+//! * [`truncated_nested_loop_join`] — Algorithm 4: for each outer tuple, scan the
+//!   inner table, generate joins only while both tuples have remaining contribution
+//!   budget, obliviously sort each per-outer buffer and keep its first `b` slots.
+//!   The output is exhaustively padded to `b · |outer|` entries.
+//!
+//! Both operators are oblivious: their operation counts and output sizes depend only
+//! on the input lengths and the truncation bound, never on the data.
+
+use crate::sort::{batcher_pairs, oblivious_sort_by_key, SortKey, SortOrder};
+use incshrink_mpc::cost::CostMeter;
+use incshrink_secretshare::arrays::SharedArrayPair;
+use incshrink_secretshare::tuple::{PlainRecord, SharedRecordPair};
+use rand::Rng;
+
+/// Description of an equi-join with an optional extra θ-condition.
+pub struct JoinSpec<'a> {
+    /// Index of the join-key column in the left (outer / delta) table.
+    pub left_key: usize,
+    /// Index of the join-key column in the right (inner) table.
+    pub right_key: usize,
+    /// Additional condition evaluated over `(left_fields, right_fields)`; `None` means
+    /// a pure equi-join. Used for the temporal predicates of Q1/Q2
+    /// (`ReturnDate − SaleDate ≤ 10`).
+    pub condition: Option<Box<dyn Fn(&[u32], &[u32]) -> bool + 'a>>,
+}
+
+impl<'a> JoinSpec<'a> {
+    /// Pure equi-join on the given key columns.
+    #[must_use]
+    pub fn equi(left_key: usize, right_key: usize) -> Self {
+        Self {
+            left_key,
+            right_key,
+            condition: None,
+        }
+    }
+
+    /// Equi-join plus an extra condition.
+    #[must_use]
+    pub fn with_condition(
+        left_key: usize,
+        right_key: usize,
+        condition: impl Fn(&[u32], &[u32]) -> bool + 'a,
+    ) -> Self {
+        Self {
+            left_key,
+            right_key,
+            condition: Some(Box::new(condition)),
+        }
+    }
+
+    fn matches(&self, left: &[u32], right: &[u32]) -> bool {
+        let keys_equal = left.get(self.left_key) == right.get(self.right_key)
+            && left.get(self.left_key).is_some();
+        let extra = self
+            .condition
+            .as_ref()
+            .map_or(true, |c| c(left, right));
+        keys_equal && extra
+    }
+}
+
+fn join_output_arity(left: &SharedArrayPair, right: &SharedArrayPair) -> usize {
+    left.arity().unwrap_or(0) + right.arity().unwrap_or(0)
+}
+
+fn push_padded<R: Rng + ?Sized>(
+    out: &mut SharedArrayPair,
+    mut real: Vec<Vec<u32>>,
+    bound: usize,
+    arity: usize,
+    rng: &mut R,
+) {
+    real.truncate(bound);
+    let real_count = real.len();
+    for fields in real {
+        out.push(SharedRecordPair::share(&PlainRecord::real(fields), rng))
+            .expect("uniform arity");
+    }
+    for _ in real_count..bound {
+        out.push(SharedRecordPair::share(&PlainRecord::dummy(arity), rng))
+            .expect("uniform arity");
+    }
+}
+
+/// `b`-truncated oblivious sort-merge join (Example 5.1).
+///
+/// Returns an exhaustively padded array of exactly `bound * (left.len() + right.len())`
+/// records; real join tuples have `isView = 1`. Each input record (from either side)
+/// contributes at most `bound` real tuples.
+pub fn truncated_sort_merge_join<R: Rng + ?Sized>(
+    left: &SharedArrayPair,
+    right: &SharedArrayPair,
+    spec: &JoinSpec<'_>,
+    bound: usize,
+    meter: &mut CostMeter,
+    rng: &mut R,
+) -> SharedArrayPair {
+    let out_arity = join_output_arity(left, right);
+    let mut out = SharedArrayPair::with_arity(out_arity);
+    if bound == 0 {
+        return out;
+    }
+
+    // --- Step 1: union with a table tag (0 = left, 1 = right) as tie-breaker.
+    // The merged relation is padded to a uniform arity so it can be obliviously sorted.
+    let merged_arity = left.arity().unwrap_or(0).max(right.arity().unwrap_or(0)) + 2;
+    let mut merged = SharedArrayPair::with_arity(merged_arity);
+    let tag_col = merged_arity - 2;
+    let key_col = merged_arity - 1;
+    let mut append_side =
+        |side: &SharedArrayPair, tag: u32, key_idx: usize, merged: &mut SharedArrayPair| {
+            for entry in side.entries() {
+                let plain = entry.recover();
+                let mut fields = plain.fields.clone();
+                fields.resize(merged_arity - 2, 0);
+                fields.push(tag);
+                fields.push(plain.fields.get(key_idx).copied().unwrap_or(u32::MAX));
+                let rec = PlainRecord {
+                    fields,
+                    is_view: plain.is_view,
+                };
+                merged
+                    .push(SharedRecordPair::share(&rec, rng))
+                    .expect("uniform arity");
+            }
+        };
+    append_side(left, 0, spec.left_key, &mut merged);
+    append_side(right, 1, spec.right_key, &mut merged);
+    meter.bytes((merged.len() * merged_arity * 4) as u64);
+
+    // --- Step 2: oblivious sort by (join key, table tag): T1 records before T2 on ties.
+    oblivious_sort_by_key(&mut merged, SortOrder::Ascending, meter, |rec| SortKey {
+        primary: (u64::from(!rec.is_view) << 33)
+            | (u64::from(rec.fields[key_col]) << 1)
+            | u64::from(rec.fields[tag_col]),
+        tie: 0,
+    });
+
+    // --- Step 3: linear scan. After accessing each merged tuple, emit exactly `bound`
+    // output slots (real joins first, then dummies), tracking contributions. The scan
+    // cost is charged against the merged relation; the matching itself is re-derived
+    // from the original tables (identical output semantics, simpler bookkeeping than
+    // threading origins through the sorted permutation).
+    let n = merged.len();
+    meter.compares((n * bound) as u64);
+    meter.ands((n * bound) as u64);
+    meter.round();
+
+    let left_plain: Vec<PlainRecord> = left.entries().iter().map(|e| e.recover()).collect();
+    let right_plain: Vec<PlainRecord> = right.entries().iter().map(|e| e.recover()).collect();
+    let mut right_budget: Vec<usize> = vec![bound; right_plain.len()];
+
+    for lrec in &left_plain {
+        let mut produced: Vec<Vec<u32>> = Vec::new();
+        if lrec.is_view {
+            let mut left_remaining = bound;
+            for (ri, rrec) in right_plain.iter().enumerate() {
+                if left_remaining == 0 {
+                    break;
+                }
+                if rrec.is_view
+                    && right_budget[ri] > 0
+                    && spec.matches(&lrec.fields, &rrec.fields)
+                {
+                    let mut fields = lrec.fields.clone();
+                    fields.extend_from_slice(&rrec.fields);
+                    produced.push(fields);
+                    left_remaining -= 1;
+                    right_budget[ri] -= 1;
+                }
+            }
+        }
+        push_padded(&mut out, produced, bound, out_arity, rng);
+    }
+    // The right-side positions of the merged scan also emit `bound` slots each; with
+    // left-driven matching these are all dummies (every real join was already emitted
+    // at its left record), preserving the exhaustive |output| = bound·(n1+n2).
+    for _ in 0..right_plain.len() {
+        push_padded(&mut out, Vec::new(), bound, out_arity, rng);
+    }
+    out
+}
+
+/// `b`-truncated oblivious nested-loop join (Algorithm 4).
+///
+/// Output is exhaustively padded to `bound * outer.len()` records. Both the outer and
+/// the inner tuple consume one unit of contribution budget per emitted join tuple;
+/// once a tuple's budget is exhausted, further joins with it are discarded.
+pub fn truncated_nested_loop_join<R: Rng + ?Sized>(
+    outer: &SharedArrayPair,
+    inner: &SharedArrayPair,
+    spec: &JoinSpec<'_>,
+    bound: usize,
+    meter: &mut CostMeter,
+    rng: &mut R,
+) -> SharedArrayPair {
+    let out_arity = join_output_arity(outer, inner);
+    let mut out = SharedArrayPair::with_arity(out_arity);
+    if bound == 0 {
+        return out;
+    }
+    let outer_plain: Vec<PlainRecord> = outer.entries().iter().map(|e| e.recover()).collect();
+    let inner_plain: Vec<PlainRecord> = inner.entries().iter().map(|e| e.recover()).collect();
+
+    // Algorithm 4 line 1: assign a contribution budget to every tuple of both tables.
+    let mut inner_budget: Vec<usize> = vec![bound; inner_plain.len()];
+
+    // Cost accounting: |outer|·|inner| secure comparisons and budget checks, plus an
+    // oblivious sort of each per-outer buffer of |inner| slots, plus the output write.
+    let n_outer = outer_plain.len() as u64;
+    let n_inner = inner_plain.len() as u64;
+    meter.compares(n_outer * n_inner);
+    meter.ands(2 * n_outer * n_inner);
+    let per_buffer_pairs = batcher_pairs(inner_plain.len()).len() as u64;
+    meter.compares(n_outer * per_buffer_pairs);
+    meter.swaps(n_outer * per_buffer_pairs, out_arity as u64 + 1);
+    meter.bytes(n_outer * (bound as u64) * (out_arity as u64 + 1) * 4);
+    meter.round();
+
+    for orec in &outer_plain {
+        let mut produced: Vec<Vec<u32>> = Vec::new();
+        let mut outer_budget = bound;
+        for (ii, irec) in inner_plain.iter().enumerate() {
+            let can_join = outer_budget > 0 && inner_budget[ii] > 0;
+            let is_match =
+                orec.is_view && irec.is_view && spec.matches(&orec.fields, &irec.fields);
+            if can_join && is_match {
+                let mut fields = orec.fields.clone();
+                fields.extend_from_slice(&irec.fields);
+                produced.push(fields);
+                outer_budget -= 1;
+                inner_budget[ii] -= 1;
+            }
+        }
+        push_padded(&mut out, produced, bound, out_arity, rng);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::PlainTable;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sales_table() -> PlainTable {
+        let mut t = PlainTable::new(&["pid", "sale_date"]);
+        t.push_row(vec![1, 10]);
+        t.push_row(vec![2, 12]);
+        t.push_row(vec![3, 15]);
+        t
+    }
+
+    fn returns_table() -> PlainTable {
+        let mut t = PlainTable::new(&["pid", "return_date"]);
+        t.push_row(vec![1, 15]); // within 10 days
+        t.push_row(vec![2, 40]); // too late
+        t.push_row(vec![3, 20]); // within 10 days
+        t.push_row(vec![3, 21]); // second return of pid 3
+        t
+    }
+
+    fn real_rows(arr: &SharedArrayPair) -> Vec<Vec<u32>> {
+        arr.recover_all()
+            .into_iter()
+            .filter(|r| r.is_view)
+            .map(|r| r.fields)
+            .collect()
+    }
+
+    #[test]
+    fn nested_loop_equi_join_with_condition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut meter = CostMeter::new();
+        let sales = sales_table().share(&mut rng);
+        let returns = returns_table().share(&mut rng);
+        // Q1 shape: join on pid where return_date - sale_date <= 10.
+        let spec = JoinSpec::with_condition(0, 0, |l, r| r[1].saturating_sub(l[1]) <= 10);
+        let out = truncated_nested_loop_join(&sales, &returns, &spec, 2, &mut meter, &mut rng);
+
+        assert_eq!(out.len(), 2 * sales.len());
+        let rows = real_rows(&out);
+        // pid 1 (one match), pid 2 (no match within 10 days), pid 3 (two matches).
+        assert_eq!(rows.len(), 3);
+        assert!(rows.contains(&vec![1, 10, 1, 15]));
+        assert!(rows.contains(&vec![3, 15, 3, 20]));
+        assert!(rows.contains(&vec![3, 15, 3, 21]));
+        assert!(meter.report().secure_compares > 0);
+    }
+
+    #[test]
+    fn nested_loop_truncation_bound_limits_contribution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut meter = CostMeter::new();
+        let sales = sales_table().share(&mut rng);
+        let returns = returns_table().share(&mut rng);
+        let spec = JoinSpec::equi(0, 0);
+        // bound = 1: pid 3 may only contribute one of its two matching returns.
+        let out = truncated_nested_loop_join(&sales, &returns, &spec, 1, &mut meter, &mut rng);
+        assert_eq!(out.len(), sales.len());
+        let rows = real_rows(&out);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.iter().filter(|r| r[0] == 3).count(), 1);
+    }
+
+    #[test]
+    fn nested_loop_inner_budget_is_shared_across_outer_tuples() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut meter = CostMeter::new();
+        // Two outer tuples with the same key joining one inner tuple; with bound 1 the
+        // inner tuple's budget is exhausted after the first join.
+        let mut outer = PlainTable::new(&["k"]);
+        outer.push_row(vec![7]);
+        outer.push_row(vec![7]);
+        let mut inner = PlainTable::new(&["k"]);
+        inner.push_row(vec![7]);
+        let spec = JoinSpec::equi(0, 0);
+        let out = truncated_nested_loop_join(
+            &outer.share(&mut rng),
+            &inner.share(&mut rng),
+            &spec,
+            1,
+            &mut meter,
+            &mut rng,
+        );
+        assert_eq!(real_rows(&out).len(), 1);
+    }
+
+    #[test]
+    fn nested_loop_zero_bound_and_empty_inputs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut meter = CostMeter::new();
+        let sales = sales_table().share(&mut rng);
+        let returns = returns_table().share(&mut rng);
+        let spec = JoinSpec::equi(0, 0);
+        let out = truncated_nested_loop_join(&sales, &returns, &spec, 0, &mut meter, &mut rng);
+        assert!(out.is_empty());
+
+        let empty = SharedArrayPair::new();
+        let out = truncated_nested_loop_join(&empty, &returns, &spec, 3, &mut meter, &mut rng);
+        assert!(out.is_empty());
+        let out = truncated_nested_loop_join(&sales, &empty, &spec, 3, &mut meter, &mut rng);
+        assert_eq!(out.len(), 3 * sales.len());
+        assert_eq!(out.true_cardinality(), 0);
+    }
+
+    #[test]
+    fn nested_loop_dummy_inputs_never_join() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut meter = CostMeter::new();
+        let sales = sales_table().share_padded(6, &mut rng);
+        let returns = returns_table().share_padded(8, &mut rng);
+        let spec = JoinSpec::equi(0, 0);
+        let out = truncated_nested_loop_join(&sales, &returns, &spec, 2, &mut meter, &mut rng);
+        assert_eq!(out.len(), 2 * 6);
+        // Dummy sales rows contribute no real join tuples even though dummy field
+        // values might coincide.
+        let expected: usize = 4; // pid1x1, pid2x1, pid3x2
+        assert_eq!(out.true_cardinality(), expected);
+    }
+
+    #[test]
+    fn sort_merge_join_matches_nested_loop_semantics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut meter = CostMeter::new();
+        let sales = sales_table().share(&mut rng);
+        let returns = returns_table().share(&mut rng);
+        let spec = JoinSpec::with_condition(0, 0, |l, r| r[1].saturating_sub(l[1]) <= 10);
+        let smj = truncated_sort_merge_join(&sales, &returns, &spec, 2, &mut meter, &mut rng);
+        assert_eq!(smj.len(), 2 * (sales.len() + returns.len()));
+
+        let spec2 = JoinSpec::with_condition(0, 0, |l, r| r[1].saturating_sub(l[1]) <= 10);
+        let nlj = truncated_nested_loop_join(&sales, &returns, &spec2, 2, &mut meter, &mut rng);
+
+        let mut a = real_rows(&smj);
+        let mut b = real_rows(&nlj);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sort_merge_join_output_size_is_data_independent() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = JoinSpec::equi(0, 0);
+
+        let mut m1 = CostMeter::new();
+        let out1 = truncated_sort_merge_join(
+            &sales_table().share(&mut rng),
+            &returns_table().share(&mut rng),
+            &spec,
+            3,
+            &mut m1,
+            &mut rng,
+        );
+
+        // Same sizes, totally different content: no matches at all.
+        let mut t1 = PlainTable::new(&["pid", "sale_date"]);
+        t1.push_row(vec![100, 1]);
+        t1.push_row(vec![200, 2]);
+        t1.push_row(vec![300, 3]);
+        let mut t2 = PlainTable::new(&["pid", "return_date"]);
+        for i in 0..4 {
+            t2.push_row(vec![900 + i, 5]);
+        }
+        let mut m2 = CostMeter::new();
+        let out2 = truncated_sort_merge_join(
+            &t1.share(&mut rng),
+            &t2.share(&mut rng),
+            &spec,
+            3,
+            &mut m2,
+            &mut rng,
+        );
+
+        assert_eq!(out1.len(), out2.len());
+        assert_eq!(m1.report(), m2.report());
+        assert_eq!(out2.true_cardinality(), 0);
+    }
+
+    #[test]
+    fn join_spec_missing_key_column_never_matches() {
+        let spec = JoinSpec::equi(5, 0);
+        assert!(!spec.matches(&[1, 2], &[1, 2]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_truncation_bound_enforced(
+            keys_left in proptest::collection::vec(0u32..5, 1..8),
+            keys_right in proptest::collection::vec(0u32..5, 1..12),
+            bound in 1usize..4,
+            seed: u64,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut meter = CostMeter::new();
+            let mut lt = PlainTable::new(&["k"]);
+            for k in &keys_left { lt.push_row(vec![*k]); }
+            let mut rt = PlainTable::new(&["k"]);
+            for k in &keys_right { rt.push_row(vec![*k]); }
+            let spec = JoinSpec::equi(0, 0);
+            let out = truncated_nested_loop_join(
+                &lt.share(&mut rng), &rt.share(&mut rng), &spec, bound, &mut meter, &mut rng);
+
+            // Exhaustive padding: output size depends only on |outer| and bound.
+            prop_assert_eq!(out.len(), bound * keys_left.len());
+
+            // Eq. 3: every outer record contributes at most `bound` rows, and the
+            // number of real tuples never exceeds min-side availability per key.
+            let rows = real_rows(&out);
+            for (i, _) in keys_left.iter().enumerate() {
+                // Each outer tuple occupies a contiguous block of `bound` slots.
+                let block = &out.recover_all()[i * bound..(i + 1) * bound];
+                prop_assert!(block.iter().filter(|r| r.is_view).count() <= bound);
+            }
+            prop_assert!(rows.len() <= bound * keys_left.len());
+            prop_assert!(rows.len() <= bound * keys_right.len());
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Oblivious operators over secret-shared arrays.
+//!
+//! These are the MPC building blocks IncShrink's Transform and Shrink protocols are
+//! compiled from (Section 5 and Appendix A.1 of the paper):
+//!
+//! * [`sort`] — Batcher odd-even merge sorting networks; data-independent comparison
+//!   sequence, so the access pattern leaks nothing about the data.
+//! * [`filter`] — oblivious selection: every input row is emitted, only the hidden
+//!   `isView` bit distinguishes matches from dummies (Appendix A.1.1).
+//! * [`join`] — `b`-truncated oblivious sort-merge join (Example 5.1) and
+//!   `b`-truncated oblivious nested-loop join (Algorithm 4).
+//! * [`compact`] — the cache-read primitive of Figure 3: sort by `isView` so real
+//!   tuples precede dummies, then cut a prefix of a given (DP-noised) size.
+//!
+//! Every operator takes a [`incshrink_mpc::cost::CostMeter`] and records the secure
+//! comparisons, oblivious swaps and AND gates it would cost inside a garbled-circuit
+//! 2PC execution.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod compact;
+pub mod filter;
+pub mod join;
+pub mod sort;
+pub mod table;
+
+pub use aggregate::{oblivious_count, oblivious_group_count, oblivious_sum};
+pub use compact::{cache_read, oblivious_compact};
+pub use filter::{oblivious_filter, Predicate};
+pub use join::{truncated_nested_loop_join, truncated_sort_merge_join, JoinSpec};
+pub use sort::{oblivious_sort_by_field, oblivious_sort_by_is_view, SortOrder};
+pub use table::PlainTable;

@@ -1,0 +1,287 @@
+//! Oblivious sorting via Batcher's odd-even merge sorting network.
+//!
+//! The comparison/swap schedule of a sorting network depends only on the input
+//! *length*, never on the data, which is what makes it oblivious: executed inside a
+//! 2PC, the servers learn nothing beyond the (public) array size. The paper uses
+//! Batcher networks for both the truncated sort-merge join (Example 5.1) and the cache
+//! read of the Shrink protocols (Figure 3, `ObliSort(σ, key = isView)`).
+//!
+//! The network is generated for arbitrary lengths by conceptually padding to the next
+//! power of two with `+∞` keys at the tail and dropping comparators that touch the
+//! padding — a standard, correctness-preserving specialisation of Batcher's
+//! construction.
+
+use incshrink_mpc::cost::CostMeter;
+use incshrink_secretshare::arrays::SharedArrayPair;
+use serde::{Deserialize, Serialize};
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SortOrder {
+    /// Smallest key first.
+    Ascending,
+    /// Largest key first.
+    Descending,
+}
+
+/// A key extracted from a record for comparison purposes.
+///
+/// Keys are compared lexicographically: primary value first, then the tie-breaker.
+/// The tie-breaker implements the paper's "T1 records are ordered before T2 records"
+/// rule in the sort-merge join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct SortKey {
+    pub primary: u64,
+    pub tie: u64,
+}
+
+/// Enumerate the compare-exchange pairs of Batcher's odd-even merge sort for `n`
+/// elements (indices `i < j`), in execution order. Exposed so cost estimators can
+/// price sorting networks they never physically execute.
+pub fn batcher_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    if n < 2 {
+        return pairs;
+    }
+    let mut p = 1usize;
+    let padded = n.next_power_of_two();
+    while p < padded {
+        let mut k = p;
+        while k >= 1 {
+            let mut j = k % p;
+            while j + k < padded {
+                for i in 0..k.min(padded - j - k) {
+                    let lo = i + j;
+                    let hi = i + j + k;
+                    if (lo / (p * 2)) == (hi / (p * 2)) && hi < n {
+                        pairs.push((lo, hi));
+                    }
+                }
+                j += 2 * k;
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+    pairs
+}
+
+/// Oblivious sort of `array` by the key produced from each record by `key_fn`.
+///
+/// `key_fn` receives the record index and the recovered record fields (reconstruction
+/// happens *inside* the simulated MPC, mirroring how a garbled-circuit comparator sees
+/// the joint value without either party learning it). Costs one secure comparison and
+/// one record-wide oblivious swap per network comparator.
+pub(crate) fn oblivious_sort_by_key<F>(
+    array: &mut SharedArrayPair,
+    order: SortOrder,
+    meter: &mut CostMeter,
+    key_fn: F,
+) where
+    F: Fn(&incshrink_secretshare::tuple::PlainRecord) -> SortKey,
+{
+    let n = array.len();
+    if n < 2 {
+        return;
+    }
+    let width = array.arity().unwrap_or(1) as u64 + 1;
+    let pairs = batcher_pairs(n);
+    meter.compares(pairs.len() as u64);
+    meter.swaps(pairs.len() as u64, width);
+    meter.round();
+
+    let entries = array.entries_mut();
+    for (lo, hi) in pairs {
+        let key_lo = key_fn(&entries[lo].recover());
+        let key_hi = key_fn(&entries[hi].recover());
+        let out_of_order = match order {
+            SortOrder::Ascending => key_lo > key_hi,
+            SortOrder::Descending => key_lo < key_hi,
+        };
+        if out_of_order {
+            entries.swap(lo, hi);
+        }
+    }
+}
+
+/// Oblivious sort by a single attribute column (ascending or descending). Dummy
+/// records (`isView = 0`) are ordered after real records for ascending sorts and are
+/// given the maximum key, so they collect at the tail.
+pub fn oblivious_sort_by_field(
+    array: &mut SharedArrayPair,
+    field: usize,
+    order: SortOrder,
+    meter: &mut CostMeter,
+) {
+    oblivious_sort_by_key(array, order, meter, |rec| {
+        let dummy_rank = u64::from(!rec.is_view);
+        let value = rec.fields.get(field).copied().unwrap_or(u32::MAX);
+        SortKey {
+            primary: match order {
+                // Dummies always sink to the tail regardless of direction.
+                SortOrder::Ascending => (dummy_rank << 32) | u64::from(value),
+                SortOrder::Descending => {
+                    if rec.is_view {
+                        u64::from(value)
+                    } else {
+                        0
+                    }
+                }
+            },
+            tie: 0,
+        }
+    });
+}
+
+/// Oblivious sort by the `isView` bit so that all real tuples precede all dummies —
+/// the first step of the Shrink cache read (`ObliSort(σ, key = isView)`).
+pub fn oblivious_sort_by_is_view(array: &mut SharedArrayPair, meter: &mut CostMeter) {
+    oblivious_sort_by_key(array, SortOrder::Ascending, meter, |rec| SortKey {
+        primary: u64::from(!rec.is_view),
+        tie: 0,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incshrink_secretshare::tuple::PlainRecord;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn share_values(values: &[u32], dummies: usize) -> SharedArrayPair {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut records: Vec<PlainRecord> =
+            values.iter().map(|&v| PlainRecord::real(vec![v])).collect();
+        records.extend((0..dummies).map(|_| PlainRecord::dummy(1)));
+        SharedArrayPair::share_records(&records, &mut rng)
+    }
+
+    #[test]
+    fn batcher_pairs_sort_arbitrary_lengths() {
+        for n in 0..33usize {
+            let pairs = batcher_pairs(n);
+            // Apply the network to a worst-case (reverse sorted) plain array.
+            let mut data: Vec<usize> = (0..n).rev().collect();
+            for (lo, hi) in &pairs {
+                assert!(lo < hi && *hi < n);
+                if data[*lo] > data[*hi] {
+                    data.swap(*lo, *hi);
+                }
+            }
+            let expect: Vec<usize> = (0..n).collect();
+            assert_eq!(data, expect, "network failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn sort_by_field_ascending_and_descending() {
+        let mut meter = CostMeter::new();
+        let mut arr = share_values(&[5, 1, 9, 3, 7], 0);
+        oblivious_sort_by_field(&mut arr, 0, SortOrder::Ascending, &mut meter);
+        let keys: Vec<u32> = arr.recover_all().iter().map(|r| r.fields[0]).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+
+        let mut arr = share_values(&[5, 1, 9, 3, 7], 0);
+        oblivious_sort_by_field(&mut arr, 0, SortOrder::Descending, &mut meter);
+        let keys: Vec<u32> = arr.recover_all().iter().map(|r| r.fields[0]).collect();
+        assert_eq!(keys, vec![9, 7, 5, 3, 1]);
+        assert!(meter.report().secure_compares > 0);
+        assert!(meter.report().secure_swaps > 0);
+    }
+
+    #[test]
+    fn dummies_sink_to_tail_in_both_directions() {
+        for order in [SortOrder::Ascending, SortOrder::Descending] {
+            let mut meter = CostMeter::new();
+            let mut arr = share_values(&[4, 2, 8], 3);
+            oblivious_sort_by_field(&mut arr, 0, order, &mut meter);
+            let plain = arr.recover_all();
+            assert!(plain[..3].iter().all(|r| r.is_view));
+            assert!(plain[3..].iter().all(|r| !r.is_view));
+        }
+    }
+
+    #[test]
+    fn sort_by_is_view_moves_real_tuples_first() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Interleave dummies and real records.
+        let mut records = Vec::new();
+        for i in 0..10u32 {
+            if i % 2 == 0 {
+                records.push(PlainRecord::dummy(2));
+            } else {
+                records.push(PlainRecord::real(vec![i, i * 10]));
+            }
+        }
+        let mut arr = SharedArrayPair::share_records(&records, &mut rng);
+        let mut meter = CostMeter::new();
+        oblivious_sort_by_is_view(&mut arr, &mut meter);
+        let plain = arr.recover_all();
+        assert!(plain[..5].iter().all(|r| r.is_view));
+        assert!(plain[5..].iter().all(|r| !r.is_view));
+    }
+
+    #[test]
+    fn cost_depends_only_on_length() {
+        // Two arrays of equal length but very different contents must cost the same.
+        let mut m1 = CostMeter::new();
+        let mut a1 = share_values(&[1, 2, 3, 4, 5, 6, 7, 8], 0);
+        oblivious_sort_by_field(&mut a1, 0, SortOrder::Ascending, &mut m1);
+
+        let mut m2 = CostMeter::new();
+        let mut a2 = share_values(&[8, 8, 8, 8, 1, 1, 1, 1], 0);
+        oblivious_sort_by_field(&mut a2, 0, SortOrder::Ascending, &mut m2);
+
+        assert_eq!(m1.report(), m2.report());
+    }
+
+    #[test]
+    fn empty_and_singleton_are_noops() {
+        let mut meter = CostMeter::new();
+        let mut empty = share_values(&[], 0);
+        oblivious_sort_by_field(&mut empty, 0, SortOrder::Ascending, &mut meter);
+        assert!(meter.report().is_empty());
+
+        let mut single = share_values(&[9], 0);
+        oblivious_sort_by_field(&mut single, 0, SortOrder::Ascending, &mut meter);
+        assert!(meter.report().is_empty());
+        assert_eq!(single.recover_all()[0].fields[0], 9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sort_matches_std_sort(values in proptest::collection::vec(any::<u32>(), 0..64)) {
+            let mut meter = CostMeter::new();
+            let mut arr = share_values(&values, 0);
+            oblivious_sort_by_field(&mut arr, 0, SortOrder::Ascending, &mut meter);
+            let got: Vec<u32> = arr.recover_all().iter().map(|r| r.fields[0]).collect();
+            let mut expect = values.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn prop_network_size_is_data_independent(
+            a in proptest::collection::vec(any::<u32>(), 2..40),
+            seed: u64,
+        ) {
+            let mut shuffled = a.clone();
+            // Deterministic permutation based on seed.
+            let mut rng = StdRng::seed_from_u64(seed);
+            use rand::seq::SliceRandom;
+            shuffled.shuffle(&mut rng);
+
+            let mut m1 = CostMeter::new();
+            let mut arr1 = share_values(&a, 0);
+            oblivious_sort_by_field(&mut arr1, 0, SortOrder::Ascending, &mut m1);
+
+            let mut m2 = CostMeter::new();
+            let mut arr2 = share_values(&shuffled, 0);
+            oblivious_sort_by_field(&mut arr2, 0, SortOrder::Ascending, &mut m2);
+
+            prop_assert_eq!(m1.report(), m2.report());
+        }
+    }
+}

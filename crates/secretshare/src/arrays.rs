@@ -1,0 +1,263 @@
+//! Secret-shared arrays (secure memory blocks).
+//!
+//! The secure outsourced cache `σ[1, 2, 3, ...]` and the materialized view `V` are
+//! secret-shared memory blocks split across the two servers (Section 2.2). This module
+//! provides both the per-party view ([`SharedArray`]) and the two-sided container
+//! ([`SharedArrayPair`]) that protocol simulations operate on.
+
+use crate::tuple::{PlainRecord, SharedRecord, SharedRecordPair};
+use crate::value::PartyId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One party's view of a secret-shared array of records.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedArray {
+    /// The record shares, in position order.
+    pub records: Vec<SharedRecord>,
+}
+
+impl SharedArray {
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the array holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total size in bytes of this party's shares (communication accounting).
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.records.iter().map(SharedRecord::byte_len).sum()
+    }
+}
+
+/// Both parties' shares of an array of records.
+///
+/// Invariant: every entry has the same arity (enforced at append time).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedArrayPair {
+    entries: Vec<SharedRecordPair>,
+    arity: Option<usize>,
+}
+
+impl SharedArrayPair {
+    /// Empty array.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty array that will only accept records of the given arity.
+    #[must_use]
+    pub fn with_arity(arity: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            arity: Some(arity),
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The record arity, if any record has been appended (or fixed at construction).
+    #[must_use]
+    pub fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+
+    /// Append one shared record.
+    ///
+    /// # Errors
+    /// Returns [`crate::ShareError::ShapeMismatch`] when the record's arity differs from
+    /// the array's arity.
+    pub fn push(&mut self, record: SharedRecordPair) -> crate::Result<()> {
+        match self.arity {
+            None => self.arity = Some(record.arity()),
+            Some(a) if a != record.arity() => {
+                return Err(crate::ShareError::ShapeMismatch {
+                    detail: format!("array arity {a}, record arity {}", record.arity()),
+                })
+            }
+            _ => {}
+        }
+        self.entries.push(record);
+        Ok(())
+    }
+
+    /// Append all records of another array (the `σ ← σ || ΔV` step of Algorithm 1).
+    ///
+    /// # Errors
+    /// Propagates arity mismatches.
+    pub fn extend(&mut self, other: SharedArrayPair) -> crate::Result<()> {
+        for rec in other.entries {
+            self.push(rec)?;
+        }
+        Ok(())
+    }
+
+    /// Share a slice of plaintext records into a new array.
+    pub fn share_records<R: Rng + ?Sized>(records: &[PlainRecord], rng: &mut R) -> Self {
+        let mut out = Self::new();
+        for r in records {
+            out.push(SharedRecordPair::share(r, rng))
+                .expect("records of uniform arity");
+        }
+        out
+    }
+
+    /// Recover every entry to plaintext (test / in-protocol use only).
+    #[must_use]
+    pub fn recover_all(&self) -> Vec<PlainRecord> {
+        self.entries.iter().map(SharedRecordPair::recover).collect()
+    }
+
+    /// The array view held by one party.
+    #[must_use]
+    pub fn for_party(&self, party: PartyId) -> SharedArray {
+        SharedArray {
+            records: self.entries.iter().map(|e| e.for_party(party)).collect(),
+        }
+    }
+
+    /// Access to the underlying entries.
+    #[must_use]
+    pub fn entries(&self) -> &[SharedRecordPair] {
+        &self.entries
+    }
+
+    /// Mutable access to the underlying entries (used by oblivious in-place operators).
+    pub fn entries_mut(&mut self) -> &mut [SharedRecordPair] {
+        &mut self.entries
+    }
+
+    /// Split off the first `n` entries (cache read / cut-off step of Shrink). If `n`
+    /// exceeds the length, the whole array is taken.
+    pub fn split_front(&mut self, n: usize) -> SharedArrayPair {
+        let n = n.min(self.entries.len());
+        let rest = self.entries.split_off(n);
+        let front = std::mem::replace(&mut self.entries, rest);
+        SharedArrayPair {
+            entries: front,
+            arity: self.arity,
+        }
+    }
+
+    /// Drop every entry (cache recycle step of the flush mechanism).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Count entries whose recovered `isView` bit is set. Only protocol-internal code
+    /// (and tests) may call this: it reconstructs the flag.
+    #[must_use]
+    pub fn true_cardinality(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.is_view.recover() != 0)
+            .count()
+    }
+}
+
+impl FromIterator<SharedRecordPair> for SharedArrayPair {
+    fn from_iter<T: IntoIterator<Item = SharedRecordPair>>(iter: T) -> Self {
+        let mut out = Self::new();
+        for rec in iter {
+            out.push(rec).expect("records of uniform arity");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_array(n_real: usize, n_dummy: usize, arity: usize) -> SharedArrayPair {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut records: Vec<PlainRecord> = (0..n_real)
+            .map(|i| PlainRecord::real(vec![i as u32; arity]))
+            .collect();
+        records.extend((0..n_dummy).map(|_| PlainRecord::dummy(arity)));
+        SharedArrayPair::share_records(&records, &mut rng)
+    }
+
+    #[test]
+    fn push_and_recover() {
+        let arr = sample_array(3, 2, 4);
+        assert_eq!(arr.len(), 5);
+        assert_eq!(arr.arity(), Some(4));
+        assert_eq!(arr.true_cardinality(), 3);
+        let plain = arr.recover_all();
+        assert_eq!(plain.iter().filter(|r| r.is_view).count(), 3);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut arr = SharedArrayPair::with_arity(2);
+        let bad = SharedRecordPair::share(&PlainRecord::real(vec![1, 2, 3]), &mut rng);
+        assert!(arr.push(bad).is_err());
+        let ok = SharedRecordPair::share(&PlainRecord::real(vec![1, 2]), &mut rng);
+        assert!(arr.push(ok).is_ok());
+    }
+
+    #[test]
+    fn split_front_and_clear() {
+        let mut arr = sample_array(4, 4, 2);
+        let front = arr.split_front(3);
+        assert_eq!(front.len(), 3);
+        assert_eq!(arr.len(), 5);
+        let all = arr.split_front(100);
+        assert_eq!(all.len(), 5);
+        assert!(arr.is_empty());
+
+        let mut arr2 = sample_array(2, 2, 2);
+        arr2.clear();
+        assert!(arr2.is_empty());
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = sample_array(2, 0, 3);
+        let b = sample_array(0, 4, 3);
+        a.extend(b).unwrap();
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.true_cardinality(), 2);
+    }
+
+    #[test]
+    fn per_party_view_sizes_match() {
+        let arr = sample_array(5, 5, 3);
+        let v0 = arr.for_party(PartyId::S0);
+        let v1 = arr.for_party(PartyId::S1);
+        assert_eq!(v0.len(), v1.len());
+        assert_eq!(v0.byte_len(), v1.byte_len());
+        assert!(!v0.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let arr: SharedArrayPair = (0..4)
+            .map(|i| SharedRecordPair::share(&PlainRecord::real(vec![i]), &mut rng))
+            .collect();
+        assert_eq!(arr.len(), 4);
+    }
+}

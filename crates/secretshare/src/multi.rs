@@ -1,0 +1,168 @@
+//! k-out-of-k XOR secret sharing (Appendix A.2 / Section 8 "Expanding to multiple
+//! servers").
+//!
+//! The prototype framework runs with two servers, but the paper sketches an N-server
+//! extension where owners share data with an (N, N) scheme and every outsourced object
+//! is stored in N pieces. This module provides that generalisation so the storage layer
+//! can be parameterised by the number of servers.
+
+use crate::{Result, ShareError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A k-out-of-k sharing of a 32-bit word: all `k` shares XOR to the secret.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiShares {
+    shares: Vec<u32>,
+}
+
+impl MultiShares {
+    /// The individual share words.
+    #[must_use]
+    pub fn shares(&self) -> &[u32] {
+        &self.shares
+    }
+
+    /// Number of parties.
+    #[must_use]
+    pub fn party_count(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Recover the secret by XOR-ing all shares.
+    #[must_use]
+    pub fn recover(&self) -> u32 {
+        self.shares.iter().fold(0, |acc, &s| acc ^ s)
+    }
+}
+
+/// Share `x` among `parties` servers with a k-out-of-k XOR scheme.
+///
+/// # Errors
+/// Returns [`ShareError::InvalidPartyCount`] when `parties < 2`.
+pub fn share_multi<R: Rng + ?Sized>(x: u32, parties: usize, rng: &mut R) -> Result<MultiShares> {
+    if parties < 2 {
+        return Err(ShareError::InvalidPartyCount { requested: parties });
+    }
+    let mut shares: Vec<u32> = (0..parties - 1).map(|_| rng.gen()).collect();
+    let mask = shares.iter().fold(0u32, |acc, &s| acc ^ s);
+    shares.push(x ^ mask);
+    Ok(MultiShares { shares })
+}
+
+/// Recover a secret from a full set of k-out-of-k shares.
+///
+/// # Errors
+/// Returns [`ShareError::InvalidPartyCount`] when fewer than 2 shares are supplied.
+pub fn recover_multi(shares: &[u32]) -> Result<u32> {
+    if shares.len() < 2 {
+        return Err(ShareError::InvalidPartyCount {
+            requested: shares.len(),
+        });
+    }
+    Ok(shares.iter().fold(0, |acc, &s| acc ^ s))
+}
+
+/// Generate a k-out-of-k sharing *inside* an MPC protocol following Appendix A.2:
+/// each party `i` contributes `k-1` uniformly random words; the protocol XOR-combines
+/// the j-th contribution of every party into `z_j`, sets the first `k-1` output shares
+/// to `z_1..z_{k-1}`, and the last share to `c ⊕ z_1 ⊕ ... ⊕ z_{k-1}`.
+///
+/// `contributions[i]` is party `i`'s vector of `k-1` random words.
+///
+/// # Errors
+/// Returns [`ShareError::InvalidPartyCount`] for fewer than 2 parties and
+/// [`ShareError::ShapeMismatch`] when any party supplied the wrong number of words.
+pub fn reshare_inside_mpc(value: u32, contributions: &[Vec<u32>]) -> Result<MultiShares> {
+    let k = contributions.len();
+    if k < 2 {
+        return Err(ShareError::InvalidPartyCount { requested: k });
+    }
+    for (i, c) in contributions.iter().enumerate() {
+        if c.len() != k - 1 {
+            return Err(ShareError::ShapeMismatch {
+                detail: format!("party {i} contributed {} words, expected {}", c.len(), k - 1),
+            });
+        }
+    }
+    let mut shares = Vec::with_capacity(k);
+    let mut running_mask = 0u32;
+    for j in 0..k - 1 {
+        let z_j = contributions.iter().fold(0u32, |acc, c| acc ^ c[j]);
+        running_mask ^= z_j;
+        shares.push(z_j);
+    }
+    shares.push(value ^ running_mask);
+    Ok(MultiShares { shares })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_fewer_than_two_parties() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(share_multi(5, 0, &mut rng).is_err());
+        assert!(share_multi(5, 1, &mut rng).is_err());
+        assert!(recover_multi(&[7]).is_err());
+    }
+
+    #[test]
+    fn two_party_multi_matches_pair_semantics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let shares = share_multi(0xABCD, 2, &mut rng).unwrap();
+        assert_eq!(shares.party_count(), 2);
+        assert_eq!(shares.recover(), 0xABCD);
+        assert_eq!(recover_multi(shares.shares()).unwrap(), 0xABCD);
+    }
+
+    #[test]
+    fn reshare_inside_mpc_valid_and_invalid_shapes() {
+        // 3 parties, each contributing 2 random words.
+        let contributions = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        let shares = reshare_inside_mpc(123, &contributions).unwrap();
+        assert_eq!(shares.party_count(), 3);
+        assert_eq!(shares.recover(), 123);
+
+        let bad = vec![vec![1], vec![3, 4], vec![5, 6]];
+        assert!(reshare_inside_mpc(123, &bad).is_err());
+        assert!(reshare_inside_mpc(123, &[vec![]]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_multi_roundtrip(x: u32, parties in 2usize..8, seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let shares = share_multi(x, parties, &mut rng).unwrap();
+            prop_assert_eq!(shares.party_count(), parties);
+            prop_assert_eq!(shares.recover(), x);
+        }
+
+        #[test]
+        fn prop_any_proper_subset_is_uniform_masked(x: u32, y: u32, seed: u64,
+                                                    parties in 2usize..6) {
+            // Fixing the RNG, the first parties-1 shares are identical whichever
+            // secret is shared: only the final share depends on the secret, so any
+            // proper subset excluding it is independent of the secret.
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let sa = share_multi(x, parties, &mut rng_a).unwrap();
+            let sb = share_multi(y, parties, &mut rng_b).unwrap();
+            prop_assert_eq!(&sa.shares()[..parties - 1], &sb.shares()[..parties - 1]);
+        }
+
+        #[test]
+        fn prop_reshare_inside_mpc_roundtrip(value: u32, seed: u64, parties in 2usize..6) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let contributions: Vec<Vec<u32>> = (0..parties)
+                .map(|_| (0..parties - 1).map(|_| rng.gen()).collect())
+                .collect();
+            let shares = reshare_inside_mpc(value, &contributions).unwrap();
+            prop_assert_eq!(shares.recover(), value);
+        }
+    }
+}

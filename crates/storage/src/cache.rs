@@ -1,0 +1,169 @@
+//! The secure outsourced cache `σ`.
+//!
+//! A secret-shared memory block holding newly generated (exhaustively padded) view
+//! entries awaiting synchronization into the materialized view (Section 2.2). The
+//! cache supports the three operations the view-update protocol needs: *write*
+//! (append a padded ΔV), *read* (oblivious sort by `isView` + prefix cut of a DP-sized
+//! number of entries), and *flush* (fixed-size prefix cut followed by recycling the
+//! remainder).
+
+use incshrink_mpc::cost::CostMeter;
+use incshrink_oblivious::compact::cache_read;
+use incshrink_secretshare::arrays::SharedArrayPair;
+use serde::{Deserialize, Serialize};
+
+/// Statistics about cache activity, for experiment reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total padded entries ever written.
+    pub written: u64,
+    /// Total entries fetched by reads (DP-sized synchronizations).
+    pub read: u64,
+    /// Total entries fetched by flushes.
+    pub flushed: u64,
+    /// Total entries recycled (discarded) by flushes.
+    pub recycled: u64,
+    /// Number of flush operations performed.
+    pub flush_count: u64,
+}
+
+/// The secure outsourced cache.
+#[derive(Debug, Clone, Default)]
+pub struct SecureCache {
+    entries: SharedArrayPair,
+    stats: CacheStats,
+}
+
+impl SecureCache {
+    /// Empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current (padded) length of the cache.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of real view entries currently cached. Protocol-internal / test use
+    /// only: reconstructs the hidden flags.
+    #[must_use]
+    pub fn true_cardinality(&self) -> usize {
+        self.entries.true_cardinality()
+    }
+
+    /// Activity statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Append a padded ΔV produced by Transform (`σ ← σ || ΔV`, Algorithm 1 line 7).
+    pub fn write(&mut self, delta: SharedArrayPair) {
+        self.stats.written += delta.len() as u64;
+        self.entries
+            .extend(delta)
+            .expect("view entries share one arity");
+    }
+
+    /// The Shrink cache read: obliviously sort by `isView` and cut the first
+    /// `read_size` entries (Figure 3). Returns the fetched entries.
+    pub fn read(&mut self, read_size: usize, meter: &mut CostMeter) -> SharedArrayPair {
+        let fetched = cache_read(&mut self.entries, read_size, meter);
+        self.stats.read += fetched.len() as u64;
+        fetched
+    }
+
+    /// The independent flush mechanism (Section 5.2.1): sort, cut a fixed `flush_size`
+    /// prefix to be synchronized immediately, and recycle (drop) the remainder.
+    /// Returns the fetched prefix.
+    pub fn flush(&mut self, flush_size: usize, meter: &mut CostMeter) -> SharedArrayPair {
+        let fetched = cache_read(&mut self.entries, flush_size, meter);
+        self.stats.flushed += fetched.len() as u64;
+        self.stats.recycled += self.entries.len() as u64;
+        self.stats.flush_count += 1;
+        self.entries.clear();
+        fetched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incshrink_secretshare::tuple::PlainRecord;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn delta(real: usize, dummy: usize) -> SharedArrayPair {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut records: Vec<PlainRecord> =
+            (0..real).map(|i| PlainRecord::real(vec![i as u32])).collect();
+        records.extend((0..dummy).map(|_| PlainRecord::dummy(1)));
+        SharedArrayPair::share_records(&records, &mut rng)
+    }
+
+    #[test]
+    fn write_read_cycle() {
+        let mut cache = SecureCache::new();
+        let mut meter = CostMeter::new();
+        assert!(cache.is_empty());
+        cache.write(delta(3, 5));
+        cache.write(delta(2, 6));
+        assert_eq!(cache.len(), 16);
+        assert_eq!(cache.true_cardinality(), 5);
+
+        let fetched = cache.read(4, &mut meter);
+        assert_eq!(fetched.len(), 4);
+        assert_eq!(fetched.true_cardinality(), 4, "real entries fetched first");
+        assert_eq!(cache.true_cardinality(), 1);
+        assert_eq!(cache.len(), 12);
+
+        let stats = cache.stats();
+        assert_eq!(stats.written, 16);
+        assert_eq!(stats.read, 4);
+        assert_eq!(stats.flush_count, 0);
+    }
+
+    #[test]
+    fn flush_fetches_prefix_and_recycles_rest() {
+        let mut cache = SecureCache::new();
+        let mut meter = CostMeter::new();
+        cache.write(delta(2, 10));
+        let fetched = cache.flush(5, &mut meter);
+        assert_eq!(fetched.len(), 5);
+        assert_eq!(fetched.true_cardinality(), 2);
+        assert!(cache.is_empty(), "remainder recycled");
+        let stats = cache.stats();
+        assert_eq!(stats.flushed, 5);
+        assert_eq!(stats.recycled, 7);
+        assert_eq!(stats.flush_count, 1);
+    }
+
+    #[test]
+    fn read_more_than_cache_size_drains() {
+        let mut cache = SecureCache::new();
+        let mut meter = CostMeter::new();
+        cache.write(delta(1, 2));
+        let fetched = cache.read(10, &mut meter);
+        assert_eq!(fetched.len(), 3);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn flush_with_larger_size_than_cache() {
+        let mut cache = SecureCache::new();
+        let mut meter = CostMeter::new();
+        cache.write(delta(2, 2));
+        let fetched = cache.flush(100, &mut meter);
+        assert_eq!(fetched.len(), 4);
+        assert_eq!(cache.stats().recycled, 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! The owner-side growing logical database `D = {u_i}`.
+//!
+//! A growing database is an insert-only collection of timestamped logical updates
+//! (Definition in Section 4.1). The workload generators fill one of these per relation;
+//! the framework replays it step by step, and the query module evaluates logical
+//! ground-truth answers `q_t(D_t)` against it.
+
+use crate::schema::{RecordId, Relation, Schema};
+use serde::{Deserialize, Serialize};
+
+/// One timestamped logical update (an inserted record).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogicalUpdate {
+    /// Unique record id (used for contribution accounting).
+    pub id: RecordId,
+    /// Which relation the record belongs to.
+    pub relation: Relation,
+    /// Arrival time step (the paper multiplexes the domain timestamp as arrival time).
+    pub arrival: u64,
+    /// The record's column values (matching the relation's schema).
+    pub fields: Vec<u32>,
+}
+
+/// A growing database for one relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrowingDatabase {
+    /// The relation's schema.
+    pub schema: Schema,
+    /// Which side of the view definition this relation plays.
+    pub relation: Relation,
+    updates: Vec<LogicalUpdate>,
+}
+
+impl GrowingDatabase {
+    /// Empty growing database.
+    #[must_use]
+    pub fn new(schema: Schema, relation: Relation) -> Self {
+        Self {
+            schema,
+            relation,
+            updates: Vec::new(),
+        }
+    }
+
+    /// Insert a logical update.
+    ///
+    /// # Panics
+    /// Panics when the record arity does not match the schema or the relation tag
+    /// disagrees with the database's relation.
+    pub fn insert(&mut self, update: LogicalUpdate) {
+        assert_eq!(update.fields.len(), self.schema.arity(), "arity mismatch");
+        assert_eq!(update.relation, self.relation, "relation mismatch");
+        self.updates.push(update);
+    }
+
+    /// All updates, in insertion order.
+    #[must_use]
+    pub fn updates(&self) -> &[LogicalUpdate] {
+        &self.updates
+    }
+
+    /// Total number of logical updates ever inserted.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True when no update has been inserted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The database instance `D_t`: every update with arrival time ≤ `t`.
+    #[must_use]
+    pub fn instance_at(&self, t: u64) -> Vec<&LogicalUpdate> {
+        self.updates.iter().filter(|u| u.arrival <= t).collect()
+    }
+
+    /// Updates arriving exactly at step `t` (the delta the owner uploads at `t`).
+    #[must_use]
+    pub fn arrivals_at(&self, t: u64) -> Vec<&LogicalUpdate> {
+        self.updates.iter().filter(|u| u.arrival == t).collect()
+    }
+
+    /// Updates arriving in the half-open interval `(from, to]`.
+    #[must_use]
+    pub fn arrivals_between(&self, from: u64, to: u64) -> Vec<&LogicalUpdate> {
+        self.updates
+            .iter()
+            .filter(|u| u.arrival > from && u.arrival <= to)
+            .collect()
+    }
+
+    /// The largest arrival time present (0 for an empty database).
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.updates.iter().map(|u| u.arrival).max().unwrap_or(0)
+    }
+
+    /// Average number of arrivals per step over the horizon, used to derive the
+    /// `sDPANT` threshold ⇄ `sDPTimer` interval correspondence of the evaluation.
+    #[must_use]
+    pub fn mean_arrival_rate(&self) -> f64 {
+        let horizon = self.horizon();
+        if horizon == 0 {
+            return 0.0;
+        }
+        self.updates.len() as f64 / horizon as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> GrowingDatabase {
+        let schema = Schema::new("sales", &["pid", "date"], 0, 1);
+        let mut db = GrowingDatabase::new(schema, Relation::Left);
+        for (i, arrival) in [1u64, 1, 2, 4, 4, 4].iter().enumerate() {
+            db.insert(LogicalUpdate {
+                id: i as u64,
+                relation: Relation::Left,
+                arrival: *arrival,
+                fields: vec![i as u32, *arrival as u32],
+            });
+        }
+        db
+    }
+
+    #[test]
+    fn instances_and_arrivals() {
+        let db = sample_db();
+        assert_eq!(db.len(), 6);
+        assert!(!db.is_empty());
+        assert_eq!(db.instance_at(0).len(), 0);
+        assert_eq!(db.instance_at(1).len(), 2);
+        assert_eq!(db.instance_at(3).len(), 3);
+        assert_eq!(db.instance_at(10).len(), 6);
+        assert_eq!(db.arrivals_at(4).len(), 3);
+        assert_eq!(db.arrivals_at(3).len(), 0);
+        assert_eq!(db.arrivals_between(1, 4).len(), 4);
+        assert_eq!(db.horizon(), 4);
+        assert!((db.mean_arrival_rate() - 1.5).abs() < 1e-12);
+        assert_eq!(db.updates().len(), 6);
+    }
+
+    #[test]
+    fn empty_database_properties() {
+        let schema = Schema::new("x", &["a", "t"], 0, 1);
+        let db = GrowingDatabase::new(schema, Relation::Right);
+        assert!(db.is_empty());
+        assert_eq!(db.horizon(), 0);
+        assert_eq!(db.mean_arrival_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_rejected() {
+        let mut db = sample_db();
+        db.insert(LogicalUpdate {
+            id: 99,
+            relation: Relation::Left,
+            arrival: 5,
+            fields: vec![1],
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "relation mismatch")]
+    fn relation_mismatch_rejected() {
+        let mut db = sample_db();
+        db.insert(LogicalUpdate {
+            id: 99,
+            relation: Relation::Right,
+            arrival: 5,
+            fields: vec![1, 2],
+        });
+    }
+}

@@ -1,0 +1,115 @@
+//! Relation schemas and record identity.
+
+use serde::{Deserialize, Serialize};
+
+/// Globally unique identifier of a logical record. Used by the contribution ledger to
+/// track how many view tuples a record has generated over its lifetime.
+pub type RecordId = u64;
+
+/// Identifier of a relation participating in a view definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relation {
+    /// The "left" private relation (Sales / Allegation in the paper's workloads).
+    Left,
+    /// The "right" relation (Returns — private; Award — public).
+    Right,
+}
+
+impl Relation {
+    /// The other relation of a binary view definition.
+    #[must_use]
+    pub fn other(self) -> Self {
+        match self {
+            Relation::Left => Relation::Right,
+            Relation::Right => Relation::Left,
+        }
+    }
+}
+
+impl std::fmt::Display for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Relation::Left => write!(f, "left"),
+            Relation::Right => write!(f, "right"),
+        }
+    }
+}
+
+/// Schema of one relation: named 32-bit columns, a join-key column and a timestamp
+/// column (every workload in the paper's evaluation is keyed and timestamped).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Relation name (descriptive only).
+    pub name: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Index of the join-key column.
+    pub key_column: usize,
+    /// Index of the timestamp column.
+    pub time_column: usize,
+}
+
+impl Schema {
+    /// Create a schema.
+    ///
+    /// # Panics
+    /// Panics when the key or time column index is out of range.
+    #[must_use]
+    pub fn new(name: &str, columns: &[&str], key_column: usize, time_column: usize) -> Self {
+        assert!(key_column < columns.len(), "key column out of range");
+        assert!(time_column < columns.len(), "time column out of range");
+        Self {
+            name: name.to_string(),
+            columns: columns.iter().map(|s| (*s).to_string()).collect(),
+            key_column,
+            time_column,
+        }
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column index by name.
+    #[must_use]
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_other_and_display() {
+        assert_eq!(Relation::Left.other(), Relation::Right);
+        assert_eq!(Relation::Right.other(), Relation::Left);
+        assert_eq!(Relation::Left.to_string(), "left");
+        assert_eq!(Relation::Right.to_string(), "right");
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new("sales", &["pid", "sale_date", "amount"], 0, 1);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column_index("amount"), Some(2));
+        assert_eq!(s.column_index("missing"), None);
+        assert_eq!(s.key_column, 0);
+        assert_eq!(s.time_column, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "key column out of range")]
+    fn bad_key_column_panics() {
+        let _ = Schema::new("x", &["a"], 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time column out of range")]
+    fn bad_time_column_panics() {
+        let _ = Schema::new("x", &["a"], 0, 3);
+    }
+}

@@ -1,0 +1,112 @@
+//! Logical (ground-truth) query evaluation.
+//!
+//! The evaluation queries Q1 and Q2 are both counting joins with a temporal predicate:
+//!
+//! * **Q1** — `SELECT COUNT(*) FROM Sales ⋈ Returns ON pid WHERE ReturnDate − SaleDate ≤ 10`
+//! * **Q2** — `SELECT COUNT(*) FROM Allegation ⋈ Award ON officerID WHERE AwardTime − AllegationEnd ≤ 10`
+//!
+//! Both reduce to [`JoinQuery`] with a 10-step window. [`logical_join_count`] evaluates
+//! `q_t(D_t)` over the plaintext growing database, providing the ground truth the
+//! framework compares view-based answers against (the L1 error metric of Section 4.1).
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A counting equi-join query with a temporal window predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinQuery {
+    /// Maximum allowed `right.time − left.time` (inclusive); negative gaps never match.
+    pub window: u32,
+}
+
+impl JoinQuery {
+    /// Whether a (left, right) field pair joins under this query. Field layout is the
+    /// generators' `(key, time)` convention.
+    #[must_use]
+    pub fn pair_matches(&self, left: &[u32], right: &[u32]) -> bool {
+        if left.first() != right.first() || left.first().is_none() {
+            return false;
+        }
+        let lt = left.get(1).copied().unwrap_or(0);
+        let rt = right.get(1).copied().unwrap_or(0);
+        rt >= lt && rt - lt <= self.window
+    }
+}
+
+/// Evaluate the logical ground truth `q_t(D_t)`: the number of joined pairs among the
+/// records that have arrived by time `t` (the right relation counts fully when it is
+/// public — public data is available to the servers from setup).
+#[must_use]
+pub fn logical_join_count(dataset: &Dataset, query: &JoinQuery, t: u64) -> u64 {
+    // Bucket right records by key for an O(n + m) plaintext evaluation.
+    let mut right_by_key: HashMap<u32, Vec<&[u32]>> = HashMap::new();
+    for r in dataset.right.updates() {
+        if dataset.right_is_public || r.arrival <= t {
+            right_by_key
+                .entry(r.fields[0])
+                .or_default()
+                .push(&r.fields);
+        }
+    }
+    let mut count = 0u64;
+    for l in dataset.left.updates() {
+        if l.arrival > t {
+            continue;
+        }
+        if let Some(cands) = right_by_key.get(&l.fields[0]) {
+            count += cands
+                .iter()
+                .filter(|r| query.pair_matches(&l.fields, r))
+                .count() as u64;
+        }
+    }
+    count
+}
+
+/// Evaluate the ground truth at every step `1..=horizon`, returning a vector indexed by
+/// `t − 1`. Used by the experiment drivers to avoid recomputing the full join per step.
+#[must_use]
+pub fn logical_join_counts_per_step(dataset: &Dataset, query: &JoinQuery, horizon: u64) -> Vec<u64> {
+    (1..=horizon)
+        .map(|t| logical_join_count(dataset, query, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetKind, WorkloadParams};
+    use crate::tpcds::TpcDsGenerator;
+
+    #[test]
+    fn pair_matching_window_semantics() {
+        let q = JoinQuery { window: 10 };
+        assert!(q.pair_matches(&[1, 100], &[1, 105]));
+        assert!(q.pair_matches(&[1, 100], &[1, 110]));
+        assert!(!q.pair_matches(&[1, 100], &[1, 111]));
+        assert!(!q.pair_matches(&[1, 100], &[1, 99]), "right before left");
+        assert!(!q.pair_matches(&[1, 100], &[2, 105]), "key mismatch");
+        assert!(!q.pair_matches(&[], &[]), "empty records never match");
+    }
+
+    #[test]
+    fn counts_are_monotone_in_time() {
+        let ds = TpcDsGenerator::new(WorkloadParams::small(DatasetKind::TpcDs)).generate();
+        let q = JoinQuery { window: 10 };
+        let per_step = logical_join_counts_per_step(&ds, &q, 60);
+        assert_eq!(per_step.len(), 60);
+        for w in per_step.windows(2) {
+            assert!(w[1] >= w[0], "join count must be monotone for insert-only data");
+        }
+        assert_eq!(per_step[59], logical_join_count(&ds, &q, 60));
+        assert!(per_step[59] > 0);
+    }
+
+    #[test]
+    fn count_at_time_zero_is_zero() {
+        let ds = TpcDsGenerator::new(WorkloadParams::small(DatasetKind::TpcDs)).generate();
+        let q = JoinQuery { window: 10 };
+        assert_eq!(logical_join_count(&ds, &q, 0), 0);
+    }
+}
