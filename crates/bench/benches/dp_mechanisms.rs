@@ -43,5 +43,10 @@ fn bench_svt_steps(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_laplace_sampling, bench_joint_noise, bench_svt_steps);
+criterion_group!(
+    benches,
+    bench_laplace_sampling,
+    bench_joint_noise,
+    bench_svt_steps
+);
 criterion_main!(benches);

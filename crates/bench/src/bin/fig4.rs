@@ -6,7 +6,10 @@
 //! ```
 
 use incshrink::prelude::*;
-use incshrink_bench::{build_dataset, default_steps, print_csv, run_strategy, strategy_set, write_json, ExperimentPoint};
+use incshrink_bench::{
+    build_dataset, default_steps, print_csv, run_strategy, strategy_set, write_json,
+    ExperimentPoint,
+};
 
 fn main() {
     let steps = default_steps();
@@ -33,7 +36,10 @@ fn main() {
     }
 
     println!("# Figure 4: avg L1 error vs avg QET (one point per strategy per dataset)");
-    print_csv(&["dataset", "strategy", "avg_l1_error", "avg_qet_secs"], &rows);
+    print_csv(
+        &["dataset", "strategy", "avg_l1_error", "avg_qet_secs"],
+        &rows,
+    );
     write_json("fig4", &points);
     println!(
         "# Expected shape: NM sits at the top (slow, exact), OTM at the far right (fast,\n\

@@ -45,7 +45,13 @@ fn main() {
 
     println!("# Figure 5: privacy (ε) vs accuracy (avg L1) and efficiency (avg QET)");
     print_csv(
-        &["dataset", "strategy", "epsilon", "avg_l1_error", "avg_qet_secs"],
+        &[
+            "dataset",
+            "strategy",
+            "epsilon",
+            "avg_l1_error",
+            "avg_qet_secs",
+        ],
         &rows,
     );
     write_json("fig5", &points);

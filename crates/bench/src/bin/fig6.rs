@@ -55,7 +55,13 @@ fn main() {
 
     println!("# Figure 6: DP protocols under Sparse / Standard / Burst workloads");
     print_csv(
-        &["dataset", "workload", "strategy", "avg_l1_error", "avg_qet_secs"],
+        &[
+            "dataset",
+            "workload",
+            "strategy",
+            "avg_l1_error",
+            "avg_qet_secs",
+        ],
         &rows,
     );
     write_json("fig6", &points);

@@ -53,7 +53,13 @@ fn main() {
 
     println!("# Figure 9: total MPC time and total query time vs data scale");
     print_csv(
-        &["dataset", "strategy", "scale", "total_mpc_secs", "total_query_secs"],
+        &[
+            "dataset",
+            "strategy",
+            "scale",
+            "total_mpc_secs",
+            "total_query_secs",
+        ],
         &rows,
     );
     write_json("fig9", &points);

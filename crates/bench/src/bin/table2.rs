@@ -9,7 +9,10 @@
 
 use incshrink::prelude::*;
 use incshrink_bench::report::{fmt, fmt_improvement};
-use incshrink_bench::{build_dataset, default_steps, print_table, run_strategy, strategy_set, write_json, ComparisonRow};
+use incshrink_bench::{
+    build_dataset, default_steps, print_table, run_strategy, strategy_set, write_json,
+    ComparisonRow,
+};
 
 fn main() {
     let steps = default_steps();

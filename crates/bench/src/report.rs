@@ -88,7 +88,7 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(123.456), "123.5");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(3.24159), "3.24");
         assert_eq!(fmt(0.01234), "0.0123");
         assert_eq!(fmt_improvement(100.0, 1.0), "100x");
         assert_eq!(fmt_improvement(100.0, 0.0), "N/A");

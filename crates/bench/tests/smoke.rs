@@ -1,0 +1,17 @@
+//! Crate-boundary smoke test: the experiment harness runs one tiny strategy point.
+
+use incshrink::prelude::*;
+use incshrink_bench::{build_dataset, run_strategy, strategy_set, ComparisonRow};
+
+#[test]
+fn harness_runs_a_tiny_comparison_point() {
+    let dataset = build_dataset(DatasetKind::TpcDs, 20, 42);
+    let strategies = strategy_set(DatasetKind::TpcDs);
+    assert!(strategies.contains(&UpdateStrategy::ExhaustivePadding));
+
+    let report = run_strategy(&dataset, UpdateStrategy::DpTimer { interval: 10 }, 5, 1);
+    let row = ComparisonRow::from_report(&report);
+    assert_eq!(row.dataset, "TPC-ds");
+    assert!(row.avg_l1_error.is_finite());
+    assert!(row.total_mpc_secs > 0.0);
+}

@@ -47,7 +47,11 @@ pub fn delta_routing(strategy: UpdateStrategy, step: u64) -> DeltaRouting {
 }
 
 /// Apply a routing decision to the produced ΔV.
-pub fn route_delta(routing: DeltaRouting, delta: SharedArrayPair, view: &mut MaterializedView) -> Option<SharedArrayPair> {
+pub fn route_delta(
+    routing: DeltaRouting,
+    delta: SharedArrayPair,
+    view: &mut MaterializedView,
+) -> Option<SharedArrayPair> {
     match routing {
         DeltaRouting::ToCache => Some(delta),
         DeltaRouting::ToView => {

@@ -83,6 +83,7 @@ impl TwoLevelPipeline {
     /// Build the pipeline. `selection_field`/`selection_bound` define the stage-1
     /// predicate `field ≤ bound` over the private relation; the stage-2 join follows
     /// the view definition; `public_right` is the public relation joined against.
+    #[allow(clippy::too_many_arguments)]
     #[must_use]
     pub fn new(
         view: ViewDefinition,
@@ -204,7 +205,10 @@ impl TwoLevelPipeline {
             .collect();
         for row in rows {
             shared
-                .push(SharedRecordPair::share(&PlainRecord::real(row), &mut self.rng))
+                .push(SharedRecordPair::share(
+                    &PlainRecord::real(row),
+                    &mut self.rng,
+                ))
                 .expect("uniform arity");
         }
         shared
@@ -224,7 +228,11 @@ impl TwoLevelPipeline {
         let mut outcome = PipelineStepOutcome::default();
 
         // --- Stage 1: oblivious selection over the new batch.
-        let predicate = Predicate::le("stage1-selection", self.selection_field, self.selection_bound);
+        let predicate = Predicate::le(
+            "stage1-selection",
+            self.selection_field,
+            self.selection_bound,
+        );
         let filtered = oblivious_filter(new_left, &predicate, ctx.meter(), &mut self.rng);
         self.counter1 += filtered.true_cardinality() as u32;
         self.cache1.write(filtered);
@@ -238,7 +246,12 @@ impl TwoLevelPipeline {
                 u64::from(self.counter1),
             ) as usize;
             let released = self.cache1.read(size, ctx.meter());
-            self.counter1 = 0;
+            // Decrement by the cardinality actually released: entries a negative
+            // noise draw left behind stay counted for the next release (mirrors
+            // ShrinkProtocol::synchronize).
+            self.counter1 = self
+                .counter1
+                .saturating_sub(released.true_cardinality() as u32);
             self.intermediate.append(released.clone());
             stage2_input = Some(released);
             outcome.stage1_synced = true;
@@ -258,10 +271,7 @@ impl TwoLevelPipeline {
                     (Some(&lo), Some(&hi)) => (lo, hi.saturating_add(self.view.window)),
                     _ => (u32::MAX, 0),
                 };
-                let right_arity = self
-                    .public_right
-                    .first()
-                    .map_or(2, Vec::len);
+                let right_arity = self.public_right.first().map_or(2, Vec::len);
                 let inner = self.share_public_window(lo, hi, right_arity);
                 let spec = self.view.join_spec();
                 let joined = truncated_nested_loop_join(
@@ -287,7 +297,9 @@ impl TwoLevelPipeline {
                 u64::from(self.counter2),
             ) as usize;
             let released = self.cache2.read(size, ctx.meter());
-            self.counter2 = 0;
+            self.counter2 = self
+                .counter2
+                .saturating_sub(released.true_cardinality() as u32);
             self.final_view.append(released);
             outcome.stage2_synced = true;
         }
@@ -325,7 +337,8 @@ mod tests {
 
     /// Public award-like table: officer `k` has awards at times `k+2` and `k+50`.
     fn public_table(keys: std::ops::Range<u32>) -> Vec<Vec<u32>> {
-        keys.flat_map(|k| vec![vec![k, k + 2], vec![k, k + 50]]).collect()
+        keys.flat_map(|k| vec![vec![k, k + 2], vec![k, k + 50]])
+            .collect()
     }
 
     fn upload(keys: &[(u32, u32)], padded: usize, seed: u64) -> SharedArrayPair {
@@ -407,7 +420,10 @@ mod tests {
         );
         let total = pipeline.total_epsilon();
         assert!(total <= 2.0 + 1e-9);
-        assert!(total > 1.9, "grid allocation uses (nearly) the whole budget");
+        assert!(
+            total > 1.9,
+            "grid allocation uses (nearly) the whole budget"
+        );
     }
 
     #[test]

@@ -84,8 +84,7 @@ impl ShrinkProtocol {
     fn refresh_ant_threshold(&mut self, ctx: &mut TwoPartyContext, theta: f64) {
         // Algorithm 3 line 2/11: θ̃ ← JointNoise(S0, S1, b, ε1/2, θ) with ε1 = ε/2.
         let epsilon1 = self.epsilon / 2.0;
-        let noisy =
-            joint_laplace_noise(ctx, self.contribution_bound as f64, epsilon1 / 2.0, theta);
+        let noisy = joint_laplace_noise(ctx, self.contribution_bound as f64, epsilon1 / 2.0, theta);
         self.store_noisy_threshold(ctx, noisy);
     }
 
@@ -106,6 +105,7 @@ impl ShrinkProtocol {
         ) as usize;
         let fetched = cache.read(read_size, ctx.meter());
         let fetched_len = fetched.len();
+        let fetched_real = fetched.true_cardinality() as u32;
         view.append(fetched);
         // Both servers observe the synchronized (DP-noised) size — this is exactly the
         // leakage the SIM-CDP proof simulates.
@@ -113,8 +113,13 @@ impl ShrinkProtocol {
             time,
             count: fetched_len,
         });
-        // Reset the cardinality counter to zero and re-share it.
-        ctx.reshare_and_store(CARDINALITY_SHARE, 0);
+        // Decrement the counter by the cardinality actually synchronized and re-share
+        // it. Real entries a negative noise draw left in the cache stay counted, so
+        // the next synchronization picks them up instead of stranding them until a
+        // flush (resetting to zero here makes the deferred backlog a reflected random
+        // walk that grows with the number of synchronizations, which inverts the
+        // paper's Figure 6 crossover for the frequently-updating sDPANT).
+        ctx.reshare_and_store(CARDINALITY_SHARE, counter.saturating_sub(fetched_real));
         self.updates_issued += 1;
         read_size
     }
@@ -134,6 +139,13 @@ impl ShrinkProtocol {
         view.append(fetched);
         ctx.servers
             .observe_both(ObservedEvent::CacheFlush { time, count });
+        // The flush empties the cache entirely (the prefix is synchronized, the
+        // remainder recycled), so no counted entries remain afterwards: reset the
+        // counter to zero rather than decrementing by the synchronized prefix, which
+        // would leave the recycled entries counted forever.
+        if ctx.recover_named(CARDINALITY_SHARE).is_some() {
+            ctx.reshare_and_store(CARDINALITY_SHARE, 0);
+        }
         true
     }
 
@@ -147,12 +159,10 @@ impl ShrinkProtocol {
     ) -> ShrinkOutcome {
         let mut outcome = ShrinkOutcome::default();
         match self.strategy {
-            UpdateStrategy::DpTimer { interval } => {
-                if time > 0 && time % interval == 0 {
-                    // Algorithm 2: sz ← c + Lap(b/ε).
-                    outcome.read_size = self.synchronize(ctx, cache, view, self.epsilon, time);
-                    outcome.updated = true;
-                }
+            UpdateStrategy::DpTimer { interval } if time > 0 && time % interval == 0 => {
+                // Algorithm 2: sz ← c + Lap(b/ε).
+                outcome.read_size = self.synchronize(ctx, cache, view, self.epsilon, time);
+                outcome.updated = true;
             }
             UpdateStrategy::DpAnt { threshold } => {
                 let epsilon1 = self.epsilon / 2.0;

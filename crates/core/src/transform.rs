@@ -199,7 +199,11 @@ impl TransformProtocol {
         let left_arity = delta_left.records.arity().unwrap_or(2);
         let right_arity = delta_right
             .and_then(|d| d.records.arity())
-            .or_else(|| self.public_right.as_ref().and_then(|p| p.first().map(Vec::len)))
+            .or_else(|| {
+                self.public_right
+                    .as_ref()
+                    .and_then(|p| p.first().map(Vec::len))
+            })
             .unwrap_or(left_arity);
 
         // Contribution accounting: charge ω to every record used as input.
@@ -210,7 +214,7 @@ impl TransformProtocol {
             debug_assert!(charged, "fresh records always have budget >= omega");
         }
         let new_right: Vec<ActiveRecord> = delta_right
-            .map(|d| Self::batch_real_records(d))
+            .map(Self::batch_real_records)
             .unwrap_or_default();
         for rec in &new_right {
             self.ledger.register(rec.id);
@@ -356,7 +360,12 @@ mod tests {
         }
     }
 
-    fn batch(relation: Relation, time: u64, rows: &[(u64, u32, u32)], padded: usize) -> UploadBatch {
+    fn batch(
+        relation: Relation,
+        time: u64,
+        rows: &[(u64, u32, u32)],
+        padded: usize,
+    ) -> UploadBatch {
         let mut rng = StdRng::seed_from_u64(time ^ 0xBA7C4);
         let updates: Vec<LogicalUpdate> = rows
             .iter()
@@ -403,15 +412,16 @@ mod tests {
         // ω = 2 but three matching right records exist for the same left key.
         let mut transform = TransformProtocol::new(view_def(), 2, 4, None);
         let left = batch(Relation::Left, 1, &[(1, 7, 1)], 2);
-        let right = batch(
-            Relation::Right,
-            1,
-            &[(2, 7, 2), (3, 7, 3), (4, 7, 4)],
-            4,
-        );
+        let right = batch(Relation::Right, 1, &[(2, 7, 2), (3, 7, 3), (4, 7, 4)], 4);
         // Right delta joins against active left — but left only becomes active after
         // its own invocation, so feed left first, then right in the next invocation.
-        let _ = transform.invoke(&mut ctx, &left, Some(&batch(Relation::Right, 1, &[], 4)), 0, 0);
+        let _ = transform.invoke(
+            &mut ctx,
+            &left,
+            Some(&batch(Relation::Right, 1, &[], 4)),
+            0,
+            0,
+        );
         let out = transform.invoke(
             &mut ctx,
             &batch(Relation::Left, 2, &[], 2),

@@ -1,0 +1,25 @@
+//! Crate-boundary smoke test: a short end-to-end simulation through the prelude.
+
+use incshrink::prelude::*;
+
+#[test]
+fn short_simulation_produces_sane_summary() {
+    let dataset = TpcDsGenerator::new(WorkloadParams {
+        steps: 30,
+        view_entries_per_step: 2.7,
+        seed: 21,
+    })
+    .generate();
+    let config = IncShrinkConfig::tpcds_default(UpdateStrategy::DpTimer { interval: 10 });
+    assert!(config.validate().is_none(), "default config is valid");
+
+    let report = Simulation::new(dataset, config, 0xFEED).run();
+    assert_eq!(report.horizon(), 30);
+    assert!(report.summary.queries_issued > 0);
+    assert!(
+        report.summary.sync_count >= 2,
+        "two timer firings in 30 steps"
+    );
+    assert!(report.summary.avg_l1_error.is_finite());
+    assert!(report.summary.total_mpc_secs > 0.0);
+}

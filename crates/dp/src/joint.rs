@@ -13,7 +13,12 @@ use incshrink_mpc::runtime::TwoPartyContext;
 
 /// Jointly sample `Lap(Δ/ε)` noise inside the two-party context and return
 /// `x + noise` as a real number. Charges the contribution exchange to the cost meter.
-pub fn joint_laplace_noise(ctx: &mut TwoPartyContext, sensitivity: f64, epsilon: f64, x: f64) -> f64 {
+pub fn joint_laplace_noise(
+    ctx: &mut TwoPartyContext,
+    sensitivity: f64,
+    epsilon: f64,
+    x: f64,
+) -> f64 {
     assert!(sensitivity > 0.0, "sensitivity must be positive");
     assert!(epsilon > 0.0, "epsilon must be positive");
     let rnd = ctx.joint_randomness();
@@ -90,8 +95,12 @@ mod tests {
     fn different_seeds_give_different_noise_streams() {
         let mut a = TwoPartyContext::new(1, CostModel::default());
         let mut b = TwoPartyContext::new(2, CostModel::default());
-        let xa: Vec<f64> = (0..8).map(|_| joint_laplace_noise(&mut a, 1.0, 1.0, 0.0)).collect();
-        let xb: Vec<f64> = (0..8).map(|_| joint_laplace_noise(&mut b, 1.0, 1.0, 0.0)).collect();
+        let xa: Vec<f64> = (0..8)
+            .map(|_| joint_laplace_noise(&mut a, 1.0, 1.0, 0.0))
+            .collect();
+        let xb: Vec<f64> = (0..8)
+            .map(|_| joint_laplace_noise(&mut b, 1.0, 1.0, 0.0))
+            .collect();
         assert_ne!(xa, xb);
     }
 

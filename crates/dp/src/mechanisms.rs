@@ -148,8 +148,7 @@ mod tests {
         let mut m = TimerLeakage::new(10, 10, 100.0);
         let stream: Vec<u64> = vec![3; 100];
         let trace = run_leakage(&mut m, &stream, &mut rng);
-        let releases: Vec<&LeakageEvent> =
-            trace.iter().filter(|e| e.released.is_some()).collect();
+        let releases: Vec<&LeakageEvent> = trace.iter().filter(|e| e.released.is_some()).collect();
         assert_eq!(releases.len(), 10);
         for e in &releases {
             assert_eq!(e.time % 10, 0);

@@ -56,7 +56,12 @@ impl FixedIntervalSync {
 }
 
 impl RecordSyncStrategy for FixedIntervalSync {
-    fn decide<R: Rng + ?Sized>(&mut self, time: u64, _pending: usize, _rng: &mut R) -> SyncDecision {
+    fn decide<R: Rng + ?Sized>(
+        &mut self,
+        time: u64,
+        _pending: usize,
+        _rng: &mut R,
+    ) -> SyncDecision {
         if time > 0 && time % self.interval == 0 {
             SyncDecision::Upload {
                 padded_size: self.batch_size,

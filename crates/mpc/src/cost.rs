@@ -105,7 +105,10 @@ impl CostReport {
     /// swaps proportional to record width are already expanded by the caller).
     #[must_use]
     pub fn total_gates(&self) -> u64 {
-        self.secure_compares * 32 + self.secure_adds * 32 + self.secure_ands + self.secure_swaps * 32
+        self.secure_compares * 32
+            + self.secure_adds * 32
+            + self.secure_ands
+            + self.secure_swaps * 32
     }
 
     /// True when the report is all zeros.
@@ -300,7 +303,7 @@ mod tests {
         let c = a + b;
         assert_eq!(c.bytes_communicated, 150);
         assert_eq!(c.rounds, 2);
-        assert_eq!(a.total_gates(), 2 * 32 + 1 * 32 + 4 + 3 * 32);
+        assert_eq!(a.total_gates(), 2 * 32 + 32 + 4 + 3 * 32);
         assert!(!a.is_empty());
         assert!(CostReport::default().is_empty());
         let summed: CostReport = [a, b].into_iter().sum();

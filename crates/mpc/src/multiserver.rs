@@ -43,9 +43,7 @@ impl MultiServerContext {
         assert!(parties >= 2, "need at least two servers, got {parties}");
         let servers = (0..parties)
             .map(|i| NServer {
-                rng: StdRng::seed_from_u64(
-                    seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F),
-                ),
+                rng: StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F)),
                 stored: HashMap::new(),
             })
             .collect();
@@ -148,7 +146,11 @@ impl MultiServerContext {
     pub fn coalition_view(&self, name: &str, coalition: &[usize]) -> Vec<Option<u32>> {
         coalition
             .iter()
-            .map(|&i| self.servers.get(i).and_then(|s| s.stored.get(name).copied()))
+            .map(|&i| {
+                self.servers
+                    .get(i)
+                    .and_then(|s| s.stored.get(name).copied())
+            })
             .collect()
     }
 }

@@ -62,7 +62,9 @@ impl Server {
     pub fn new(id: PartyId, seed: u64) -> Self {
         Self {
             id,
-            rng: StdRng::seed_from_u64(seed ^ (id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: StdRng::seed_from_u64(
+                seed ^ (id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
             stored_shares: HashMap::new(),
             transcript: Vec::new(),
         }

@@ -11,6 +11,9 @@ use incshrink_secretshare::arrays::SharedArrayPair;
 use incshrink_secretshare::tuple::{PlainRecord, SharedRecordPair};
 use rand::Rng;
 
+/// Boxed predicate function over a record's plaintext field values.
+pub type PredicateFn<'a> = Box<dyn Fn(&[u32]) -> bool + 'a>;
+
 /// A selection predicate over plaintext field values.
 ///
 /// The closure is evaluated "inside" the simulated MPC: in a garbled-circuit
@@ -21,7 +24,7 @@ pub struct Predicate<'a> {
     /// Human-readable name used in logs and plan explanations.
     pub name: &'a str,
     /// The predicate function over the record's fields.
-    pub test: Box<dyn Fn(&[u32]) -> bool + 'a>,
+    pub test: PredicateFn<'a>,
 }
 
 impl<'a> Predicate<'a> {
@@ -45,7 +48,9 @@ impl<'a> Predicate<'a> {
     /// Equality predicate on one field.
     #[must_use]
     pub fn eq(name: &'a str, field: usize, value: u32) -> Self {
-        Self::new(name, move |fields| fields.get(field).copied() == Some(value))
+        Self::new(name, move |fields| {
+            fields.get(field).copied() == Some(value)
+        })
     }
 }
 

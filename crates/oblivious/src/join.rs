@@ -21,6 +21,9 @@ use incshrink_secretshare::arrays::SharedArrayPair;
 use incshrink_secretshare::tuple::{PlainRecord, SharedRecordPair};
 use rand::Rng;
 
+/// Boxed θ-condition evaluated over `(left_fields, right_fields)`.
+pub type ThetaCondition<'a> = Box<dyn Fn(&[u32], &[u32]) -> bool + 'a>;
+
 /// Description of an equi-join with an optional extra θ-condition.
 pub struct JoinSpec<'a> {
     /// Index of the join-key column in the left (outer / delta) table.
@@ -30,7 +33,7 @@ pub struct JoinSpec<'a> {
     /// Additional condition evaluated over `(left_fields, right_fields)`; `None` means
     /// a pure equi-join. Used for the temporal predicates of Q1/Q2
     /// (`ReturnDate − SaleDate ≤ 10`).
-    pub condition: Option<Box<dyn Fn(&[u32], &[u32]) -> bool + 'a>>,
+    pub condition: Option<ThetaCondition<'a>>,
 }
 
 impl<'a> JoinSpec<'a> {
@@ -61,10 +64,7 @@ impl<'a> JoinSpec<'a> {
     fn matches(&self, left: &[u32], right: &[u32]) -> bool {
         let keys_equal = left.get(self.left_key) == right.get(self.right_key)
             && left.get(self.left_key).is_some();
-        let extra = self
-            .condition
-            .as_ref()
-            .map_or(true, |c| c(left, right));
+        let extra = self.condition.as_ref().map_or(true, |c| c(left, right));
         keys_equal && extra
     }
 }
@@ -168,9 +168,7 @@ pub fn truncated_sort_merge_join<R: Rng + ?Sized>(
                 if left_remaining == 0 {
                     break;
                 }
-                if rrec.is_view
-                    && right_budget[ri] > 0
-                    && spec.matches(&lrec.fields, &rrec.fields)
+                if rrec.is_view && right_budget[ri] > 0 && spec.matches(&lrec.fields, &rrec.fields)
                 {
                     let mut fields = lrec.fields.clone();
                     fields.extend_from_slice(&rrec.fields);
@@ -232,8 +230,7 @@ pub fn truncated_nested_loop_join<R: Rng + ?Sized>(
         let mut outer_budget = bound;
         for (ii, irec) in inner_plain.iter().enumerate() {
             let can_join = outer_budget > 0 && inner_budget[ii] > 0;
-            let is_match =
-                orec.is_view && irec.is_view && spec.matches(&orec.fields, &irec.fields);
+            let is_match = orec.is_view && irec.is_view && spec.matches(&orec.fields, &irec.fields);
             if can_join && is_match {
                 let mut fields = orec.fields.clone();
                 fields.extend_from_slice(&irec.fields);

@@ -81,7 +81,11 @@ pub fn reshare_inside_mpc(value: u32, contributions: &[Vec<u32>]) -> Result<Mult
     for (i, c) in contributions.iter().enumerate() {
         if c.len() != k - 1 {
             return Err(ShareError::ShapeMismatch {
-                detail: format!("party {i} contributed {} words, expected {}", c.len(), k - 1),
+                detail: format!(
+                    "party {i} contributed {} words, expected {}",
+                    c.len(),
+                    k - 1
+                ),
             });
         }
     }

@@ -135,7 +135,11 @@ impl SharedRecordPair {
                 detail: format!("record arities {} vs {}", a.arity(), b.arity()),
             });
         }
-        let (lo, hi) = if a.holder == PartyId::S0 { (a, b) } else { (b, a) };
+        let (lo, hi) = if a.holder == PartyId::S0 {
+            (a, b)
+        } else {
+            (b, a)
+        };
         Ok(Self {
             fields: lo
                 .fields

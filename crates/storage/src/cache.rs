@@ -104,8 +104,9 @@ mod tests {
 
     fn delta(real: usize, dummy: usize) -> SharedArrayPair {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut records: Vec<PlainRecord> =
-            (0..real).map(|i| PlainRecord::real(vec![i as u32])).collect();
+        let mut records: Vec<PlainRecord> = (0..real)
+            .map(|i| PlainRecord::real(vec![i as u32]))
+            .collect();
         records.extend((0..dummy).map(|_| PlainRecord::dummy(1)));
         SharedArrayPair::share_records(&records, &mut rng)
     }

@@ -102,6 +102,12 @@ impl StoredRelation {
     pub fn len(&self) -> usize {
         self.records.len()
     }
+
+    /// Whether no records (not even dummies) have been stored yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
 }
 
 /// The outsourced store `DS`: accumulated uploads for both relations of a view

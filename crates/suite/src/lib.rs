@@ -1,0 +1,23 @@
+//! Integration-suite facade for the IncShrink workspace.
+//!
+//! This package exists so the repository-root `tests/` (the cross-crate
+//! integration suites) and `examples/` (the runnable walkthroughs) are
+//! first-class cargo targets of the workspace. It re-exports every layer of
+//! the stack under one roof, which also makes `cargo doc` render the whole
+//! dependency DAG from a single entry point:
+//!
+//! ```text
+//! secretshare ──▶ mpc ──▶ oblivious ──▶ storage ──▶ workload ──▶ core (incshrink)
+//!                  └────▶ dp ─────────────────────────────────────┘
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use incshrink;
+pub use incshrink_dp;
+pub use incshrink_mpc;
+pub use incshrink_oblivious;
+pub use incshrink_secretshare;
+pub use incshrink_storage;
+pub use incshrink_workload;

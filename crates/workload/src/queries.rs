@@ -25,7 +25,7 @@ impl JoinQuery {
     /// generators' `(key, time)` convention.
     #[must_use]
     pub fn pair_matches(&self, left: &[u32], right: &[u32]) -> bool {
-        if left.first() != right.first() || left.first().is_none() {
+        if left.first() != right.first() || left.is_empty() {
             return false;
         }
         let lt = left.get(1).copied().unwrap_or(0);
@@ -43,10 +43,7 @@ pub fn logical_join_count(dataset: &Dataset, query: &JoinQuery, t: u64) -> u64 {
     let mut right_by_key: HashMap<u32, Vec<&[u32]>> = HashMap::new();
     for r in dataset.right.updates() {
         if dataset.right_is_public || r.arrival <= t {
-            right_by_key
-                .entry(r.fields[0])
-                .or_default()
-                .push(&r.fields);
+            right_by_key.entry(r.fields[0]).or_default().push(&r.fields);
         }
     }
     let mut count = 0u64;
@@ -67,7 +64,11 @@ pub fn logical_join_count(dataset: &Dataset, query: &JoinQuery, t: u64) -> u64 {
 /// Evaluate the ground truth at every step `1..=horizon`, returning a vector indexed by
 /// `t − 1`. Used by the experiment drivers to avoid recomputing the full join per step.
 #[must_use]
-pub fn logical_join_counts_per_step(dataset: &Dataset, query: &JoinQuery, horizon: u64) -> Vec<u64> {
+pub fn logical_join_counts_per_step(
+    dataset: &Dataset,
+    query: &JoinQuery,
+    horizon: u64,
+) -> Vec<u64> {
     (1..=horizon)
         .map(|t| logical_join_count(dataset, query, t))
         .collect()
@@ -97,7 +98,10 @@ mod tests {
         let per_step = logical_join_counts_per_step(&ds, &q, 60);
         assert_eq!(per_step.len(), 60);
         for w in per_step.windows(2) {
-            assert!(w[1] >= w[0], "join count must be monotone for insert-only data");
+            assert!(
+                w[1] >= w[0],
+                "join count must be monotone for insert-only data"
+            );
         }
         assert_eq!(per_step[59], logical_join_count(&ds, &q, 60));
         assert!(per_step[59] > 0);

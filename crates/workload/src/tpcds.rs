@@ -60,9 +60,13 @@ impl TpcDsGenerator {
         let mut next_pid: u32 = 1;
         let mut next_id: u64 = 1;
         let push_sale_and_return =
-            |sale_day: u64, return_gap: Option<u64>, rng: &mut StdRng,
-             next_pid: &mut u32, next_id: &mut u64,
-             sales: &mut GrowingDatabase, returns: &mut GrowingDatabase| {
+            |sale_day: u64,
+             return_gap: Option<u64>,
+             rng: &mut StdRng,
+             next_pid: &mut u32,
+             next_id: &mut u64,
+             sales: &mut GrowingDatabase,
+             returns: &mut GrowingDatabase| {
                 let pid = *next_pid;
                 *next_pid += 1;
                 sales.insert(LogicalUpdate {
@@ -90,7 +94,12 @@ impl TpcDsGenerator {
             for _ in 0..n_in {
                 let gap = rng.gen_range(1..=10u64);
                 push_sale_and_return(
-                    day, Some(gap), &mut rng, &mut next_pid, &mut next_id, &mut sales,
+                    day,
+                    Some(gap),
+                    &mut rng,
+                    &mut next_pid,
+                    &mut next_id,
+                    &mut sales,
                     &mut returns,
                 );
             }
@@ -98,14 +107,25 @@ impl TpcDsGenerator {
             for _ in 0..n_late {
                 let gap = rng.gen_range(11..=30u64);
                 push_sale_and_return(
-                    day, Some(gap), &mut rng, &mut next_pid, &mut next_id, &mut sales,
+                    day,
+                    Some(gap),
+                    &mut rng,
+                    &mut next_pid,
+                    &mut next_id,
+                    &mut sales,
                     &mut returns,
                 );
             }
             let n_un: u64 = unreturned.sample(&mut rng) as u64;
             for _ in 0..n_un {
                 push_sale_and_return(
-                    day, None, &mut rng, &mut next_pid, &mut next_id, &mut sales, &mut returns,
+                    day,
+                    None,
+                    &mut rng,
+                    &mut next_pid,
+                    &mut next_id,
+                    &mut sales,
+                    &mut returns,
                 );
             }
         }

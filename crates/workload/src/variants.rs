@@ -142,8 +142,11 @@ pub fn scale_dataset(base: &Dataset, factor: f64, seed: u64) -> Dataset {
     let mut next_id = max_id(base) + 1;
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let replicate = |out: &mut Dataset, probability: f64, rng: &mut StdRng,
-                         next_key: &mut u32, next_id: &mut u64| {
+    let replicate = |out: &mut Dataset,
+                     probability: f64,
+                     rng: &mut StdRng,
+                     next_key: &mut u32,
+                     next_id: &mut u64| {
         // Replicate left/right records key-consistently: one fresh key offset per copy.
         let key_offset = *next_key;
         let mut used_any = false;

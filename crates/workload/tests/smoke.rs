@@ -1,0 +1,54 @@
+//! Crate-boundary smoke test: workload generation and ground-truth queries.
+
+use incshrink_workload::{
+    logical_join_count, to_sparse, CpdbGenerator, Dataset, DatasetKind, JoinQuery, TpcDsGenerator,
+    WorkloadParams,
+};
+
+fn tpcds(steps: u64, seed: u64) -> Dataset {
+    TpcDsGenerator::new(WorkloadParams {
+        steps,
+        view_entries_per_step: 2.7,
+        seed,
+    })
+    .generate()
+}
+
+#[test]
+fn generators_are_deterministic_and_nonempty() {
+    let a = tpcds(60, 1);
+    let b = tpcds(60, 1);
+    assert_eq!(a.left.len(), b.left.len());
+    assert!(!a.left.is_empty() && !a.right.is_empty());
+
+    let cpdb = CpdbGenerator::new(WorkloadParams {
+        steps: 60,
+        view_entries_per_step: 9.8,
+        seed: 2,
+    })
+    .generate();
+    assert_eq!(cpdb.kind, DatasetKind::Cpdb);
+    assert!(cpdb.right_is_public);
+}
+
+#[test]
+fn ground_truth_join_counts_grow_with_time() {
+    let ds = tpcds(80, 3);
+    let q = JoinQuery { window: 10 };
+    let early = logical_join_count(&ds, &q, 20);
+    let late = logical_join_count(&ds, &q, 80);
+    assert!(late > early, "the view grows: {early} -> {late}");
+}
+
+#[test]
+fn sparse_variant_thins_view_entries() {
+    let base = tpcds(80, 4);
+    let sparse = to_sparse(&base, 0.1, 5);
+    let q = JoinQuery { window: 10 };
+    let full = logical_join_count(&base, &q, 80);
+    let thin = logical_join_count(&sparse, &q, 80);
+    assert!(
+        thin * 3 < full,
+        "sparse should keep ~10% of entries ({thin} vs {full})"
+    );
+}

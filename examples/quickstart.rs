@@ -30,7 +30,10 @@ fn main() {
 
     // 4. Inspect the results.
     let s = &report.summary;
-    println!("IncShrink quickstart ({} / sDPTimer, T = {interval})", report.dataset);
+    println!(
+        "IncShrink quickstart ({} / sDPTimer, T = {interval})",
+        report.dataset
+    );
     println!("  steps simulated        : {}", report.horizon());
     println!("  view synchronizations  : {}", s.sync_count);
     println!("  avg L1 error           : {:.2}", s.avg_l1_error);

@@ -28,8 +28,7 @@ fn main() {
         timer_cfg.epsilon = epsilon;
         let timer = Simulation::new(dataset.clone(), timer_cfg, 17).run();
 
-        let mut ant_cfg =
-            IncShrinkConfig::tpcds_default(UpdateStrategy::DpAnt { threshold: 30.0 });
+        let mut ant_cfg = IncShrinkConfig::tpcds_default(UpdateStrategy::DpAnt { threshold: 30.0 });
         ant_cfg.epsilon = epsilon;
         let ant = Simulation::new(dataset.clone(), ant_cfg, 17).run();
 

@@ -54,7 +54,10 @@ fn timer_view_never_overcounts_and_eventually_catches_up() {
 fn ant_behaves_on_cpdb_with_public_relation() {
     let cfg = IncShrinkConfig::cpdb_default(UpdateStrategy::DpAnt { threshold: 30.0 });
     let report = Simulation::new(cpdb(60, 2), cfg, 12).run();
-    assert!(report.summary.sync_count > 0, "ANT must fire on a dense stream");
+    assert!(
+        report.summary.sync_count > 0,
+        "ANT must fire on a dense stream"
+    );
     assert!(report.summary.avg_relative_error < 0.7);
     // Every synchronization increases (or keeps) the view length.
     let mut prev = 0usize;

@@ -54,9 +54,12 @@ fn server_transcripts_contain_only_padded_and_noised_counts() {
     // Drive the two-party context directly and verify that what each server observes
     // is limited to the declared event types.
     let mut ctx = TwoPartyContext::new(3, CostModel::default());
-    ctx.servers.observe_both(ObservedEvent::UploadBatch { time: 1, count: 8 });
-    ctx.servers.observe_both(ObservedEvent::CacheAppend { time: 1, count: 8 });
-    ctx.servers.observe_both(ObservedEvent::ViewSync { time: 2, count: 5 });
+    ctx.servers
+        .observe_both(ObservedEvent::UploadBatch { time: 1, count: 8 });
+    ctx.servers
+        .observe_both(ObservedEvent::CacheAppend { time: 1, count: 8 });
+    ctx.servers
+        .observe_both(ObservedEvent::ViewSync { time: 2, count: 5 });
     for server in [&ctx.servers.s0, &ctx.servers.s1] {
         assert_eq!(server.transcript().len(), 3);
         for event in server.transcript() {

@@ -29,7 +29,10 @@ fn sparse_standard_burst_preserve_framework_invariants() {
         let cfg = IncShrinkConfig::tpcds_default(UpdateStrategy::DpTimer { interval: 11 });
         let report = Simulation::new(ds, cfg, 10).run();
         let last = report.steps.last().unwrap();
-        assert!(last.view_real as u64 <= last.true_count, "{name}: no overcount");
+        assert!(
+            last.view_real as u64 <= last.true_count,
+            "{name}: no overcount"
+        );
         assert!(report.summary.avg_qet_secs > 0.0, "{name}: queries ran");
     }
 }
@@ -96,8 +99,7 @@ fn mean_arrival_rates_match_paper_statistics() {
     let tpcds = TpcDsGenerator::default_config().generate();
     let cpdb = CpdbGenerator::default_config().generate();
     let q = JoinQuery { window: 10 };
-    let tpcds_rate =
-        logical_join_count(&tpcds, &q, u64::MAX) as f64 / tpcds.params.steps as f64;
+    let tpcds_rate = logical_join_count(&tpcds, &q, u64::MAX) as f64 / tpcds.params.steps as f64;
     let cpdb_rate = logical_join_count(&cpdb, &q, u64::MAX) as f64 / cpdb.params.steps as f64;
     assert!((tpcds_rate - 2.7).abs() < 0.7, "TPC-ds rate {tpcds_rate}");
     assert!((cpdb_rate - 9.8).abs() < 2.5, "CPDB rate {cpdb_rate}");

@@ -1,0 +1,155 @@
+//! Minimal, dependency-free stand-in for the parts of the `rand` crate that the
+//! IncShrink workspace uses.
+//!
+//! The build environment for this reproduction is fully offline, so the real
+//! `rand` crate cannot be fetched from crates.io. This shim implements the exact
+//! API surface the workspace consumes — [`Rng`], [`SeedableRng`],
+//! [`rngs::StdRng`], [`seq::SliceRandom`] and the [`distributions::Distribution`]
+//! trait — with deterministic, seedable xoshiro256++ generation underneath.
+//! Statistical quality is more than sufficient for the simulation and tests; the
+//! stream is *not* compatible with the real `rand` crate's `StdRng`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// Core source of randomness: a stream of 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// User-facing random value generation, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// Sample from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a fixed-size byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build a generator from a `u64` via the SplitMix64 expander.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut sm).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 step: advances `state` and returns the next output word.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u64 = rng.gen_range(1..=10u64);
+            assert!((1..=10).contains(&x));
+            let y: u32 = rng.gen_range(0..100);
+            assert!(y < 100);
+            let f: f64 = rng.gen_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_float_is_half_open() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

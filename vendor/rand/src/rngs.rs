@@ -1,0 +1,51 @@
+//! Concrete generators.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// Deterministic, seedable generator (xoshiro256++ underneath).
+///
+/// API-compatible with `rand::rngs::StdRng` for the operations this workspace
+/// uses; the output stream differs from the real crate's ChaCha-based `StdRng`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ by Blackman & Vigna (public domain reference construction).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        if s == [0, 0, 0, 0] {
+            // The all-zero state is a fixed point of the transition; re-expand.
+            let mut sm = 0x5DEE_CE66_D001u64;
+            for word in s.iter_mut() {
+                *word = splitmix64(&mut sm);
+            }
+        }
+        Self { s }
+    }
+}

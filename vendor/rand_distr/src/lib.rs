@@ -1,0 +1,95 @@
+//! Minimal stand-in for the parts of `rand_distr` used by the IncShrink
+//! workload generators: the [`Distribution`] trait (re-exported from the local
+//! `rand` shim) and a [`Poisson`] sampler.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use rand::distributions::{Distribution, Standard};
+use rand::Rng;
+
+/// Poisson distribution with rate `λ > 0`, sampling `f64` counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+/// Error constructing a [`Poisson`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoissonError {
+    /// `λ` was zero, negative, NaN or infinite.
+    ShapeTooSmall,
+}
+
+impl std::fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lambda must be positive and finite")
+    }
+}
+
+impl std::error::Error for PoissonError {}
+
+impl Poisson {
+    /// Create a Poisson distribution with the given rate.
+    pub fn new(lambda: f64) -> Result<Self, PoissonError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Self { lambda })
+        } else {
+            Err(PoissonError::ShapeTooSmall)
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Knuth's multiplicative method, applied in chunks of λ ≤ 30 using the
+        // additivity of Poisson variables so `exp(-λ)` never underflows.
+        let mut remaining = self.lambda;
+        let mut total = 0u64;
+        while remaining > 0.0 {
+            let lam = remaining.min(30.0);
+            remaining -= lam;
+            let limit = (-lam).exp();
+            let mut product: f64 = Standard.sample(rng);
+            let mut count = 0u64;
+            while product > limit {
+                count += 1;
+                let unit: f64 = Standard.sample(rng);
+                product *= unit;
+            }
+            total += count;
+        }
+        total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn mean_is_close_to_lambda() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &lambda in &[0.5, 2.7, 9.8, 45.0] {
+            let dist = Poisson::new(lambda).unwrap();
+            let n = 4000;
+            let total: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum();
+            let mean = total / n as f64;
+            let tol = 4.0 * (lambda / n as f64).sqrt() + 0.05;
+            assert!(
+                (mean - lambda).abs() < tol,
+                "lambda {lambda}: mean {mean} outside tolerance {tol}"
+            );
+        }
+    }
+}

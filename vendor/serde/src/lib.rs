@@ -1,0 +1,234 @@
+//! Minimal stand-in for the `serde` crate, for fully-offline builds.
+//!
+//! The real serde models serialization through a visitor-based data model; this
+//! shim instead serializes directly into an owned JSON-like [`Value`] tree,
+//! which is all the IncShrink benchmark reporters need. `#[derive(Serialize)]`
+//! and `#[derive(Deserialize)]` are provided by the companion `serde_derive`
+//! shim crate (the latter is a no-op: nothing in this workspace deserializes).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Owned JSON-like data model produced by [`Serialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array of values.
+    Array(Vec<Value>),
+    /// Object: insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can serialize themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the [`Value`] representation of `self`.
+    fn serialize(&self) -> Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($variant:ident : $conv:ty => $($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::$variant(*self as $conv)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(Int: i64 => i8, i16, i32, i64, isize);
+impl_serialize_int!(UInt: u64 => u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn serialize(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(v) => Value::UInt(v),
+            Err(_) => Value::String(self.to_string()),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => Value::Int(v),
+            Err(_) => Value::String(self.to_string()),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+    )+};
+}
+
+impl_serialize_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+/// Render a serialized key as a JSON object key.
+fn key_string(value: Value) -> String {
+    match value {
+        Value::String(s) => s,
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Float(f) => f.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.serialize()), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k.serialize()), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+/// Marker trait mirroring `serde::Deserialize`; nothing in this workspace
+/// actually deserializes, so the derive emits no code and the trait is empty.
+pub trait Deserialize {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.serialize(), Value::UInt(3));
+        assert_eq!((-4i64).serialize(), Value::Int(-4));
+        assert_eq!(true.serialize(), Value::Bool(true));
+        assert_eq!("hi".serialize(), Value::String("hi".into()));
+        assert_eq!(None::<u32>.serialize(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].serialize(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+    }
+
+    #[test]
+    fn maps_serialize_with_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(2u64, "b");
+        m.insert(1u64, "a");
+        assert_eq!(
+            m.serialize(),
+            Value::Object(vec![
+                ("1".into(), Value::String("a".into())),
+                ("2".into(), Value::String("b".into())),
+            ])
+        );
+    }
+}

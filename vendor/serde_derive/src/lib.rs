@@ -1,0 +1,337 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim.
+//!
+//! The real `serde_derive` is built on `syn`/`quote`, neither of which is
+//! available in this offline build environment, so the item is parsed directly
+//! from the raw [`proc_macro::TokenStream`]. Supported shapes — which cover
+//! every type in this workspace — are non-generic `struct`s (named, tuple and
+//! unit) and non-generic `enum`s (unit, tuple and struct variants), serialized
+//! with serde's externally-tagged JSON conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shim's `serde::Serialize` (serialization into `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+                entries.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(arity) => match arity {
+            0 => "::serde::Value::Null".to_string(),
+            1 => "::serde::Serialize::serialize(&self.0)".to_string(),
+            n => {
+                let entries: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                    entries.join(", ")
+                )
+            }
+        },
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| variant_arm(&item.name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name
+    );
+    out.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derive the shim's `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive generated invalid Rust")
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.fields {
+        VariantFields::Unit => format!(
+            "{enum_name}::{vn} => \
+             ::serde::Value::String(::std::string::String::from(\"{vn}\")),"
+        ),
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::serialize(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                    .collect();
+                format!(
+                    "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "{enum_name}::{vn}({binds}) => ::serde::Value::Object(\
+                 ::std::vec::Vec::from([(::std::string::String::from(\"{vn}\"), {payload})])),",
+                binds = binds.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vn} {{ {fields} }} => ::serde::Value::Object(\
+                 ::std::vec::Vec::from([(::std::string::String::from(\"{vn}\"), \
+                 ::serde::Value::Object(::std::vec::Vec::from([{entries}])))])),",
+                fields = fields.join(", "),
+                entries = entries.join(", ")
+            )
+        }
+    }
+}
+
+/// Cursor over a flat token list with attribute/visibility skipping.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skip `#[...]` attributes (including doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                other => panic!("serde_derive: expected [...] after '#', found {other:?}"),
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(...)`, `crate` visibility qualifiers.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, context: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier ({context}), found {other:?}"),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident("struct/enum keyword");
+    let name = cur.expect_ident("item name");
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde_derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Parse `name: Type, ...` skipping attributes and visibility; commas inside
+/// angle brackets (generic types) are not separators.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attributes();
+        cur.skip_visibility();
+        if cur.at_end() {
+            break;
+        }
+        fields.push(cur.expect_ident("field name"));
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected ':' after field, found {other:?}"),
+        }
+        skip_type_until_comma(&mut cur);
+    }
+    fields
+}
+
+/// Advance past a type, stopping after the top-level ',' (or at end of stream).
+fn skip_type_until_comma(cur: &mut Cursor) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = cur.next() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0usize;
+    loop {
+        cur.skip_attributes();
+        cur.skip_visibility();
+        if cur.at_end() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&mut cur);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = VariantFields::Named(parse_named_fields(g.stream()));
+                cur.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = VariantFields::Tuple(count_tuple_fields(g.stream()));
+                cur.pos += 1;
+                f
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut angle_depth = 0usize;
+        while let Some(tok) = cur.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        cur.pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            cur.pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

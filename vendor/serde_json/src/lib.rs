@@ -1,0 +1,176 @@
+//! JSON rendering over the offline serde shim's [`serde::Value`] data model.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use serde::{Serialize, Value};
+
+/// Error type for JSON serialization. The shim's renderer is total, so this is
+/// never actually produced; it exists so call sites keep serde_json's
+/// `Result`-based signatures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization failed")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.serialize(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.serialize(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => out.push_str(&render_float(*f)),
+        Value::String(s) => render_string(s, out),
+        Value::Array(items) => {
+            render_seq(
+                items.iter(),
+                items.len(),
+                '[',
+                ']',
+                indent,
+                depth,
+                out,
+                |v, d, o| render(v, indent, d, o),
+            );
+        }
+        Value::Object(entries) => {
+            render_seq(
+                entries.iter(),
+                entries.len(),
+                '{',
+                '}',
+                indent,
+                depth,
+                out,
+                |(k, v), d, o| {
+                    render_string(k, o);
+                    o.push(':');
+                    if indent.is_some() {
+                        o.push(' ');
+                    }
+                    render(v, indent, d, o);
+                },
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_seq<I: Iterator>(
+    items: I,
+    len: usize,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut render_item: impl FnMut(I::Item, usize, &mut String),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        render_item(item, depth + 1, out);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn render_float(f: f64) -> String {
+    if !f.is_finite() {
+        // JSON has no NaN/Infinity; serde_json errors here, we degrade to null.
+        return "null".to_string();
+    }
+    if f == f.trunc() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::Object(vec![("x".into(), Value::Array(vec![Value::Int(-1)]))]);
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "{\n  \"x\": [\n    -1\n  ]\n}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string(&"a\"b\\c\nd").unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn floats_render_as_json_numbers() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}
