@@ -1,0 +1,192 @@
+//! Scatter-gather execution of the analyst's counting query across shard views.
+//!
+//! Each shard answers the query with the usual oblivious scan of its own (smaller)
+//! materialized view; the cluster then obliviously aggregates the `S` secret-shared
+//! partial counts into the final answer with a tree of secure additions. Because the
+//! shard scans run on independent server pairs *in parallel*, the cluster query
+//! execution time is the **slowest shard's scan plus the aggregation rounds** — which
+//! is how sharding turns the view scan's linear cost into roughly `|V|/S`.
+
+use incshrink::query::view_count_query;
+use incshrink::MaterializedView;
+use incshrink_mpc::cost::{CostModel, CostReport, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// One shard's partial answer to a scatter-gathered query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardAnswer {
+    /// Shard index.
+    pub shard: usize,
+    /// The shard's partial count.
+    pub answer: u64,
+    /// Simulated execution time of the shard's local (view scan or join) work.
+    pub qet: SimDuration,
+}
+
+/// Result of one cluster query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterQueryResult {
+    /// The aggregated count returned to the analyst.
+    pub answer: u64,
+    /// Cluster query execution time: slowest shard scan + oblivious aggregation.
+    pub qet: SimDuration,
+    /// The slowest shard's local execution time.
+    pub max_shard_qet: SimDuration,
+    /// Simulated time of the cross-shard oblivious aggregation.
+    pub aggregation_qet: SimDuration,
+    /// Per-shard partial answers (protocol-internal; exposed for reporting).
+    pub per_shard: Vec<ShardAnswer>,
+}
+
+/// Fans the counting query out to every shard view and obliviously aggregates the
+/// partial counts.
+#[derive(Debug, Clone, Copy)]
+pub struct ScatterGatherExecutor {
+    cost_model: CostModel,
+}
+
+impl Default for ScatterGatherExecutor {
+    fn default() -> Self {
+        Self::new(CostModel::default())
+    }
+}
+
+impl ScatterGatherExecutor {
+    /// An executor pricing shard scans and aggregation with `cost_model`.
+    #[must_use]
+    pub fn new(cost_model: CostModel) -> Self {
+        Self { cost_model }
+    }
+
+    /// Oblivious-operation cost of combining `shards` secret-shared partial counts:
+    /// a binary tree of secure 32-bit additions (`S − 1` adds over `⌈log₂ S⌉`
+    /// communication rounds) followed by one reveal round towards the analyst. A
+    /// single shard needs no cross-shard combine at all, so its report is empty —
+    /// which is what makes a 1-shard cluster query cost exactly the single-pair cost.
+    #[must_use]
+    pub fn aggregation_cost(shards: usize) -> CostReport {
+        if shards <= 1 {
+            return CostReport::default();
+        }
+        let tree_rounds = u64::from(usize::BITS - (shards - 1).leading_zeros());
+        CostReport {
+            secure_adds: (shards - 1) as u64,
+            bytes_communicated: 8 * shards as u64,
+            rounds: tree_rounds + 1,
+            ..CostReport::default()
+        }
+    }
+
+    /// Gather pre-computed per-shard partial answers (count + local execution time)
+    /// into the cluster result. Used directly by the cluster driver for strategies
+    /// whose per-shard work is not a view scan (the NM baseline recomputes the join).
+    #[must_use]
+    pub fn gather(&self, partials: &[(u64, SimDuration)]) -> ClusterQueryResult {
+        let per_shard: Vec<ShardAnswer> = partials
+            .iter()
+            .enumerate()
+            .map(|(shard, &(answer, qet))| ShardAnswer { shard, answer, qet })
+            .collect();
+        let answer = per_shard.iter().map(|s| s.answer).sum();
+        let max_shard_qet = per_shard
+            .iter()
+            .map(|s| s.qet)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let aggregation_qet = self
+            .cost_model
+            .simulate(&Self::aggregation_cost(per_shard.len()));
+        ClusterQueryResult {
+            answer,
+            qet: max_shard_qet + aggregation_qet,
+            max_shard_qet,
+            aggregation_qet,
+            per_shard,
+        }
+    }
+
+    /// Scatter the counting query across shard views (one oblivious scan per shard,
+    /// executed in parallel by the shard pairs) and gather the partial counts.
+    #[must_use]
+    pub fn execute(&self, views: &[&MaterializedView]) -> ClusterQueryResult {
+        let partials: Vec<(u64, SimDuration)> = views
+            .iter()
+            .map(|view| {
+                let res = view_count_query(view, &self.cost_model);
+                (res.answer, res.qet)
+            })
+            .collect();
+        self.gather(&partials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incshrink_mpc::cost::SimDuration;
+
+    fn dur(secs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn aggregation_cost_is_free_for_one_shard_and_logarithmic_after() {
+        assert!(ScatterGatherExecutor::aggregation_cost(0).is_empty());
+        assert!(ScatterGatherExecutor::aggregation_cost(1).is_empty());
+        let two = ScatterGatherExecutor::aggregation_cost(2);
+        assert_eq!(two.secure_adds, 1);
+        assert_eq!(two.rounds, 2, "one tree level + reveal");
+        let eight = ScatterGatherExecutor::aggregation_cost(8);
+        assert_eq!(eight.secure_adds, 7);
+        assert_eq!(eight.rounds, 4, "three tree levels + reveal");
+        assert_eq!(ScatterGatherExecutor::aggregation_cost(5).rounds, 4);
+    }
+
+    #[test]
+    fn gather_sums_answers_and_takes_slowest_shard() {
+        let exec = ScatterGatherExecutor::default();
+        let res = exec.gather(&[(10, dur(0.2)), (5, dur(0.7)), (1, dur(0.1))]);
+        assert_eq!(res.answer, 16);
+        assert_eq!(res.max_shard_qet, dur(0.7));
+        assert!(res.aggregation_qet.as_secs_f64() > 0.0);
+        assert_eq!(res.qet, res.max_shard_qet + res.aggregation_qet);
+        assert_eq!(res.per_shard.len(), 3);
+        assert_eq!(res.per_shard[1].shard, 1);
+    }
+
+    #[test]
+    fn single_shard_gather_matches_local_cost_exactly() {
+        let exec = ScatterGatherExecutor::default();
+        let res = exec.gather(&[(42, dur(0.3))]);
+        assert_eq!(res.answer, 42);
+        assert_eq!(res.qet, dur(0.3), "no aggregation overhead for one shard");
+        assert_eq!(res.aggregation_qet, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn execute_scans_each_view() {
+        use incshrink_secretshare::arrays::SharedArrayPair;
+        use incshrink_secretshare::tuple::PlainRecord;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut make_view = |real: usize, dummy: usize| {
+            let mut records: Vec<PlainRecord> = (0..real)
+                .map(|i| PlainRecord::real(vec![i as u32, 0]))
+                .collect();
+            records.extend((0..dummy).map(|_| PlainRecord::dummy(2)));
+            let mut v = MaterializedView::new();
+            v.append(SharedArrayPair::share_records(&records, &mut rng));
+            v
+        };
+        let a = make_view(7, 3);
+        let b = make_view(2, 100);
+        let exec = ScatterGatherExecutor::default();
+        let res = exec.execute(&[&a, &b]);
+        assert_eq!(res.answer, 9);
+        // Shard b carries far more padding, so it is the slowest shard.
+        assert_eq!(res.max_shard_qet, res.per_shard[1].qet);
+        assert!(res.per_shard[1].qet > res.per_shard[0].qet);
+    }
+}

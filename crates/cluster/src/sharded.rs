@@ -1,0 +1,465 @@
+//! The sharded cluster simulation driver.
+//!
+//! [`ShardedSimulation`] generalizes the single-pair `incshrink::Simulation` to `S`
+//! server pairs: the workload is hash-partitioned by join key ([`crate::router`]),
+//! every shard runs its own complete Transform-and-Shrink pipeline
+//! (`incshrink::ShardPipeline`) with an **ε/S privacy budget**, and the analyst's
+//! counting query is scatter-gathered across the shard views
+//! ([`crate::executor`]). Per-step wall-clock is the slowest shard (pairs execute in
+//! parallel); the per-step trace reuses `StepRecord`/`Summary` so all existing
+//! Table-2 style reporting works on cluster runs unchanged.
+//!
+//! # Privacy composition
+//!
+//! Each shard's Shrink releases are `b·(ε/S)`-DP with respect to the shard's input
+//! (Theorem 3 with the shard's budget). Because the router partitions records by join
+//! key, shard inputs are **disjoint at record level**, so parallel composition keeps
+//! the record-level loss at `b·ε/S` — *stronger* than the single-pair guarantee. At
+//! user level a single owner's records may hash to every shard; sequential
+//! composition across the `S` disjoint-data pipelines then yields `S · b · ε/S =
+//! b·ε`, exactly the single-pair user-level guarantee. The ε/S split is what keeps
+//! that bound invariant in the cluster size; [`ClusterPrivacy`] evaluates both bounds
+//! through `incshrink_dp::accountant`.
+
+use crate::executor::ScatterGatherExecutor;
+use crate::router::ShardRouter;
+use incshrink::metrics::{relative_error, SummaryBuilder};
+use incshrink::{IncShrinkConfig, ShardPipeline, StepRecord, Summary, UpdateStrategy};
+use incshrink_dp::accountant::{MechanismApplication, PrivacyAccountant};
+use incshrink_mpc::cost::{CostModel, SimDuration};
+use incshrink_workload::{Dataset, DatasetKind};
+use serde::{Deserialize, Serialize};
+
+/// Per-shard seed stride (golden-ratio increment): shard 0 keeps the cluster seed, so
+/// a 1-shard cluster replays the single-pair simulation bit for bit.
+const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Cluster-level privacy bounds evaluated via `incshrink_dp::accountant`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterPrivacy {
+    /// Number of shard pipelines.
+    pub shards: usize,
+    /// ε handed to each shard's Shrink instance (`ε / S`).
+    pub per_shard_epsilon: f64,
+    /// Record-level lifetime loss: shard inputs are disjoint, so parallel composition
+    /// takes the max across shards (`b · ε/S`).
+    pub record_level_epsilon: f64,
+    /// User-level lifetime loss when one owner's records reach every shard:
+    /// sequential composition across shards (`S · b · ε/S = b·ε`).
+    pub user_level_epsilon: f64,
+}
+
+impl ClusterPrivacy {
+    /// Evaluate the composed bounds for a cluster configuration.
+    ///
+    /// Both bounds come out of `incshrink_dp::accountant`'s composition semantics:
+    ///
+    /// * **Record level** — a record's key routes it to exactly one shard, so only
+    ///   that shard's releases ever touch it; Theorem 3's budgeted bound
+    ///   ([`PrivacyAccountant::budgeted_epsilon`], count-independent over a record's
+    ///   lifetime) applied to that single pipeline gives `b · ε/S`.
+    /// * **User level** — one owner's records may hash to every shard, so the `S`
+    ///   pipelines each consume a full lifetime budget `b` over data overlapping in
+    ///   that user; sequential composition
+    ///   ([`PrivacyAccountant::unbudgeted_epsilon`] over `S` non-disjoint
+    ///   `b`-stable applications) sums to `S · b · ε/S = b·ε` — the single-pair
+    ///   guarantee, invariant in the cluster size.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero.
+    #[must_use]
+    pub fn compose(config: &IncShrinkConfig, shards: usize) -> Self {
+        assert!(shards > 0, "cluster needs at least one shard");
+        let per_shard_epsilon = config.epsilon / shards as f64;
+
+        let mut per_record = PrivacyAccountant::new();
+        per_record.record(MechanismApplication {
+            mechanism_epsilon: per_shard_epsilon,
+            stability: config.truncation_bound,
+            disjoint: false,
+        });
+        let record_level_epsilon = per_record.budgeted_epsilon(config.contribution_budget);
+
+        let mut per_user = PrivacyAccountant::new();
+        for _ in 0..shards {
+            per_user.record(MechanismApplication {
+                mechanism_epsilon: per_shard_epsilon,
+                stability: config.contribution_budget,
+                disjoint: false,
+            });
+        }
+        Self {
+            shards,
+            per_shard_epsilon,
+            record_level_epsilon,
+            user_level_epsilon: per_user.unbudgeted_epsilon(),
+        }
+    }
+}
+
+/// End-of-run statistics for one shard pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// View synchronizations this shard issued.
+    pub sync_count: u64,
+    /// Final (real + dummy) view length.
+    pub view_len: usize,
+    /// Final real view entries.
+    pub view_real: usize,
+    /// Final secure-cache length.
+    pub cache_len: usize,
+    /// Real join pairs this shard's ω truncation dropped.
+    pub truncation_losses: u64,
+    /// Total simulated MPC time on this shard's server pair.
+    pub mpc_secs: f64,
+}
+
+/// Full result of one cluster run. Mirrors `incshrink::RunReport` (same
+/// [`StepRecord`] / [`Summary`] shapes) with shard-level detail on top.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterRunReport {
+    /// Which dataset kind was replayed.
+    pub dataset: DatasetKind,
+    /// The *cluster-level* configuration (shards run with `epsilon / S`).
+    pub config: IncShrinkConfig,
+    /// Number of shard pipelines.
+    pub shards: usize,
+    /// Per-step cluster trace (answers aggregated, times are slowest-shard).
+    pub steps: Vec<StepRecord>,
+    /// Aggregated cluster summary.
+    pub summary: Summary,
+    /// Per-shard end-of-run statistics.
+    pub shard_reports: Vec<ShardReport>,
+    /// Composed privacy bounds.
+    pub privacy: ClusterPrivacy,
+    /// Mean slowest-shard view-scan time per issued query (the quantity that shrinks
+    /// ∝ 1/S as shards are added).
+    pub avg_max_shard_qet_secs: f64,
+    /// Mean cross-shard aggregation time per issued query.
+    pub avg_aggregation_secs: f64,
+}
+
+impl ClusterRunReport {
+    /// Convenience accessor: the number of simulated steps.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.steps.len() as u64
+    }
+}
+
+/// Derive the configuration each shard pipeline runs with.
+///
+/// Two adjustments compose:
+///
+/// * **ε/S budget split** — every shard's Shrink noise is drawn with `ε/S`, which is
+///   what keeps the user-level guarantee invariant in the cluster size.
+/// * **Cadence stretched to the shard's arrival rate** — a shard sees `1/S` of the
+///   view-entry rate, so the paper's `T = ⌊θ/rate⌋` correspondence gives `S·T` for
+///   the `sDPTimer` interval, while the `sDPANT` threshold θ stays unchanged (the
+///   shard counter simply takes `S×` longer to reach it). Fewer, equally sized
+///   releases per shard is also what bounds the per-shard dummy padding: each
+///   release pads by `O(b·S/ε)` expected dummies, so keeping the *number* of
+///   releases at `1/S` of the single-pair run keeps per-shard padding at the
+///   single-pair level while the real entries shrink by `1/S`.
+#[must_use]
+pub fn shard_config(config: &IncShrinkConfig, shards: usize) -> IncShrinkConfig {
+    let mut cfg = *config;
+    cfg.epsilon = config.epsilon / shards as f64;
+    if let UpdateStrategy::DpTimer { interval } = config.strategy {
+        cfg.strategy = UpdateStrategy::DpTimer {
+            interval: interval.saturating_mul(shards as u64),
+        };
+    }
+    cfg
+}
+
+/// The sharded cluster simulation: `S` hash-partitioned shard pipelines stepped in
+/// lockstep with a scatter-gather query executor on top.
+pub struct ShardedSimulation {
+    dataset: Dataset,
+    config: IncShrinkConfig,
+    shards: usize,
+    seed: u64,
+    cost_model: CostModel,
+}
+
+impl ShardedSimulation {
+    /// Create a cluster simulation over a workload.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero or the configuration fails
+    /// `IncShrinkConfig::validate` (before or after the ε/S split).
+    #[must_use]
+    pub fn new(dataset: Dataset, config: IncShrinkConfig, shards: usize, seed: u64) -> Self {
+        assert!(shards > 0, "cluster needs at least one shard");
+        for cfg in [&config, &shard_config(&config, shards)] {
+            if let Some(problem) = cfg.validate() {
+                panic!("invalid IncShrink cluster configuration: {problem}");
+            }
+        }
+        Self {
+            dataset,
+            config,
+            shards,
+            seed,
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Use a non-default cost model (e.g. WAN) for the simulated timings.
+    #[must_use]
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Run the cluster simulation to completion.
+    #[must_use]
+    pub fn run(self) -> ClusterRunReport {
+        let ShardedSimulation {
+            dataset,
+            config,
+            shards,
+            seed,
+            cost_model,
+        } = self;
+
+        let steps = dataset.params.steps;
+        let kind = dataset.kind;
+        let per_shard_config = shard_config(&config, shards);
+        let router = ShardRouter::new(shards);
+        let mut pipelines: Vec<ShardPipeline> = router
+            .partition(&dataset)
+            .into_iter()
+            .enumerate()
+            .map(|(i, part)| {
+                ShardPipeline::new(
+                    part,
+                    per_shard_config,
+                    seed.wrapping_add((i as u64).wrapping_mul(SHARD_SEED_STRIDE)),
+                    cost_model,
+                )
+            })
+            .collect();
+        let executor = ScatterGatherExecutor::new(cost_model);
+
+        let mut builder = SummaryBuilder::new();
+        let mut trace = Vec::with_capacity(steps as usize);
+        let mut max_shard_qet_sum = 0.0;
+        let mut aggregation_sum = 0.0;
+        let mut queries = 0u64;
+
+        for t in 1..=steps {
+            // Step every shard pipeline; the pairs run in parallel, so the cluster's
+            // per-phase wall-clock is the slowest shard.
+            let outcomes: Vec<_> = pipelines.iter_mut().map(|p| p.advance(t)).collect();
+            let transform_max = outcomes.iter().filter_map(|o| o.transform_duration).max();
+            let shrink_max = outcomes.iter().filter_map(|o| o.shrink_duration).max();
+            let shrink_did_work = outcomes.iter().any(|o| o.shrink_did_work);
+            let synced = outcomes.iter().any(|o| o.synced);
+            if let Some(duration) = transform_max {
+                builder.record_transform(duration);
+            }
+            if let Some(duration) = shrink_max {
+                builder.record_shrink(duration, shrink_did_work);
+            }
+
+            // Ground truth: the equi-join partition makes shard truths sum to the
+            // global truth.
+            let true_count: u64 = pipelines.iter().map(|p| p.true_count(t)).sum();
+
+            // Scatter-gather query.
+            let mut answer = None;
+            let mut l1 = 0.0;
+            let mut qet = SimDuration::ZERO;
+            if t % config.query_interval == 0 {
+                let gathered = match config.strategy {
+                    UpdateStrategy::NonMaterialized => {
+                        // NM recomputes the oblivious join per shard; gather the
+                        // precomputed partials directly.
+                        let partials: Vec<(u64, SimDuration)> = pipelines
+                            .iter()
+                            .map(|p| (p.true_count(t), p.nm_query_duration()))
+                            .collect();
+                        executor.gather(&partials)
+                    }
+                    _ => {
+                        let views: Vec<&_> = pipelines.iter().map(ShardPipeline::view).collect();
+                        executor.execute(&views)
+                    }
+                };
+                answer = Some(gathered.answer);
+                l1 = gathered.answer.abs_diff(true_count) as f64;
+                qet = gathered.qet;
+                max_shard_qet_sum += gathered.max_shard_qet.as_secs_f64();
+                aggregation_sum += gathered.aggregation_qet.as_secs_f64();
+                queries += 1;
+                builder.record_query(l1, relative_error(gathered.answer, true_count), qet);
+            }
+
+            let view_mb: f64 = pipelines.iter().map(|p| p.view().size_mb()).sum();
+            builder.record_view_size(view_mb);
+            trace.push(StepRecord {
+                time: t,
+                true_count,
+                answer,
+                l1_error: l1,
+                qet_secs: qet.as_secs_f64(),
+                transform_secs: transform_max.map_or(0.0, SimDuration::as_secs_f64),
+                shrink_secs: shrink_max.map_or(0.0, SimDuration::as_secs_f64),
+                view_len: pipelines.iter().map(|p| p.view().len()).sum(),
+                view_real: pipelines.iter().map(|p| p.view().true_cardinality()).sum(),
+                cache_len: pipelines.iter().map(ShardPipeline::cache_len).sum(),
+                synced,
+            });
+        }
+
+        builder.record_totals(
+            pipelines.iter().map(|p| p.view().sync_count()).sum(),
+            pipelines.iter().map(ShardPipeline::truncation_losses).sum(),
+        );
+        let shard_reports: Vec<ShardReport> = pipelines
+            .iter()
+            .enumerate()
+            .map(|(shard, p)| ShardReport {
+                shard,
+                sync_count: p.view().sync_count(),
+                view_len: p.view().len(),
+                view_real: p.view().true_cardinality(),
+                cache_len: p.cache_len(),
+                truncation_losses: p.truncation_losses(),
+                mpc_secs: p.elapsed().as_secs_f64(),
+            })
+            .collect();
+
+        let div = |sum: f64| {
+            if queries == 0 {
+                0.0
+            } else {
+                sum / queries as f64
+            }
+        };
+        ClusterRunReport {
+            dataset: kind,
+            config,
+            shards,
+            steps: trace,
+            summary: builder.build(),
+            shard_reports,
+            privacy: ClusterPrivacy::compose(&config, shards),
+            avg_max_shard_qet_secs: div(max_shard_qet_sum),
+            avg_aggregation_secs: div(aggregation_sum),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incshrink_workload::{TpcDsGenerator, WorkloadParams};
+
+    fn dataset(steps: u64) -> Dataset {
+        TpcDsGenerator::new(WorkloadParams {
+            steps,
+            view_entries_per_step: 2.7,
+            seed: 21,
+        })
+        .generate()
+    }
+
+    fn timer_config() -> IncShrinkConfig {
+        IncShrinkConfig::tpcds_default(UpdateStrategy::DpTimer { interval: 10 })
+    }
+
+    #[test]
+    fn shard_config_splits_epsilon_and_stretches_cadence() {
+        let cfg = timer_config();
+        let split = shard_config(&cfg, 4);
+        assert!((split.epsilon - cfg.epsilon / 4.0).abs() < 1e-12);
+        assert!(matches!(
+            split.strategy,
+            UpdateStrategy::DpTimer { interval: 40 }
+        ));
+        assert_eq!(shard_config(&cfg, 1), cfg, "single shard keeps the config");
+
+        // sDPANT keeps θ: the shard counter reaches it S× more slowly on its own.
+        let ant = IncShrinkConfig::cpdb_default(UpdateStrategy::DpAnt { threshold: 30.0 });
+        let split = shard_config(&ant, 4);
+        assert!(matches!(
+            split.strategy,
+            UpdateStrategy::DpAnt { threshold } if (threshold - 30.0).abs() < 1e-12
+        ));
+        assert_eq!(shard_config(&ant, 1), ant);
+    }
+
+    #[test]
+    fn privacy_composition_is_invariant_in_shard_count() {
+        let cfg = timer_config(); // ε = 1.5, ω = 1, b = 10
+        for shards in [1usize, 2, 4, 8] {
+            let p = ClusterPrivacy::compose(&cfg, shards);
+            assert!((p.per_shard_epsilon - 1.5 / shards as f64).abs() < 1e-12);
+            // Record level: disjoint shards, parallel composition ⇒ b·ε/S.
+            assert!((p.record_level_epsilon - 10.0 * 1.5 / shards as f64).abs() < 1e-9);
+            // User level: sequential across shards ⇒ b·ε, independent of S.
+            assert!((p.user_level_epsilon - 15.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cluster_answers_track_truth_and_shards_share_the_load() {
+        let report = ShardedSimulation::new(dataset(120), timer_config(), 4, 9).run();
+        assert_eq!(report.horizon(), 120);
+        assert_eq!(report.shards, 4);
+        assert_eq!(report.shard_reports.len(), 4);
+        // Each shard's stretched timer (interval 40) fires three times in 120 steps;
+        // small ε/S read sizes can come out empty, but material synchronizations must
+        // still happen across the cluster.
+        assert!(report.summary.sync_count >= 4, "cluster synchronizes");
+        assert!(
+            report
+                .shard_reports
+                .iter()
+                .filter(|s| s.sync_count > 0)
+                .count()
+                >= 3,
+            "most shards synchronize"
+        );
+        // Every shard carries a non-trivial slice of the view.
+        let total_real: usize = report.shard_reports.iter().map(|s| s.view_real).sum();
+        assert_eq!(total_real, report.steps.last().unwrap().view_real);
+        assert!(
+            report
+                .shard_reports
+                .iter()
+                .filter(|s| s.view_real > 0)
+                .count()
+                >= 3
+        );
+        // Aggregation is priced, and the cluster QET decomposes into
+        // slowest-shard scan + aggregation.
+        assert!(report.avg_aggregation_secs > 0.0);
+        assert!(
+            (report.summary.avg_qet_secs
+                - (report.avg_max_shard_qet_secs + report.avg_aggregation_secs))
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn nm_strategy_scatter_gathers_exact_answers() {
+        let cfg = IncShrinkConfig::tpcds_default(UpdateStrategy::NonMaterialized);
+        let report = ShardedSimulation::new(dataset(30), cfg, 2, 3).run();
+        assert!(report.summary.avg_l1_error < 1e-9, "NM recomputes exactly");
+        assert_eq!(report.summary.sync_count, 0);
+        assert!(report.summary.avg_qet_secs > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedSimulation::new(dataset(10), timer_config(), 0, 1);
+    }
+}

@@ -6,11 +6,17 @@
 //! materialized view (or a baseline strategy routes ΔV directly), and the analyst's
 //! counting query is issued every `query_interval` steps. The result is a
 //! [`RunReport`] with a per-step trace and the Table-2 style [`Summary`].
+//!
+//! The maintenance machinery of one server pair — context, outsourced store, secure
+//! cache, Transform, Shrink, materialized view — is factored into [`ShardPipeline`] so
+//! that the same code path serves both the single-pair [`Simulation`] and the sharded
+//! cluster driver (`incshrink-cluster`), which steps `S` independent pipelines in
+//! lockstep and scatter-gathers the analyst's query across their views.
 
 use crate::baselines::{delta_routing, route_delta, DeltaRouting};
 use crate::config::{IncShrinkConfig, UpdateStrategy};
 use crate::metrics::{relative_error, Summary, SummaryBuilder};
-use crate::query::{non_materialized_query_cost, view_count_query};
+use crate::query::{non_materialized_query_cost, view_count_query, QueryResult};
 use crate::shrink::ShrinkProtocol;
 use crate::transform::TransformProtocol;
 use crate::view::{MaterializedView, ViewDefinition};
@@ -72,6 +78,263 @@ impl RunReport {
     }
 }
 
+/// Outcome of one [`ShardPipeline::advance`] call (uploads + Transform + Shrink).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStepOutcome {
+    /// Simulated Transform time; `None` when the strategy did not invoke Transform
+    /// this step (NM always, OTM after its one-time materialization).
+    pub transform_duration: Option<SimDuration>,
+    /// Simulated Shrink time; `None` for strategies that never run Shrink.
+    pub shrink_duration: Option<SimDuration>,
+    /// Whether Shrink performed DP work (synchronization or flush) this step.
+    pub shrink_did_work: bool,
+    /// Whether Shrink issued a view synchronization this step.
+    pub synced: bool,
+}
+
+/// One server pair's complete view-maintenance stack: execution context, outsourced
+/// store, secure cache, Transform, Shrink and the materialized view, stepped one
+/// upload epoch at a time.
+///
+/// [`Simulation`] drives a single pipeline; the cluster layer drives `S` of them
+/// (one per shard) in lockstep and answers queries by scatter-gathering over their
+/// views. Keeping both drivers on this type is what guarantees a 1-shard cluster run
+/// reproduces the single-pair simulation exactly.
+pub struct ShardPipeline {
+    dataset: Dataset,
+    config: IncShrinkConfig,
+    cost_model: CostModel,
+    ctx: TwoPartyContext,
+    upload_rng: StdRng,
+    store: OutsourcedStore,
+    cache: SecureCache,
+    view: MaterializedView,
+    transform: TransformProtocol,
+    shrink: ShrinkProtocol,
+    truth: Vec<u64>,
+    public_right_len: usize,
+    left_arity: usize,
+    right_arity: usize,
+}
+
+impl ShardPipeline {
+    /// Build the pipeline for one (shard of a) workload.
+    ///
+    /// # Panics
+    /// Panics when the configuration fails [`IncShrinkConfig::validate`].
+    #[must_use]
+    pub fn new(
+        dataset: Dataset,
+        config: IncShrinkConfig,
+        seed: u64,
+        cost_model: CostModel,
+    ) -> Self {
+        if let Some(problem) = config.validate() {
+            panic!("invalid IncShrink configuration: {problem}");
+        }
+        let steps = dataset.params.steps;
+        let view_def = ViewDefinition::for_dataset(&dataset);
+        let truth = logical_join_counts_per_step(&dataset, &view_def.as_query(), steps);
+
+        let public_right: Option<Vec<Vec<u32>>> = dataset.right_is_public.then(|| {
+            dataset
+                .right
+                .updates()
+                .iter()
+                .map(|u| u.fields.clone())
+                .collect()
+        });
+        let public_right_len = public_right.as_ref().map_or(0, Vec::len);
+
+        let transform = TransformProtocol::new(
+            view_def,
+            config.truncation_bound,
+            config.contribution_budget,
+            public_right,
+        );
+        let shrink = ShrinkProtocol::new(&config);
+        let left_arity = dataset.left.schema.arity();
+        let right_arity = dataset.right.schema.arity();
+
+        Self {
+            ctx: TwoPartyContext::new(seed, cost_model),
+            upload_rng: StdRng::seed_from_u64(seed ^ 0x0B17_A5E5),
+            store: OutsourcedStore::new(),
+            cache: SecureCache::new(),
+            view: MaterializedView::new(),
+            transform,
+            shrink,
+            truth,
+            public_right_len,
+            left_arity,
+            right_arity,
+            dataset,
+            config,
+            cost_model,
+        }
+    }
+
+    /// The configuration this pipeline runs with.
+    #[must_use]
+    pub fn config(&self) -> &IncShrinkConfig {
+        &self.config
+    }
+
+    /// Number of upload epochs in the pipeline's workload.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.dataset.params.steps
+    }
+
+    /// The materialized view the analyst queries.
+    #[must_use]
+    pub fn view(&self) -> &MaterializedView {
+        &self.view
+    }
+
+    /// Current secure-cache length.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Cumulative real join pairs dropped by the ω truncation.
+    #[must_use]
+    pub fn truncation_losses(&self) -> u64 {
+        self.transform.truncation_losses()
+    }
+
+    /// Total simulated MPC time this pipeline's context has accumulated.
+    #[must_use]
+    pub fn elapsed(&self) -> SimDuration {
+        self.ctx.elapsed()
+    }
+
+    /// Ground-truth logical answer over this pipeline's (shard of the) data at step
+    /// `t` (1-based; `t = 0` is the empty database).
+    ///
+    /// # Panics
+    /// Panics when `t` exceeds the workload horizon — error metrics computed against
+    /// a silently wrong truth would be worse than failing fast.
+    #[must_use]
+    pub fn true_count(&self, t: u64) -> u64 {
+        if t == 0 {
+            return 0;
+        }
+        self.truth[(t - 1) as usize]
+    }
+
+    /// Execute the counting query over this pipeline's view: one oblivious scan.
+    #[must_use]
+    pub fn query(&self) -> QueryResult {
+        view_count_query(&self.view, &self.cost_model)
+    }
+
+    /// Simulated cost of answering the query without a view (NM baseline) over this
+    /// pipeline's accumulated outsourced data.
+    #[must_use]
+    pub fn nm_query_duration(&self) -> SimDuration {
+        let n_left = self.store.relation(Relation::Left).len() as u64;
+        let n_right = if self.dataset.right_is_public {
+            self.public_right_len as u64
+        } else {
+            self.store.relation(Relation::Right).len() as u64
+        };
+        let (duration, _) = non_materialized_query_cost(
+            n_left,
+            n_right,
+            (self.left_arity + self.right_arity) as u64,
+            self.config.truncation_bound,
+            &self.cost_model,
+        );
+        duration
+    }
+
+    /// Run one upload epoch: owner uploads, Transform (strategy dependent) and Shrink
+    /// (DP strategies only). Queries are issued separately via [`Self::query`] so a
+    /// cluster driver can scatter-gather them across shards.
+    pub fn advance(&mut self, t: u64) -> PipelineStepOutcome {
+        let mut outcome = PipelineStepOutcome::default();
+
+        // --- Owner uploads (fixed-size padded batches every step).
+        let left_updates = self.dataset.left.arrivals_at(t);
+        let left_batch = UploadBatch::from_updates(
+            Relation::Left,
+            t,
+            &left_updates,
+            self.left_arity,
+            self.dataset.left_batch_size,
+            &mut self.upload_rng,
+        );
+        self.ctx.servers.observe_both(ObservedEvent::UploadBatch {
+            time: t,
+            count: left_batch.len(),
+        });
+        self.store.ingest(&left_batch);
+
+        let right_batch = if self.dataset.right_is_public {
+            None
+        } else {
+            let right_updates = self.dataset.right.arrivals_at(t);
+            let batch = UploadBatch::from_updates(
+                Relation::Right,
+                t,
+                &right_updates,
+                self.right_arity,
+                self.dataset.right_batch_size,
+                &mut self.upload_rng,
+            );
+            self.ctx.servers.observe_both(ObservedEvent::UploadBatch {
+                time: t,
+                count: batch.len(),
+            });
+            self.store.ingest(&batch);
+            Some(batch)
+        };
+
+        // --- Transform (strategy dependent).
+        let routing = delta_routing(self.config.strategy, t);
+        if routing != DeltaRouting::NoTransform && routing != DeltaRouting::Drop {
+            let full_right_len = if self.dataset.right_is_public {
+                self.public_right_len
+            } else {
+                self.store.relation(Relation::Right).len()
+            };
+            let full_left_len = self.store.relation(Relation::Left).len();
+            let transform_outcome = self.transform.invoke(
+                &mut self.ctx,
+                &left_batch,
+                right_batch.as_ref(),
+                full_right_len,
+                full_left_len,
+            );
+            outcome.transform_duration = Some(transform_outcome.duration);
+            self.ctx.servers.observe_both(ObservedEvent::CacheAppend {
+                time: t,
+                count: transform_outcome.delta.len(),
+            });
+            if let Some(delta) = route_delta(routing, transform_outcome.delta, &mut self.view) {
+                self.cache.write(delta);
+            }
+        } else if routing == DeltaRouting::Drop {
+            // OTM after its one-time materialization: owners still upload, but the
+            // servers perform no view maintenance work.
+        }
+
+        // --- Shrink (DP strategies only).
+        if self.config.strategy.uses_shrink() {
+            let shrink_outcome =
+                self.shrink
+                    .step(&mut self.ctx, &mut self.cache, &mut self.view, t);
+            outcome.shrink_duration = Some(shrink_outcome.duration);
+            outcome.shrink_did_work = shrink_outcome.updated || shrink_outcome.flushed;
+            outcome.synced = shrink_outcome.updated;
+        }
+
+        outcome
+    }
+}
+
 /// The end-to-end simulation.
 pub struct Simulation {
     dataset: Dataset,
@@ -116,142 +379,31 @@ impl Simulation {
         } = self;
 
         let steps = dataset.params.steps;
-        let view_def = ViewDefinition::for_dataset(&dataset);
-        let truth = logical_join_counts_per_step(&dataset, &view_def.as_query(), steps);
-
-        let mut ctx = TwoPartyContext::new(seed, cost_model);
-        let mut upload_rng = StdRng::seed_from_u64(seed ^ 0x0B17_A5E5);
-        let mut store = OutsourcedStore::new();
-        let mut cache = SecureCache::new();
-        let mut view = MaterializedView::new();
-
-        let public_right: Option<Vec<Vec<u32>>> = dataset.right_is_public.then(|| {
-            dataset
-                .right
-                .updates()
-                .iter()
-                .map(|u| u.fields.clone())
-                .collect()
-        });
-        let public_right_len = public_right.as_ref().map_or(0, Vec::len);
-
-        let mut transform = TransformProtocol::new(
-            view_def,
-            config.truncation_bound,
-            config.contribution_budget,
-            public_right.clone(),
-        );
-        let mut shrink = ShrinkProtocol::new(&config);
-
-        let left_arity = dataset.left.schema.arity();
-        let right_arity = dataset.right.schema.arity();
+        let kind = dataset.kind;
+        let mut pipeline = ShardPipeline::new(dataset, config, seed, cost_model);
 
         let mut builder = SummaryBuilder::new();
         let mut trace = Vec::with_capacity(steps as usize);
 
         for t in 1..=steps {
-            // --- Owner uploads (fixed-size padded batches every step).
-            let left_updates = dataset.left.arrivals_at(t);
-            let left_batch = UploadBatch::from_updates(
-                Relation::Left,
-                t,
-                &left_updates,
-                left_arity,
-                dataset.left_batch_size,
-                &mut upload_rng,
-            );
-            ctx.servers.observe_both(ObservedEvent::UploadBatch {
-                time: t,
-                count: left_batch.len(),
-            });
-            store.ingest(&left_batch);
-
-            let right_batch = if dataset.right_is_public {
-                None
-            } else {
-                let right_updates = dataset.right.arrivals_at(t);
-                let batch = UploadBatch::from_updates(
-                    Relation::Right,
-                    t,
-                    &right_updates,
-                    right_arity,
-                    dataset.right_batch_size,
-                    &mut upload_rng,
-                );
-                ctx.servers.observe_both(ObservedEvent::UploadBatch {
-                    time: t,
-                    count: batch.len(),
-                });
-                store.ingest(&batch);
-                Some(batch)
-            };
-
-            // --- Transform (strategy dependent).
-            let routing = delta_routing(config.strategy, t);
-            let mut transform_secs = 0.0;
-            if routing != DeltaRouting::NoTransform && routing != DeltaRouting::Drop {
-                let full_right_len = if dataset.right_is_public {
-                    public_right_len
-                } else {
-                    store.relation(Relation::Right).len()
-                };
-                let full_left_len = store.relation(Relation::Left).len();
-                let outcome = transform.invoke(
-                    &mut ctx,
-                    &left_batch,
-                    right_batch.as_ref(),
-                    full_right_len,
-                    full_left_len,
-                );
-                transform_secs = outcome.duration.as_secs_f64();
-                builder.record_transform(outcome.duration);
-                ctx.servers.observe_both(ObservedEvent::CacheAppend {
-                    time: t,
-                    count: outcome.delta.len(),
-                });
-                if let Some(delta) = route_delta(routing, outcome.delta, &mut view) {
-                    cache.write(delta);
-                }
-            } else if routing == DeltaRouting::Drop {
-                // OTM after its one-time materialization: owners still upload, but the
-                // servers perform no view maintenance work.
+            let outcome = pipeline.advance(t);
+            if let Some(duration) = outcome.transform_duration {
+                builder.record_transform(duration);
             }
-
-            // --- Shrink (DP strategies only).
-            let mut shrink_secs = 0.0;
-            let mut synced = false;
-            if config.strategy.uses_shrink() {
-                let outcome = shrink.step(&mut ctx, &mut cache, &mut view, t);
-                shrink_secs = outcome.duration.as_secs_f64();
-                synced = outcome.updated;
-                builder.record_shrink(outcome.duration, outcome.updated || outcome.flushed);
+            if let Some(duration) = outcome.shrink_duration {
+                builder.record_shrink(duration, outcome.shrink_did_work);
             }
 
             // --- Query.
-            let true_count = truth[(t - 1) as usize];
+            let true_count = pipeline.true_count(t);
             let mut answer = None;
             let mut l1 = 0.0;
             let mut qet = SimDuration::ZERO;
             if t % config.query_interval == 0 {
                 let (ans, duration) = match config.strategy {
-                    UpdateStrategy::NonMaterialized => {
-                        let n_left = store.relation(Relation::Left).len() as u64;
-                        let n_right = if dataset.right_is_public {
-                            public_right_len as u64
-                        } else {
-                            store.relation(Relation::Right).len() as u64
-                        };
-                        let (d, _) = non_materialized_query_cost(
-                            n_left,
-                            n_right,
-                            (left_arity + right_arity) as u64,
-                            config.truncation_bound,
-                            &cost_model,
-                        );
-                        (true_count, d)
-                    }
+                    UpdateStrategy::NonMaterialized => (true_count, pipeline.nm_query_duration()),
                     _ => {
-                        let res = view_count_query(&view, &cost_model);
+                        let res = pipeline.query();
                         (res.answer, res.qet)
                     }
                 };
@@ -261,25 +413,29 @@ impl Simulation {
                 builder.record_query(l1, relative_error(ans, true_count), duration);
             }
 
-            builder.record_view_size(view.size_mb());
+            builder.record_view_size(pipeline.view().size_mb());
             trace.push(StepRecord {
                 time: t,
                 true_count,
                 answer,
                 l1_error: l1,
                 qet_secs: qet.as_secs_f64(),
-                transform_secs,
-                shrink_secs,
-                view_len: view.len(),
-                view_real: view.true_cardinality(),
-                cache_len: cache.len(),
-                synced,
+                transform_secs: outcome
+                    .transform_duration
+                    .map_or(0.0, SimDuration::as_secs_f64),
+                shrink_secs: outcome
+                    .shrink_duration
+                    .map_or(0.0, SimDuration::as_secs_f64),
+                view_len: pipeline.view().len(),
+                view_real: pipeline.view().true_cardinality(),
+                cache_len: pipeline.cache_len(),
+                synced: outcome.synced,
             });
         }
 
-        builder.record_totals(view.sync_count(), transform.truncation_losses());
+        builder.record_totals(pipeline.view().sync_count(), pipeline.truncation_losses());
         RunReport {
-            dataset: dataset.kind,
+            dataset: kind,
             config,
             steps: trace,
             summary: builder.build(),

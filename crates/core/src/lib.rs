@@ -55,7 +55,9 @@ pub mod view;
 /// Convenient re-exports for examples, tests and the benchmark harness.
 pub mod prelude {
     pub use crate::config::{IncShrinkConfig, UpdateStrategy};
-    pub use crate::framework::{RunReport, Simulation, StepRecord};
+    pub use crate::framework::{
+        PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord,
+    };
     pub use crate::metrics::Summary;
     pub use crate::view::{MaterializedView, ViewDefinition};
     pub use incshrink_workload::{
@@ -65,6 +67,6 @@ pub mod prelude {
 }
 
 pub use config::{IncShrinkConfig, UpdateStrategy};
-pub use framework::{RunReport, Simulation, StepRecord};
+pub use framework::{PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord};
 pub use metrics::Summary;
 pub use view::{MaterializedView, ViewDefinition};

@@ -30,11 +30,13 @@ pub fn batcher_comparator_count(n: u64) -> u64 {
     if n < 2 {
         return 0;
     }
-    let p = n.next_power_of_two();
-    let k = p.trailing_zeros() as u64;
+    let p = u128::from(n).next_power_of_two();
+    let k = u128::from(p.trailing_zeros());
     // Exact count for the power-of-two network: p · k · (k + 1) / 4; the pruned
-    // arbitrary-n network is at most this.
-    (p * k * (k + 1)) / 4
+    // arbitrary-n network is at most this. The product overflows u64 once n exceeds
+    // ~2^53 (NM-baseline joins over large outsourced relations), so compute in u128
+    // and saturate on return.
+    u64::try_from((p * k * (k + 1)) / 4).unwrap_or(u64::MAX)
 }
 
 /// Execute the counting query over the materialized view: one oblivious linear scan.
@@ -119,6 +121,22 @@ mod tests {
             let actual = incshrink_oblivious::sort::batcher_pairs(n).len() as u64;
             assert!(actual <= batcher_comparator_count(n as u64));
         }
+    }
+
+    #[test]
+    fn batcher_count_saturates_instead_of_overflowing() {
+        // For n beyond ~2^57 the u64 product p·k·(k+1) used to wrap around; the u128
+        // computation must stay monotone and saturate at u64::MAX.
+        let big = batcher_comparator_count(1 << 50);
+        let bigger = batcher_comparator_count(1 << 54);
+        assert!(bigger > big, "count stays monotone past the old overflow");
+        assert_eq!(batcher_comparator_count(u64::MAX), u64::MAX, "saturates");
+        assert_eq!(batcher_comparator_count(1 << 57), u64::MAX, "saturates");
+        // Sanity: the exact value just below the saturation region.
+        assert_eq!(
+            batcher_comparator_count(1 << 40),
+            (1u64 << 40) * 40 * 41 / 4
+        );
     }
 
     #[test]

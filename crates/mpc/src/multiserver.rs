@@ -41,9 +41,29 @@ impl MultiServerContext {
     #[must_use]
     pub fn new(parties: usize, seed: u64, cost_model: CostModel) -> Self {
         assert!(parties >= 2, "need at least two servers, got {parties}");
-        let servers = (0..parties)
-            .map(|i| NServer {
-                rng: StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F)),
+        let seeds: Vec<u64> = (0..parties)
+            .map(|i| seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+            .collect();
+        Self::with_server_seeds(&seeds, cost_model)
+    }
+
+    /// Create a context with one explicit RNG seed per server. Used by the security
+    /// tests to model an adversary who fixes (knows) up to N − 1 servers' randomness:
+    /// the joint noise must stay unpredictable as long as a single seed is honest.
+    ///
+    /// # Panics
+    /// Panics when fewer than 2 seeds are supplied.
+    #[must_use]
+    pub fn with_server_seeds(seeds: &[u64], cost_model: CostModel) -> Self {
+        assert!(
+            seeds.len() >= 2,
+            "need at least two servers, got {}",
+            seeds.len()
+        );
+        let servers = seeds
+            .iter()
+            .map(|&s| NServer {
+                rng: StdRng::seed_from_u64(s),
                 stored: HashMap::new(),
             })
             .collect();
@@ -158,11 +178,18 @@ impl MultiServerContext {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     #[should_panic(expected = "need at least two servers")]
     fn single_server_rejected() {
         let _ = MultiServerContext::new(1, 0, CostModel::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two servers")]
+    fn single_seed_rejected() {
+        let _ = MultiServerContext::with_server_seeds(&[7], CostModel::default());
     }
 
     #[test]
@@ -218,5 +245,76 @@ mod tests {
         assert!(report.bytes_communicated > 0);
         assert!(duration.as_secs_f64() > 0.0);
         assert_eq!(ctx.elapsed(), duration);
+    }
+
+    /// Seeds where every server except `honest` is adversarially fixed to a constant
+    /// the attacker knows.
+    fn adversarial_seeds(parties: usize, honest: usize, honest_seed: u64) -> Vec<u64> {
+        (0..parties)
+            .map(|i| {
+                if i == honest {
+                    honest_seed
+                } else {
+                    0xADBE_EF00
+                }
+            })
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_joint_noise_distribution_survives_adversarial_seeds(
+            parties in 3usize..7, honest_pick: u64, honest_seed: u64) {
+            // Fix all but one server's RNG seed to an attacker-known constant; as long
+            // as the remaining server is honest, the XOR-combined randomness is
+            // uniform, so the joint Laplace noise keeps its distribution: the mean
+            // absolute deviation of Lap(Δ/ε) samples stays ≈ Δ/ε.
+            let honest = (honest_pick % parties as u64) as usize;
+            let seeds = adversarial_seeds(parties, honest, honest_seed);
+            let mut ctx = MultiServerContext::with_server_seeds(&seeds, CostModel::default());
+            let n = 3000;
+            let mad = (0..n)
+                .map(|_| ctx.joint_laplace(2.0, 1.0, 0.0).abs())
+                .sum::<f64>()
+                / f64::from(n);
+            prop_assert!((mad - 2.0).abs() < 0.35, "mad {mad} with honest server {honest}");
+        }
+
+        #[test]
+        fn prop_joint_randomness_unpredictable_from_corrupted_seeds(
+            parties in 2usize..6, honest_pick: u64, honest_seed: u64) {
+            // Two runs that differ only in the honest server's seed must produce
+            // different joint randomness streams: a coalition fixing the other N − 1
+            // seeds cannot predict (or bias) the combined output.
+            let honest = (honest_pick % parties as u64) as usize;
+            let mut a = MultiServerContext::with_server_seeds(
+                &adversarial_seeds(parties, honest, honest_seed),
+                CostModel::default(),
+            );
+            let mut b = MultiServerContext::with_server_seeds(
+                &adversarial_seeds(parties, honest, honest_seed ^ 0x5A5A_5A5A),
+                CostModel::default(),
+            );
+            let stream_a: Vec<(u32, u64)> = (0..8).map(|_| a.joint_randomness()).collect();
+            let stream_b: Vec<(u32, u64)> = (0..8).map(|_| b.joint_randomness()).collect();
+            prop_assert_ne!(stream_a, stream_b);
+        }
+
+        #[test]
+        fn prop_recover_multi_roundtrips_reshare_inside_mpc(
+            value: u32, parties in 2usize..8, seed: u64) {
+            // The context's reshare path and the raw secretshare API must agree:
+            // resharing inside MPC and XOR-recovering all shares returns the value.
+            let mut ctx = MultiServerContext::new(parties, seed, CostModel::default());
+            ctx.reshare_and_store("roundtrip", value);
+            prop_assert_eq!(ctx.recover_named("roundtrip"), Some(value));
+
+            let mut rng = StdRng::seed_from_u64(seed);
+            let contributions: Vec<Vec<u32>> = (0..parties)
+                .map(|_| (0..parties - 1).map(|_| rng.gen()).collect())
+                .collect();
+            let shares = reshare_inside_mpc(value, &contributions).expect("valid shape");
+            prop_assert_eq!(recover_multi(shares.shares()).expect("enough shares"), value);
+        }
     }
 }

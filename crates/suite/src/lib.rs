@@ -7,7 +7,7 @@
 //! dependency DAG from a single entry point:
 //!
 //! ```text
-//! secretshare ──▶ mpc ──▶ oblivious ──▶ storage ──▶ workload ──▶ core (incshrink)
+//! secretshare ──▶ mpc ──▶ oblivious ──▶ storage ──▶ workload ──▶ core (incshrink) ──▶ cluster
 //!                  └────▶ dp ─────────────────────────────────────┘
 //! ```
 
@@ -15,6 +15,7 @@
 #![deny(missing_docs)]
 
 pub use incshrink;
+pub use incshrink_cluster;
 pub use incshrink_dp;
 pub use incshrink_mpc;
 pub use incshrink_oblivious;

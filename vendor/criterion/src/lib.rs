@@ -2,10 +2,12 @@
 //!
 //! Implements the subset of criterion's API that the IncShrink benches use
 //! (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
-//! `BenchmarkId`, `criterion_group!`, `criterion_main!`). Timing is a simple
-//! calibrated loop: warm up, pick an iteration count targeting a fixed
-//! measurement window, then report the mean wall-clock time per iteration.
-//! There is no statistical analysis, plotting or state persistence.
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`). Timing is a
+//! calibrated loop: a discarded warm-up phase brings caches and frequency
+//! scaling to steady state, then the measurement window is split into a fixed
+//! number of equally sized samples and the **median** per-iteration time across
+//! samples is reported, so a single scheduler hiccup cannot skew the result.
+//! There is no plotting or state persistence.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -126,19 +128,42 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Measure `f`, reporting mean time per iteration.
+    /// Number of timed samples the measurement window is divided into; the reported
+    /// figure is the median across them.
+    const SAMPLES: usize = 11;
+
+    /// Measure `f`, reporting the median per-iteration time across `SAMPLES`
+    /// samples taken after a discarded warm-up phase.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warm-up and calibration: time a single iteration.
+        // Calibration: time a single (cold) iteration to size the phases.
         let start = Instant::now();
         black_box(f());
         let once = start.elapsed().max(Duration::from_nanos(1));
 
-        let iters = (self.window.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
-        let start = Instant::now();
-        for _ in 0..iters {
+        // Warm-up discard: spend ~1/5 of the window bringing caches, branch
+        // predictors and CPU frequency to steady state before measuring.
+        let warmup_window = self.window / 5;
+        let warmup_iters = (warmup_window.as_nanos() / once.as_nanos()).min(20_000) as u64;
+        for _ in 0..warmup_iters {
             black_box(f());
         }
-        self.result = Some(start.elapsed() / iters as u32);
+
+        // Measurement: split the remaining window into SAMPLES equal batches and
+        // take the median of the per-iteration batch means, which is robust to a
+        // stray slow sample (GC of the host, scheduler preemption, ...).
+        let sample_window = (self.window - warmup_window) / Self::SAMPLES as u32;
+        let iters = (sample_window.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+        let mut samples: Vec<Duration> = (0..Self::SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed() / iters
+            })
+            .collect();
+        samples.sort_unstable();
+        self.result = Some(samples[Self::SAMPLES / 2]);
     }
 }
 
@@ -198,6 +223,23 @@ mod tests {
         group.finish();
         ran += 1;
         assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn iter_runs_warmup_and_all_samples() {
+        let mut bencher = Bencher {
+            window: Duration::from_millis(2),
+            result: None,
+        };
+        let mut calls = 0u64;
+        bencher.iter(|| {
+            calls += 1;
+            std::hint::black_box(calls)
+        });
+        // At minimum: 1 calibration call + SAMPLES batches of >= 1 iteration each
+        // (plus however many warm-up iterations fit the discarded window).
+        assert!(calls > Bencher::SAMPLES as u64);
+        assert!(bencher.result.is_some());
     }
 
     #[test]
