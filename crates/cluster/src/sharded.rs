@@ -163,6 +163,11 @@ impl ClusterRunReport {
 ///   release pads by `O(b·S/ε)` expected dummies, so keeping the *number* of
 ///   releases at `1/S` of the single-pair run keeps per-shard padding at the
 ///   single-pair level while the real entries shrink by `1/S`.
+///
+/// The incremental-execution knobs (`transform_batch` `k` and `join_plan`) pass
+/// through untouched: each shard pipeline batches and plans its own Transform, and
+/// because batching never changes what a pipeline releases, cluster traces are
+/// invariant in `k` exactly like single-pair traces.
 #[must_use]
 pub fn shard_config(config: &IncShrinkConfig, shards: usize) -> IncShrinkConfig {
     let mut cfg = *config;
@@ -261,6 +266,13 @@ impl ShardedSimulation {
             let synced = outcomes.iter().any(|o| o.synced);
             if let Some(duration) = transform_max {
                 builder.record_transform(duration);
+            }
+            // Secure-compare totals sum across shards (the pairs run in parallel, but
+            // every gate is still evaluated somewhere), unlike the wall-clock maxima.
+            for outcome in &outcomes {
+                if let Some(report) = outcome.transform_report {
+                    builder.record_transform_compares(report.secure_compares);
+                }
             }
             if let Some(duration) = shrink_max {
                 builder.record_shrink(duration, shrink_did_work);

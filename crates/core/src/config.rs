@@ -4,6 +4,12 @@
 //! `f = 2000`, flush size `s = 15`, `sDPANT` threshold θ = 30, `sDPTimer` interval
 //! `T = ⌊θ / rate⌋`, truncation bound ω = 1 / 10 and contribution budget b = 10 / 20
 //! for the TPC-ds / CPDB workloads respectively.
+//!
+//! On top of the paper parameters, two incremental-execution knobs control *how* the
+//! same protocol is executed (never *what* it releases): [`IncShrinkConfig::transform_batch`]
+//! (`k`-step join batching) and [`IncShrinkConfig::join_plan`] (nested-loop vs
+//! sort-merge vs adaptive truncated joins). Their defaults (`k = 1`, nested loop)
+//! replay the original per-step trajectories bit for bit.
 
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +72,39 @@ impl std::fmt::Display for UpdateStrategy {
     }
 }
 
+/// How the Transform hot path picks its truncated-join operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinPlanMode {
+    /// Always run the nested-loop join (Algorithm 4) with the original cost
+    /// accounting — the historical behaviour, and the default so existing trajectories
+    /// replay bit for bit.
+    NestedLoop,
+    /// Always run the delta-oriented sort-merge join (Example 5.1 with the
+    /// nested-loop output contract).
+    SortMerge,
+    /// Let `incshrink_oblivious::planner` pick the cheaper operator per invocation
+    /// from the public `(|outer|, |inner|, ω)` sizes.
+    Adaptive,
+}
+
+impl JoinPlanMode {
+    /// Short label used in experiment tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            JoinPlanMode::NestedLoop => "nlj",
+            JoinPlanMode::SortMerge => "smj",
+            JoinPlanMode::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl std::fmt::Display for JoinPlanMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
 /// Full framework configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IncShrinkConfig {
@@ -84,6 +123,20 @@ pub struct IncShrinkConfig {
     /// Issue the evaluation query every this many steps (1 = every step, as in the
     /// paper's evaluation).
     pub query_interval: u64,
+    /// Transform batching factor `k`: accumulate up to `k` owner upload steps and
+    /// amortize one oblivious join over the batch. `1` (the default) preserves the
+    /// original per-step Transform exactly. Batching only stretches the *join* work —
+    /// the cardinality counter is still reshared once per covered step and the batch
+    /// is always flushed before any Shrink step that inspects the counter, so the DP
+    /// timer/threshold accounting (and hence the privacy guarantee) is untouched.
+    /// Only `sDPTimer` runs benefit from `k > 1`: `sDPANT` inspects the counter every
+    /// step and the non-DP baselines route ΔV per step, forcing an effective `k = 1`.
+    pub transform_batch: u64,
+    /// Which truncated-join operator Transform runs (the multi-level pipeline takes
+    /// the same mode via `TwoLevelPipeline::with_join_plan`). Defaults to
+    /// [`JoinPlanMode::NestedLoop`] so existing trajectories replay bit for bit;
+    /// [`JoinPlanMode::Adaptive`] is where `k > 1` batching pays off.
+    pub join_plan: JoinPlanMode,
 }
 
 impl IncShrinkConfig {
@@ -98,6 +151,8 @@ impl IncShrinkConfig {
             flush_interval: 2000,
             flush_size: 15,
             query_interval: 1,
+            transform_batch: 1,
+            join_plan: JoinPlanMode::NestedLoop,
         }
     }
 
@@ -112,7 +167,23 @@ impl IncShrinkConfig {
             flush_interval: 2000,
             flush_size: 15,
             query_interval: 1,
+            transform_batch: 1,
+            join_plan: JoinPlanMode::NestedLoop,
         }
+    }
+
+    /// Builder-style override of the Transform batching factor `k`.
+    #[must_use]
+    pub fn with_transform_batch(mut self, k: u64) -> Self {
+        self.transform_batch = k;
+        self
+    }
+
+    /// Builder-style override of the truncated-join plan mode.
+    #[must_use]
+    pub fn with_join_plan(mut self, mode: JoinPlanMode) -> Self {
+        self.join_plan = mode;
+        self
     }
 
     /// Derive the `sDPTimer` interval that corresponds to an `sDPANT` threshold θ for a
@@ -147,6 +218,9 @@ impl IncShrinkConfig {
         if self.query_interval == 0 {
             return Some("query interval must be positive".into());
         }
+        if self.transform_batch == 0 {
+            return Some("transform batch k must be at least 1".into());
+        }
         if let UpdateStrategy::DpTimer { interval } = self.strategy {
             if interval == 0 {
                 return Some("sDPTimer interval must be positive".into());
@@ -178,6 +252,24 @@ mod tests {
         assert_eq!(c.truncation_bound, 10);
         assert_eq!(c.contribution_budget, 20);
         assert!(c.validate().is_none());
+
+        // The incremental knobs default to the exact-replay configuration.
+        assert_eq!(t.transform_batch, 1);
+        assert_eq!(t.join_plan, JoinPlanMode::NestedLoop);
+        assert_eq!(c.transform_batch, 1);
+        assert_eq!(c.join_plan, JoinPlanMode::NestedLoop);
+    }
+
+    #[test]
+    fn builder_overrides_incremental_knobs() {
+        let cfg = IncShrinkConfig::tpcds_default(UpdateStrategy::DpTimer { interval: 10 })
+            .with_transform_batch(4)
+            .with_join_plan(JoinPlanMode::Adaptive);
+        assert_eq!(cfg.transform_batch, 4);
+        assert_eq!(cfg.join_plan, JoinPlanMode::Adaptive);
+        assert!(cfg.validate().is_none());
+        assert_eq!(JoinPlanMode::SortMerge.to_string(), "smj");
+        assert_eq!(JoinPlanMode::Adaptive.label(), "adaptive");
     }
 
     #[test]
@@ -209,6 +301,9 @@ mod tests {
         cfg.query_interval = 0;
         assert!(cfg.validate().unwrap().contains("query interval"));
         cfg.query_interval = 1;
+        cfg.transform_batch = 0;
+        assert!(cfg.validate().unwrap().contains("transform batch"));
+        cfg.transform_batch = 1;
         cfg.strategy = UpdateStrategy::DpTimer { interval: 0 };
         assert!(cfg.validate().unwrap().contains("sDPTimer"));
         cfg.strategy = UpdateStrategy::DpAnt { threshold: 0.0 };

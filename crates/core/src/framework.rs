@@ -18,9 +18,9 @@ use crate::config::{IncShrinkConfig, UpdateStrategy};
 use crate::metrics::{relative_error, Summary, SummaryBuilder};
 use crate::query::{non_materialized_query_cost, view_count_query, QueryResult};
 use crate::shrink::ShrinkProtocol;
-use crate::transform::TransformProtocol;
+use crate::transform::{StepInputs, TransformProtocol};
 use crate::view::{MaterializedView, ViewDefinition};
-use incshrink_mpc::cost::{CostModel, SimDuration};
+use incshrink_mpc::cost::{CostModel, CostReport, SimDuration};
 use incshrink_mpc::party::ObservedEvent;
 use incshrink_mpc::runtime::TwoPartyContext;
 use incshrink_storage::{OutsourcedStore, Relation, SecureCache, UploadBatch};
@@ -82,8 +82,13 @@ impl RunReport {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PipelineStepOutcome {
     /// Simulated Transform time; `None` when the strategy did not invoke Transform
-    /// this step (NM always, OTM after its one-time materialization).
+    /// this step (NM always, OTM after its one-time materialization, and every
+    /// accumulation step of a `k > 1` batch, whose deferred work lands on the flush
+    /// step).
     pub transform_duration: Option<SimDuration>,
+    /// Oblivious-operation counts of the Transform invocation that flushed this step
+    /// (`None` whenever `transform_duration` is).
+    pub transform_report: Option<CostReport>,
     /// Simulated Shrink time; `None` for strategies that never run Shrink.
     pub shrink_duration: Option<SimDuration>,
     /// Whether Shrink performed DP work (synchronization or flush) this step.
@@ -111,6 +116,9 @@ pub struct ShardPipeline {
     view: MaterializedView,
     transform: TransformProtocol,
     shrink: ShrinkProtocol,
+    /// Upload steps deferred for the next batched Transform flush (empty at every
+    /// Shrink counter inspection — see [`Self::transform_flush_due`]).
+    pending: Vec<StepInputs>,
     truth: Vec<u64>,
     public_right_len: usize,
     left_arity: usize,
@@ -151,7 +159,8 @@ impl ShardPipeline {
             config.truncation_bound,
             config.contribution_budget,
             public_right,
-        );
+        )
+        .with_join_plan(config.join_plan);
         let shrink = ShrinkProtocol::new(&config);
         let left_arity = dataset.left.schema.arity();
         let right_arity = dataset.right.schema.arity();
@@ -164,6 +173,7 @@ impl ShardPipeline {
             view: MaterializedView::new(),
             transform,
             shrink,
+            pending: Vec::new(),
             truth,
             public_right_len,
             left_arity,
@@ -250,6 +260,33 @@ impl ShardPipeline {
         duration
     }
 
+    /// Whether the deferred Transform batch must flush at step `t`.
+    ///
+    /// The batch flushes when (a) it holds `k` steps, (b) the run ends, or (c) the
+    /// *next thing this step* is a Shrink action that inspects the cardinality
+    /// counter — an `sDPTimer` synchronization or a scheduled cache flush — so the
+    /// counter the DP noise is added to always reflects every uploaded record,
+    /// exactly as in per-step execution. `sDPANT` compares the (noised) counter
+    /// against its threshold *every* step, and the non-DP strategies route ΔV
+    /// directly, so both force an effective `k = 1`; batching pays off on `sDPTimer`
+    /// cadences, where steps between synchronizations never read the counter.
+    fn transform_flush_due(&self, t: u64) -> bool {
+        let k = match self.config.strategy {
+            UpdateStrategy::DpTimer { .. } => self.config.transform_batch.max(1),
+            _ => 1,
+        };
+        if self.pending.len() as u64 >= k || t >= self.dataset.params.steps {
+            return true;
+        }
+        match self.config.strategy {
+            UpdateStrategy::DpTimer { interval } => {
+                t % interval == 0
+                    || (self.config.flush_interval > 0 && t % self.config.flush_interval == 0)
+            }
+            _ => true,
+        }
+    }
+
     /// Run one upload epoch: owner uploads, Transform (strategy dependent) and Shrink
     /// (DP strategies only). Queries are issued separately via [`Self::query`] so a
     /// cluster driver can scatter-gather them across shards.
@@ -292,7 +329,8 @@ impl ShardPipeline {
             Some(batch)
         };
 
-        // --- Transform (strategy dependent).
+        // --- Transform (strategy dependent): accumulate the step, flush when the
+        // batch is full or the DP accounting needs a current counter.
         let routing = delta_routing(self.config.strategy, t);
         if routing != DeltaRouting::NoTransform && routing != DeltaRouting::Drop {
             let full_right_len = if self.dataset.right_is_public {
@@ -301,20 +339,24 @@ impl ShardPipeline {
                 self.store.relation(Relation::Right).len()
             };
             let full_left_len = self.store.relation(Relation::Left).len();
-            let transform_outcome = self.transform.invoke(
-                &mut self.ctx,
-                &left_batch,
-                right_batch.as_ref(),
+            self.pending.push(StepInputs {
+                delta_left: left_batch,
+                delta_right: right_batch,
                 full_right_len,
                 full_left_len,
-            );
-            outcome.transform_duration = Some(transform_outcome.duration);
-            self.ctx.servers.observe_both(ObservedEvent::CacheAppend {
-                time: t,
-                count: transform_outcome.delta.len(),
             });
-            if let Some(delta) = route_delta(routing, transform_outcome.delta, &mut self.view) {
-                self.cache.write(delta);
+            if self.transform_flush_due(t) {
+                let transform_outcome = self.transform.invoke_batched(&mut self.ctx, &self.pending);
+                self.pending.clear();
+                outcome.transform_duration = Some(transform_outcome.duration);
+                outcome.transform_report = Some(transform_outcome.report);
+                self.ctx.servers.observe_both(ObservedEvent::CacheAppend {
+                    time: t,
+                    count: transform_outcome.delta.len(),
+                });
+                if let Some(delta) = route_delta(routing, transform_outcome.delta, &mut self.view) {
+                    self.cache.write(delta);
+                }
             }
         } else if routing == DeltaRouting::Drop {
             // OTM after its one-time materialization: owners still upload, but the
@@ -389,6 +431,9 @@ impl Simulation {
             let outcome = pipeline.advance(t);
             if let Some(duration) = outcome.transform_duration {
                 builder.record_transform(duration);
+            }
+            if let Some(report) = outcome.transform_report {
+                builder.record_transform_compares(report.secure_compares);
             }
             if let Some(duration) = outcome.shrink_duration {
                 builder.record_shrink(duration, outcome.shrink_did_work);

@@ -54,7 +54,7 @@ pub mod view;
 
 /// Convenient re-exports for examples, tests and the benchmark harness.
 pub mod prelude {
-    pub use crate::config::{IncShrinkConfig, UpdateStrategy};
+    pub use crate::config::{IncShrinkConfig, JoinPlanMode, UpdateStrategy};
     pub use crate::framework::{
         PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord,
     };
@@ -66,7 +66,7 @@ pub mod prelude {
     };
 }
 
-pub use config::{IncShrinkConfig, UpdateStrategy};
+pub use config::{IncShrinkConfig, JoinPlanMode, UpdateStrategy};
 pub use framework::{PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord};
 pub use metrics::Summary;
 pub use view::{MaterializedView, ViewDefinition};

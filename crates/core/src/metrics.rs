@@ -36,6 +36,10 @@ pub struct Summary {
     pub truncation_losses: u64,
     /// Number of queries issued.
     pub queries_issued: u64,
+    /// Total secure comparisons metered inside Transform invocations — the quantity
+    /// the `k`-step batching + adaptive join planning exists to shrink (summed across
+    /// shards for cluster runs).
+    pub transform_secure_compares: u64,
 }
 
 /// Incremental builder for [`Summary`].
@@ -54,6 +58,7 @@ pub struct SummaryBuilder {
     final_view_mb: f64,
     sync_count: u64,
     truncation_losses: u64,
+    transform_compares: u64,
 }
 
 impl SummaryBuilder {
@@ -75,6 +80,11 @@ impl SummaryBuilder {
     pub fn record_transform(&mut self, duration: SimDuration) {
         self.transform_sum += duration.as_secs_f64();
         self.transform_count += 1;
+    }
+
+    /// Record the secure comparisons one Transform invocation metered.
+    pub fn record_transform_compares(&mut self, secure_compares: u64) {
+        self.transform_compares = self.transform_compares.saturating_add(secure_compares);
     }
 
     /// Record one Shrink step (only steps that did DP work are counted so the average
@@ -116,6 +126,7 @@ impl SummaryBuilder {
             total_query_secs: self.qet_sum,
             truncation_losses: self.truncation_losses,
             queries_issued: self.queries,
+            transform_secure_compares: self.transform_compares,
         }
     }
 }
@@ -151,6 +162,8 @@ mod tests {
         b.record_view_size(1.0);
         b.record_view_size(2.0);
         b.record_totals(7, 11);
+        b.record_transform_compares(100);
+        b.record_transform_compares(23);
 
         let s = b.build();
         assert!((s.avg_l1_error - 5.0).abs() < 1e-12);
@@ -165,6 +178,7 @@ mod tests {
         assert!((s.total_mpc_secs - 4.5).abs() < 1e-12);
         assert!((s.total_query_secs - 0.06).abs() < 1e-12);
         assert_eq!(s.queries_issued, 2);
+        assert_eq!(s.transform_secure_compares, 123);
     }
 
     #[test]

@@ -10,16 +10,22 @@
 //! [`TwoLevelPipeline`] implements the two-operator plan the evaluation queries need:
 //! a selection over the newly uploaded private relation followed by a join against a
 //! public relation, each stage with its own secure cache and sDPTimer-style
-//! synchronization. Total leakage is the sequential composition ε₁ + ε₂.
+//! synchronization. Total leakage is the sequential composition ε₁ + ε₂. The join
+//! stage picks its truncated operator via [`TwoLevelPipeline::with_join_plan`]
+//! (default: nested loop, the historical behaviour); in adaptive mode the planner
+//! (`incshrink_oblivious::planner`) decides from *public* sizes only — the same cost
+//! model the batched Transform uses.
 
+use crate::config::JoinPlanMode;
 use crate::extensions::{budget_alloc, OperatorKind, OperatorProfile};
 use crate::view::{MaterializedView, ViewDefinition};
 use incshrink_dp::joint::joint_noised_size;
 use incshrink_mpc::cost::{CostReport, SimDuration};
 use incshrink_mpc::runtime::TwoPartyContext;
 use incshrink_oblivious::filter::Predicate;
-use incshrink_oblivious::join::truncated_nested_loop_join;
 use incshrink_oblivious::oblivious_filter;
+use incshrink_oblivious::planner::{charge_full_relation_gap, plan_join, JoinAlgorithm};
+use incshrink_oblivious::{truncated_nested_loop_join, truncated_sort_merge_delta_join};
 use incshrink_secretshare::arrays::SharedArrayPair;
 use incshrink_secretshare::tuple::{PlainRecord, SharedRecordPair};
 use incshrink_storage::SecureCache;
@@ -76,6 +82,7 @@ pub struct TwoLevelPipeline {
     intermediate: MaterializedView,
     final_view: MaterializedView,
     public_right: Vec<Vec<u32>>,
+    join_plan: JoinPlanMode,
     rng: StdRng,
 }
 
@@ -112,8 +119,17 @@ impl TwoLevelPipeline {
             intermediate: MaterializedView::new(),
             final_view: MaterializedView::new(),
             public_right,
+            join_plan: JoinPlanMode::NestedLoop,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Builder-style override of the stage-2 truncated-join plan mode (default:
+    /// nested loop, preserving the original operator and cost accounting).
+    #[must_use]
+    pub fn with_join_plan(mut self, mode: JoinPlanMode) -> Self {
+        self.join_plan = mode;
+        self
     }
 
     /// Allocate the total ε across the two stages with the Appendix-D.2 optimisation
@@ -274,17 +290,56 @@ impl TwoLevelPipeline {
                 let right_arity = self.public_right.first().map_or(2, Vec::len);
                 let inner = self.share_public_window(lo, hi, right_arity);
                 let spec = self.view.join_spec();
-                let joined = truncated_nested_loop_join(
-                    &input,
-                    &inner,
-                    &spec,
-                    self.truncation_bound as usize,
-                    ctx.meter(),
-                    &mut self.rng,
-                );
-                // Charge the public rows the window pruning skipped.
-                let skipped = self.public_right.len().saturating_sub(inner.len()) as u64;
-                ctx.meter().compares(input.len() as u64 * skipped);
+                let bound = self.truncation_bound as usize;
+                // Resolve the plan from *public* sizes only: the window-pruned inner
+                // length derives from private timestamps, so it must steer neither
+                // the operator choice nor (alone) the metered schedule — the full
+                // public relation length is what an oblivious execution would scan.
+                let algorithm = match self.join_plan {
+                    JoinPlanMode::NestedLoop => JoinAlgorithm::NestedLoop,
+                    JoinPlanMode::SortMerge => JoinAlgorithm::SortMerge,
+                    JoinPlanMode::Adaptive => {
+                        plan_join(input.len(), self.public_right.len(), bound).algorithm
+                    }
+                };
+                let joined = match algorithm {
+                    JoinAlgorithm::NestedLoop => truncated_nested_loop_join(
+                        &input,
+                        &inner,
+                        &spec,
+                        bound,
+                        ctx.meter(),
+                        &mut self.rng,
+                    ),
+                    JoinAlgorithm::SortMerge => truncated_sort_merge_delta_join(
+                        &input,
+                        &inner,
+                        &spec,
+                        bound,
+                        ctx.meter(),
+                        &mut self.rng,
+                    ),
+                };
+                if self.join_plan == JoinPlanMode::NestedLoop {
+                    // Historical compensation for the window-skipped public rows,
+                    // kept verbatim so default-mode trajectories are unchanged.
+                    let skipped = self.public_right.len().saturating_sub(inner.len()) as u64;
+                    ctx.meter().compares(input.len() as u64 * skipped);
+                } else {
+                    // Top up to the full-relation cost under the operator that ran.
+                    let out_arity = input.arity().unwrap_or(2) + right_arity;
+                    let merged_arity = input.arity().unwrap_or(2).max(right_arity) + 2;
+                    charge_full_relation_gap(
+                        ctx.meter(),
+                        algorithm,
+                        input.len(),
+                        inner.len(),
+                        self.public_right.len(),
+                        bound,
+                        out_arity,
+                        merged_arity,
+                    );
+                }
                 self.counter2 += joined.true_cardinality() as u32;
                 self.cache2.write(joined);
             }
@@ -448,6 +503,42 @@ mod tests {
         // total padded material written (20 steps × 2-4 padded entries per stage).
         assert!(c1 < 40, "stage-1 cache {c1}");
         assert!(c2 < 40, "stage-2 cache {c2}");
+    }
+
+    #[test]
+    fn join_plan_modes_release_identically() {
+        // The plan mode changes join *cost accounting*, never what the pipeline
+        // releases: identical final/intermediate views under every mode.
+        let run = |mode: JoinPlanMode| {
+            let mut ctx = TwoPartyContext::new(9, CostModel::default());
+            let mut pipeline = TwoLevelPipeline::new(
+                view_def(),
+                1,
+                1000,
+                2,
+                stage(50.0, 2, 1),
+                stage(50.0, 2, 2),
+                public_table(0..40),
+                7,
+            )
+            .with_join_plan(mode);
+            let mut compares = 0u64;
+            for t in 1..=12u64 {
+                let batch = upload(&[(t as u32, t as u32)], 4, t);
+                let outcome = pipeline.step(&mut ctx, &batch, t);
+                compares += outcome.report.secure_compares;
+            }
+            (
+                pipeline.final_view().true_cardinality(),
+                pipeline.intermediate_view().true_cardinality(),
+                compares,
+            )
+        };
+        let (nlj_final, nlj_mid, nlj_cost) = run(JoinPlanMode::NestedLoop);
+        let (ada_final, ada_mid, ada_cost) = run(JoinPlanMode::Adaptive);
+        assert_eq!(nlj_final, ada_final);
+        assert_eq!(nlj_mid, ada_mid);
+        assert!(nlj_cost > 0 && ada_cost > 0);
     }
 
     #[test]

@@ -218,6 +218,8 @@ mod tests {
             flush_interval: 50,
             flush_size: 5,
             query_interval: 1,
+            transform_batch: 1,
+            join_plan: crate::config::JoinPlanMode::NestedLoop,
         }
     }
 

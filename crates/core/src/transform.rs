@@ -1,4 +1,4 @@
-//! The Transform protocol (Algorithm 1).
+//! The Transform protocol (Algorithm 1), executed incrementally.
 //!
 //! Invoked whenever owners submit new data, Transform:
 //!
@@ -13,15 +13,41 @@
 //! here: every record used as Transform input is charged ω against its budget `b`;
 //! retired records are excluded from future invocations, which is what makes the
 //! composed transformation `b`-stable and the total privacy loss bounded.
+//!
+//! # Incremental execution
+//!
+//! Two mechanisms make the hot path *incremental* rather than recompute-from-scratch:
+//!
+//! * **Delta share cache** — the secret-shared encodings of the accumulated active
+//!   relations are kept across invocations ([`DeltaShareCache`]); each step only the
+//!   new delta is shared and appended, and encodings are evicted in lockstep with
+//!   contribution-budget expiry. This mirrors the real protocol, where the servers
+//!   already hold the outsourced shares and `σ ← σ || ΔV` is an append, never a
+//!   re-share. Cached encodings recover to exactly what a from-scratch re-share
+//!   would produce (property-tested), so trajectories are unchanged.
+//! * **`k`-step batching** — [`TransformProtocol::invoke_batched`] replays up to `k`
+//!   deferred upload steps as one invocation: the per-step plaintext functionality
+//!   (ledger charges, truncated matching via
+//!   [`incshrink_oblivious::truncated_match`], per-step counter reshares) is
+//!   reproduced *exactly*, while the oblivious join work is priced once over the
+//!   combined delta by the adaptive planner ([`incshrink_oblivious::planner`]).
+//!   Upload epochs are public metadata (the servers observe every batch arrival), so
+//!   restricting the batched join to the same cross-epoch pairs the per-step
+//!   invocations would produce costs no extra oblivious work. DP-relevant state —
+//!   counter values, reshare cadence, ΔV contents — is invariant in `k`.
 
+use crate::config::JoinPlanMode;
 use crate::view::ViewDefinition;
 use incshrink_dp::accountant::ContributionLedger;
 use incshrink_mpc::cost::{CostReport, SimDuration};
 use incshrink_mpc::runtime::TwoPartyContext;
-use incshrink_oblivious::join::truncated_nested_loop_join;
+use incshrink_oblivious::planner::{charge_planned_join, plan_join, JoinAlgorithm};
+use incshrink_oblivious::{push_padded, truncated_match, truncated_nested_loop_join};
 use incshrink_secretshare::arrays::SharedArrayPair;
 use incshrink_secretshare::tuple::{PlainRecord, SharedRecordPair};
 use incshrink_storage::{RecordId, UploadBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Name under which the cardinality counter is secret-shared on the two servers.
 pub const CARDINALITY_SHARE: &str = "cardinality";
@@ -37,7 +63,139 @@ pub struct ActiveRecord {
     pub fields: Vec<u32>,
 }
 
-/// Result of one Transform invocation.
+/// One owner upload step deferred for batched Transform execution: the padded upload
+/// batches plus the *unpruned* outsourced-relation sizes at that step (the quantities
+/// [`TransformProtocol::invoke`] takes as arguments).
+#[derive(Debug, Clone)]
+pub struct StepInputs {
+    /// The left relation's padded upload batch.
+    pub delta_left: UploadBatch,
+    /// The right relation's padded upload batch (absent when the right is public).
+    pub delta_right: Option<UploadBatch>,
+    /// Unpruned size of the right relation the left delta joins against.
+    pub full_right_len: usize,
+    /// Unpruned size of the left relation the right delta joins against.
+    pub full_left_len: usize,
+}
+
+/// The secret-shared encodings of one accumulated active relation, kept across
+/// Transform invocations so only the per-step delta ever needs sharing.
+///
+/// Invariant: `records[i]` is the plaintext mirror of `shares[i]` — appends and
+/// evictions move in lockstep, and the recovered share sequence always equals what a
+/// full `share_active`-style re-share of `records` would produce.
+#[derive(Debug, Default)]
+pub struct DeltaShareCache {
+    records: Vec<ActiveRecord>,
+    shares: SharedArrayPair,
+}
+
+impl DeltaShareCache {
+    /// Number of active records in the cache.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are active.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The plaintext mirror of the cached relation.
+    #[must_use]
+    pub fn records(&self) -> &[ActiveRecord] {
+        &self.records
+    }
+
+    /// The cached secret-shared encodings (index-aligned with [`Self::records`]).
+    #[must_use]
+    pub fn shares(&self) -> &SharedArrayPair {
+        &self.shares
+    }
+
+    /// Clone of the field vectors, in cache order (the plaintext inner relation the
+    /// truncated matching runs over).
+    #[must_use]
+    pub fn fields(&self) -> Vec<Vec<u32>> {
+        self.records.iter().map(|r| r.fields.clone()).collect()
+    }
+
+    /// Fix the share array's arity before the first append so empty caches still
+    /// describe the relation shape the joins expect.
+    fn ensure_arity(&mut self, arity: usize) {
+        if self.shares.arity().is_none() {
+            self.shares = SharedArrayPair::with_arity(arity);
+        }
+    }
+
+    /// Charge ω to every cached record and evict the ones whose budget expired
+    /// (`tuples expire` eviction): the plaintext mirror and the share encoding are
+    /// dropped together so indices stay aligned.
+    fn charge_and_evict(&mut self, ledger: &mut ContributionLedger, omega: u64) {
+        let keep: Vec<bool> = self
+            .records
+            .iter()
+            .map(|rec| ledger.charge(rec.id, omega))
+            .collect();
+        if keep.iter().all(|k| *k) {
+            return;
+        }
+        let mut record_keep = keep.iter();
+        self.records
+            .retain(|_| *record_keep.next().expect("aligned"));
+        self.shares.retain_with(|i, _| keep[i]);
+    }
+
+    /// Append freshly arrived records: share each one once (the incremental delta —
+    /// this is the only place sharing happens) and extend both sides in lockstep.
+    fn append<R: Rng + ?Sized>(&mut self, new: Vec<ActiveRecord>, arity: usize, rng: &mut R) {
+        self.ensure_arity(arity);
+        for rec in &new {
+            self.shares
+                .push(SharedRecordPair::share(
+                    &PlainRecord::real(rec.fields.clone()),
+                    rng,
+                ))
+                .expect("uniform arity");
+        }
+        self.records.extend(new);
+    }
+}
+
+/// Lazily shared encodings of a *public* right relation (CPDB's Award table): each
+/// row is shared at most once over the protocol lifetime, then window-pruned
+/// selections reuse the cached encoding instead of re-sharing per step. Public rows
+/// carry no contribution budget, so nothing ever needs eviction.
+#[derive(Debug, Default)]
+struct PublicShareCache {
+    shares: Vec<Option<SharedRecordPair>>,
+}
+
+impl PublicShareCache {
+    fn select<R: Rng + ?Sized>(
+        &mut self,
+        public: &[Vec<u32>],
+        indices: &[usize],
+        arity: usize,
+        rng: &mut R,
+    ) -> SharedArrayPair {
+        if self.shares.len() < public.len() {
+            self.shares.resize_with(public.len(), || None);
+        }
+        let mut out = SharedArrayPair::with_arity(arity);
+        for &i in indices {
+            let entry = self.shares[i].get_or_insert_with(|| {
+                SharedRecordPair::share(&PlainRecord::real(public[i].clone()), rng)
+            });
+            out.push(entry.clone()).expect("uniform arity");
+        }
+        out
+    }
+}
+
+/// Result of one Transform invocation (single-step or batched).
 #[derive(Debug, Clone)]
 pub struct TransformOutcome {
     /// The exhaustively padded ΔV to append to the secure cache.
@@ -48,17 +206,29 @@ pub struct TransformOutcome {
     pub report: CostReport,
     /// Simulated execution time of this invocation.
     pub duration: SimDuration,
+    /// How many owner upload steps this invocation covered (1 for the per-step path,
+    /// up to `k` for batched execution).
+    pub steps_covered: usize,
 }
 
 /// The Transform protocol state.
+///
+/// # Leakage
+/// Everything the servers observe — upload batch sizes, ΔV sizes, the counter
+/// reshare cadence, the join operation schedule — is a deterministic function of
+/// public quantities (batch sizes, relation lengths, ω, the plan mode and `k`).
+/// Batched execution defers join *work*, never messages: the counter is still
+/// reshared once per covered upload step.
 pub struct TransformProtocol {
     view: ViewDefinition,
     omega: u64,
     ledger: ContributionLedger,
-    active_left: Vec<ActiveRecord>,
-    active_right: Vec<ActiveRecord>,
+    active_left: DeltaShareCache,
+    active_right: DeltaShareCache,
     /// Full public right relation (CPDB's Award table), when the right side is public.
     public_right: Option<Vec<Vec<u32>>>,
+    public_cache: PublicShareCache,
+    join_plan: JoinPlanMode,
     initialized: bool,
     total_truncation_losses: u64,
 }
@@ -79,12 +249,22 @@ impl TransformProtocol {
             view,
             omega: truncation_bound,
             ledger: ContributionLedger::new(contribution_budget),
-            active_left: Vec::new(),
-            active_right: Vec::new(),
+            active_left: DeltaShareCache::default(),
+            active_right: DeltaShareCache::default(),
             public_right,
+            public_cache: PublicShareCache::default(),
+            join_plan: JoinPlanMode::NestedLoop,
             initialized: false,
             total_truncation_losses: 0,
         }
+    }
+
+    /// Builder-style override of the truncated-join plan mode (default: nested loop,
+    /// which preserves the original cost accounting bit for bit).
+    #[must_use]
+    pub fn with_join_plan(mut self, mode: JoinPlanMode) -> Self {
+        self.join_plan = mode;
+        self
     }
 
     /// The contribution ledger (exposed for privacy-accounting inspection).
@@ -99,14 +279,18 @@ impl TransformProtocol {
         (self.active_left.len(), self.active_right.len())
     }
 
+    /// The delta share caches `(left, right)` — exposed so tests can verify the
+    /// cached encodings stay equivalent to a from-scratch re-share of the active
+    /// relations.
+    #[must_use]
+    pub fn share_caches(&self) -> (&DeltaShareCache, &DeltaShareCache) {
+        (&self.active_left, &self.active_right)
+    }
+
     /// Cumulative number of real join pairs dropped because of the ω truncation.
     #[must_use]
     pub fn truncation_losses(&self) -> u64 {
         self.total_truncation_losses
-    }
-
-    fn charge_active(ledger: &mut ContributionLedger, omega: u64, set: &mut Vec<ActiveRecord>) {
-        set.retain(|rec| ledger.charge(rec.id, omega));
     }
 
     fn batch_real_records(batch: &UploadBatch) -> Vec<ActiveRecord> {
@@ -123,24 +307,31 @@ impl TransformProtocol {
             .collect()
     }
 
-    fn share_active(
-        records: &[ActiveRecord],
-        arity: usize,
-        ctx: &mut TwoPartyContext,
-    ) -> SharedArrayPair {
-        let mut out = SharedArrayPair::with_arity(arity);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(
-            0x5EED_0000 ^ ctx.time_step().wrapping_mul(0x9E37_79B9),
-        );
-        use rand::SeedableRng;
-        for r in records {
-            out.push(SharedRecordPair::share(
-                &PlainRecord::real(r.fields.clone()),
-                &mut rng,
-            ))
-            .expect("uniform arity");
-        }
-        out
+    /// Indices of the public rows inside the join window of the given left delta
+    /// (host-side pruning; the cost of the skipped rows is charged separately so
+    /// simulated time reflects a join against the entire relation).
+    fn public_window_indices(
+        view: &ViewDefinition,
+        public: &[Vec<u32>],
+        new_left: &[ActiveRecord],
+    ) -> Vec<usize> {
+        let times: Vec<u32> = new_left
+            .iter()
+            .filter_map(|r| r.fields.get(view.left_time).copied())
+            .collect();
+        let (lo, hi) = match (times.iter().min(), times.iter().max()) {
+            (Some(&lo), Some(&hi)) => (lo, hi.saturating_add(view.window)),
+            _ => (u32::MAX, 0),
+        };
+        public
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                let t = r.get(view.right_time).copied().unwrap_or(0);
+                t >= lo && t <= hi
+            })
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Count the real join pairs that exist among this invocation's inputs *before*
@@ -173,6 +364,17 @@ impl TransformProtocol {
         pairs
     }
 
+    /// Resolve the plan mode to a concrete algorithm for the given public sizes.
+    fn choose_algorithm(&self, outer_len: usize, inner_len: usize) -> JoinAlgorithm {
+        match self.join_plan {
+            JoinPlanMode::NestedLoop => JoinAlgorithm::NestedLoop,
+            JoinPlanMode::SortMerge => JoinAlgorithm::SortMerge,
+            JoinPlanMode::Adaptive => {
+                plan_join(outer_len, inner_len, self.omega as usize).algorithm
+            }
+        }
+    }
+
     /// Run one Transform invocation over the owner deltas submitted at this time step.
     ///
     /// `delta_left` is the left relation's padded upload; `delta_right` is the right
@@ -182,6 +384,12 @@ impl TransformProtocol {
     /// charged to the cost meter so simulated time reflects a join against the entire
     /// outsourced relation even though retired records are (correctly) excluded from
     /// the plaintext matching.
+    ///
+    /// This is the exact per-step path (`k = 1`, nested-loop accounting): its meter
+    /// and server-randomness trace is unchanged from the original implementation, so
+    /// default-configuration trajectories replay bit for bit. The only difference is
+    /// that the inner relations come from the [`DeltaShareCache`] instead of being
+    /// re-shared from scratch — share randomness, which nothing downstream observes.
     pub fn invoke(
         &mut self,
         ctx: &mut TwoPartyContext,
@@ -221,55 +429,39 @@ impl TransformProtocol {
             let charged = self.ledger.charge(rec.id, self.omega);
             debug_assert!(charged, "fresh records always have budget >= omega");
         }
-        Self::charge_active(&mut self.ledger, self.omega, &mut self.active_left);
-        Self::charge_active(&mut self.ledger, self.omega, &mut self.active_right);
+        self.active_left
+            .charge_and_evict(&mut self.ledger, self.omega);
+        self.active_right
+            .charge_and_evict(&mut self.ledger, self.omega);
+        self.active_left.ensure_arity(left_arity);
+        self.active_right.ensure_arity(right_arity);
 
-        // Build the inner relations the deltas join against.
+        // Build the inner relations the deltas join against: cached encodings plus
+        // fresh shares for whatever arrived since the last invocation — never a full
+        // re-share of the accumulated relation.
         let omega = self.omega as usize;
-        let mut rng = {
-            use rand::SeedableRng;
-            rand::rngs::StdRng::seed_from_u64(0xA11CE ^ ctx.time_step())
-        };
+        let mut rng = StdRng::seed_from_u64(0xA11CE ^ ctx.time_step());
+        let mut share_rng =
+            StdRng::seed_from_u64(0x5EED_0000 ^ ctx.time_step().wrapping_mul(0x9E37_79B9));
 
-        let (inner_right_records, inner_right_fields): (SharedArrayPair, Vec<Vec<u32>>) =
+        let (public_inner, inner_right_fields): (Option<SharedArrayPair>, Vec<Vec<u32>>) =
             if let Some(public) = &self.public_right {
                 // Public right relation: prune to the join window for host-side speed;
                 // the skipped records are charged to the meter below.
-                let times: Vec<u32> = new_left
-                    .iter()
-                    .filter_map(|r| r.fields.get(self.view.left_time).copied())
-                    .collect();
-                let (lo, hi) = match (times.iter().min(), times.iter().max()) {
-                    (Some(&lo), Some(&hi)) => (lo, hi.saturating_add(self.view.window)),
-                    _ => (u32::MAX, 0),
-                };
-                let pruned: Vec<Vec<u32>> = public
-                    .iter()
-                    .filter(|r| {
-                        let t = r.get(self.view.right_time).copied().unwrap_or(0);
-                        t >= lo && t <= hi
-                    })
-                    .cloned()
-                    .collect();
-                let shared = {
-                    let recs: Vec<ActiveRecord> = pruned
-                        .iter()
-                        .map(|f| ActiveRecord {
-                            id: 0,
-                            fields: f.clone(),
-                        })
-                        .collect();
-                    Self::share_active(&recs, right_arity, ctx)
-                };
-                (shared, pruned)
+                let indices = Self::public_window_indices(&self.view, public, &new_left);
+                let fields: Vec<Vec<u32>> = indices.iter().map(|&i| public[i].clone()).collect();
+                let shared =
+                    self.public_cache
+                        .select(public, &indices, right_arity, &mut share_rng);
+                (Some(shared), fields)
             } else {
-                let shared = Self::share_active(&self.active_right, right_arity, ctx);
-                let fields = self.active_right.iter().map(|r| r.fields.clone()).collect();
-                (shared, fields)
+                (None, self.active_right.fields())
             };
-        let inner_left_records = Self::share_active(&self.active_left, left_arity, ctx);
-        let inner_left_fields: Vec<Vec<u32>> =
-            self.active_left.iter().map(|r| r.fields.clone()).collect();
+        let inner_right_records: &SharedArrayPair = public_inner
+            .as_ref()
+            .unwrap_or_else(|| self.active_right.shares());
+        let inner_left_records: &SharedArrayPair = self.active_left.shares();
+        let inner_left_fields: Vec<Vec<u32>> = self.active_left.fields();
 
         // Truncation-loss bookkeeping (evaluation metric, not protocol state).
         let potential_pairs = self.count_potential_pairs(&new_left, &inner_right_fields, false)
@@ -279,7 +471,7 @@ impl TransformProtocol {
         let spec = self.view.join_spec();
         let join_left = truncated_nested_loop_join(
             &delta_left.records,
-            &inner_right_records,
+            inner_right_records,
             &spec,
             omega,
             ctx.meter(),
@@ -299,7 +491,7 @@ impl TransformProtocol {
             let spec_rev = self.view.join_spec_reversed();
             let joined = truncated_nested_loop_join(
                 &d.records,
-                &inner_left_records,
+                inner_left_records,
                 &spec_rev,
                 omega,
                 ctx.meter(),
@@ -327,9 +519,11 @@ impl TransformProtocol {
         ctx.reshare_and_store(CARDINALITY_SHARE, counter + new_entries as u32);
 
         // The new records become part of the accumulated relations for future steps
-        // (they retain budget b − ω).
-        self.active_left.extend(new_left);
-        self.active_right.extend(new_right);
+        // (they retain budget b − ω); their encodings enter the delta share cache.
+        self.active_left
+            .append(new_left, left_arity, &mut share_rng);
+        self.active_right
+            .append(new_right, right_arity, &mut share_rng);
 
         let (report, duration) = ctx.charge();
         ctx.advance_time_step();
@@ -338,8 +532,214 @@ impl TransformProtocol {
             new_entries,
             report,
             duration,
+            steps_covered: 1,
         }
     }
+
+    /// Run one *batched* Transform invocation over up to `k` deferred upload steps.
+    ///
+    /// The plaintext functionality is the exact sequential composition of the
+    /// per-step [`Self::invoke`] calls — identical ΔV contents (per-step slices in
+    /// order), ledger charges, active-set evolution, truncation losses, and one
+    /// cardinality recover/reshare *per covered step* (the counter message cadence
+    /// the servers observe is part of the update-pattern leakage and must not change
+    /// with `k`). Only the oblivious join work differs: it is priced once over the
+    /// combined delta against the relation size at flush time, using the operator the
+    /// plan mode selects. With `steps.len() == 1` and nested-loop planning this
+    /// delegates to [`Self::invoke`], so `k = 1` runs are bit-for-bit unchanged.
+    pub fn invoke_batched(
+        &mut self,
+        ctx: &mut TwoPartyContext,
+        steps: &[StepInputs],
+    ) -> TransformOutcome {
+        if steps.is_empty() {
+            return TransformOutcome {
+                delta: SharedArrayPair::new(),
+                new_entries: 0,
+                report: CostReport::default(),
+                duration: SimDuration::ZERO,
+                steps_covered: 0,
+            };
+        }
+        if steps.len() == 1 && self.join_plan == JoinPlanMode::NestedLoop {
+            let step = &steps[0];
+            return self.invoke(
+                ctx,
+                &step.delta_left,
+                step.delta_right.as_ref(),
+                step.full_right_len,
+                step.full_left_len,
+            );
+        }
+
+        if !self.initialized {
+            ctx.reshare_and_store(CARDINALITY_SHARE, 0);
+            self.initialized = true;
+        }
+
+        // Relation arities are uniform across a batch; derive them like the per-step
+        // path does, falling back across steps for all-empty deltas.
+        let left_arity = steps
+            .iter()
+            .find_map(|s| s.delta_left.records.arity())
+            .unwrap_or(2);
+        let right_arity = steps
+            .iter()
+            .find_map(|s| s.delta_right.as_ref().and_then(|d| d.records.arity()))
+            .or_else(|| {
+                self.public_right
+                    .as_ref()
+                    .and_then(|p| p.first().map(Vec::len))
+            })
+            .unwrap_or(left_arity);
+        let out_arity = left_arity + right_arity;
+        let merged_arity = left_arity.max(right_arity) + 2;
+        let omega = self.omega as usize;
+
+        let mut rng = StdRng::seed_from_u64(0xA11CE ^ ctx.time_step());
+        let mut share_rng =
+            StdRng::seed_from_u64(0x5EED_0000 ^ ctx.time_step().wrapping_mul(0x9E37_79B9));
+
+        let mut delta = SharedArrayPair::with_arity(out_arity);
+        let mut total_new_entries = 0usize;
+        let mut outer_left_total = 0usize;
+        let mut outer_right_total = 0usize;
+        let mut has_private_right = false;
+
+        for step in steps {
+            // --- Per-step contribution accounting, exactly as the per-step path.
+            let new_left = Self::batch_real_records(&step.delta_left);
+            for rec in &new_left {
+                self.ledger.register(rec.id);
+                let charged = self.ledger.charge(rec.id, self.omega);
+                debug_assert!(charged, "fresh records always have budget >= omega");
+            }
+            let new_right: Vec<ActiveRecord> = step
+                .delta_right
+                .as_ref()
+                .map(Self::batch_real_records)
+                .unwrap_or_default();
+            for rec in &new_right {
+                self.ledger.register(rec.id);
+                let charged = self.ledger.charge(rec.id, self.omega);
+                debug_assert!(charged, "fresh records always have budget >= omega");
+            }
+            self.active_left
+                .charge_and_evict(&mut self.ledger, self.omega);
+            self.active_right
+                .charge_and_evict(&mut self.ledger, self.omega);
+
+            // --- Per-step inner snapshots (active sets as of this step).
+            let inner_right_fields: Vec<Vec<u32>> = if let Some(public) = &self.public_right {
+                let indices = Self::public_window_indices(&self.view, public, &new_left);
+                indices.iter().map(|&i| public[i].clone()).collect()
+            } else {
+                self.active_right.fields()
+            };
+            let inner_left_fields = self.active_left.fields();
+
+            let potential_pairs = self.count_potential_pairs(&new_left, &inner_right_fields, false)
+                + self.count_potential_pairs(&new_right, &inner_left_fields, true);
+
+            // --- Replay this step's truncated joins on plaintext; the oblivious work
+            // is priced once, after the loop, over the combined delta.
+            let mut step_entries = 0usize;
+            let outer_plain = batch_plain_records(&step.delta_left);
+            let inner_plain: Vec<PlainRecord> = inner_right_fields
+                .iter()
+                .map(|f| PlainRecord::real(f.clone()))
+                .collect();
+            let spec = self.view.join_spec();
+            for produced in truncated_match(&outer_plain, &inner_plain, &spec, omega) {
+                step_entries += produced.len();
+                push_padded(&mut delta, produced, omega, out_arity, &mut rng);
+            }
+            outer_left_total += outer_plain.len();
+
+            if let Some(d) = &step.delta_right {
+                has_private_right = true;
+                let outer_plain = batch_plain_records(d);
+                let inner_plain: Vec<PlainRecord> = inner_left_fields
+                    .iter()
+                    .map(|f| PlainRecord::real(f.clone()))
+                    .collect();
+                let spec_rev = self.view.join_spec_reversed();
+                for produced in truncated_match(&outer_plain, &inner_plain, &spec_rev, omega) {
+                    step_entries += produced.len();
+                    push_padded(&mut delta, produced, omega, out_arity, &mut rng);
+                }
+                outer_right_total += outer_plain.len();
+            }
+
+            self.total_truncation_losses += potential_pairs.saturating_sub(step_entries as u64);
+
+            // --- Per-step counter cadence: the AND-scan of this step's ΔV slice plus
+            // one recover/reshare, exactly like a per-step invocation.
+            let step_delta_len = (step.delta_left.records.len()
+                + step.delta_right.as_ref().map_or(0, |d| d.records.len()))
+                * omega;
+            ctx.meter().ands(step_delta_len as u64);
+            let counter = ctx.recover_named(CARDINALITY_SHARE).unwrap_or(0);
+            ctx.reshare_and_store(CARDINALITY_SHARE, counter + step_entries as u32);
+            total_new_entries += step_entries;
+
+            // --- The step's arrivals become active (and cached) for later steps of
+            // this very batch, which is how cross-step pairs inside the batch appear.
+            self.active_left
+                .append(new_left, left_arity, &mut share_rng);
+            self.active_right
+                .append(new_right, right_arity, &mut share_rng);
+        }
+
+        // --- Price the amortized joins: one planned oblivious join per direction
+        // over the combined delta against the full relation as of flush time.
+        let last = steps.last().expect("non-empty batch");
+        let algo_left = self.choose_algorithm(outer_left_total, last.full_right_len);
+        charge_planned_join(
+            ctx.meter(),
+            algo_left,
+            outer_left_total,
+            last.full_right_len,
+            omega,
+            out_arity,
+            merged_arity,
+        );
+        if has_private_right {
+            let algo_right = self.choose_algorithm(outer_right_total, last.full_left_len);
+            charge_planned_join(
+                ctx.meter(),
+                algo_right,
+                outer_right_total,
+                last.full_left_len,
+                omega,
+                out_arity,
+                merged_arity,
+            );
+        }
+
+        let (report, duration) = ctx.charge();
+        for _ in steps {
+            ctx.advance_time_step();
+        }
+        TransformOutcome {
+            delta,
+            new_entries: total_new_entries,
+            report,
+            duration,
+            steps_covered: steps.len(),
+        }
+    }
+}
+
+/// Recover an upload batch's padded records (dummies included — they participate in
+/// the oblivious join shape but never match).
+fn batch_plain_records(batch: &UploadBatch) -> Vec<PlainRecord> {
+    batch
+        .records
+        .entries()
+        .iter()
+        .map(|e| e.recover())
+        .collect()
 }
 
 #[cfg(test)]
@@ -393,6 +793,7 @@ mod tests {
         // ΔV padded size = ω·(|deltaL| + |deltaR|).
         assert_eq!(out.delta.len(), 4 + 4);
         assert!(out.duration.as_secs_f64() > 0.0);
+        assert_eq!(out.steps_covered, 1);
 
         // Step 2: a matching return for pid 100 arrives within the window.
         let left2 = batch(Relation::Left, 2, &[], 4);
@@ -446,9 +847,11 @@ mod tests {
         assert_eq!(transform.active_counts().0, 1);
         // Second invocation: the record is charged again and hits its budget.
         let _ = transform.invoke(&mut ctx, &empty_l(2), Some(&empty_r(2)), 2, 2);
-        // Third invocation: it is excluded (retired) before any join.
+        // Third invocation: it is excluded (retired) before any join — and its cached
+        // share encoding is evicted with it.
         let _ = transform.invoke(&mut ctx, &empty_l(3), Some(&empty_r(3)), 2, 2);
         assert_eq!(transform.active_counts().0, 0);
+        assert!(transform.share_caches().0.shares().is_empty());
 
         // A matching return arriving now can no longer produce a view entry.
         let right = batch(Relation::Right, 4, &[(5, 9, 4)], 2);
@@ -501,5 +904,87 @@ mod tests {
         let (len_b, rep_b) = run(&[(10, 99, 1)], &[]);
         assert_eq!(len_a, len_b);
         assert_eq!(rep_a, rep_b);
+    }
+
+    #[test]
+    fn share_cache_tracks_active_relations_exactly() {
+        let mut ctx = TwoPartyContext::new(7, CostModel::default());
+        let mut transform = TransformProtocol::new(view_def(), 1, 3, None);
+        for t in 1..=5u64 {
+            let left = batch(Relation::Left, t, &[(t * 10, t as u32, t as u32)], 2);
+            let right = batch(Relation::Right, t, &[(t * 10 + 1, t as u32, t as u32)], 2);
+            let _ = transform.invoke(
+                &mut ctx,
+                &left,
+                Some(&right),
+                2 * t as usize,
+                2 * t as usize,
+            );
+            let (lc, rc) = transform.share_caches();
+            for cache in [lc, rc] {
+                assert_eq!(cache.shares().len(), cache.records().len());
+                let recovered: Vec<Vec<u32>> = cache
+                    .shares()
+                    .recover_all()
+                    .into_iter()
+                    .map(|r| r.fields)
+                    .collect();
+                assert_eq!(recovered, cache.fields(), "cache stays share-aligned");
+            }
+        }
+        // b = 3, ω = 1: records survive three invocations, so at t = 5 only the last
+        // three steps' arrivals are still active.
+        assert_eq!(transform.active_counts(), (3, 3));
+    }
+
+    #[test]
+    fn batched_invocation_replays_sequential_invocations() {
+        let steps: Vec<StepInputs> = (1..=6u64)
+            .map(|t| StepInputs {
+                delta_left: batch(Relation::Left, t, &[(t * 2, (t % 3) as u32, t as u32)], 3),
+                delta_right: Some(batch(
+                    Relation::Right,
+                    t,
+                    &[(t * 2 + 1, ((t + 1) % 3) as u32, t as u32 + 1)],
+                    3,
+                )),
+                full_right_len: 3 * t as usize,
+                full_left_len: 3 * t as usize,
+            })
+            .collect();
+
+        // Sequential per-step execution.
+        let mut ctx_a = TwoPartyContext::new(8, CostModel::default());
+        let mut seq = TransformProtocol::new(view_def(), 1, 10, None);
+        let mut seq_delta: Vec<PlainRecord> = Vec::new();
+        let mut seq_entries = 0;
+        for s in &steps {
+            let out = seq.invoke(
+                &mut ctx_a,
+                &s.delta_left,
+                s.delta_right.as_ref(),
+                s.full_right_len,
+                s.full_left_len,
+            );
+            seq_entries += out.new_entries;
+            seq_delta.extend(out.delta.recover_all());
+        }
+
+        // One batched invocation over the same six steps.
+        let mut ctx_b = TwoPartyContext::new(8, CostModel::default());
+        let mut batched =
+            TransformProtocol::new(view_def(), 1, 10, None).with_join_plan(JoinPlanMode::Adaptive);
+        let out = batched.invoke_batched(&mut ctx_b, &steps);
+
+        assert_eq!(out.steps_covered, 6);
+        assert_eq!(out.new_entries, seq_entries);
+        assert_eq!(out.delta.recover_all(), seq_delta, "identical ΔV plaintext");
+        assert_eq!(batched.active_counts(), seq.active_counts());
+        assert_eq!(batched.truncation_losses(), seq.truncation_losses());
+        assert_eq!(
+            ctx_a.recover_named(CARDINALITY_SHARE),
+            ctx_b.recover_named(CARDINALITY_SHARE),
+            "identical counter state"
+        );
     }
 }

@@ -1,0 +1,250 @@
+//! Incremental-Transform invariants: the delta share cache must be indistinguishable
+//! from full re-sharing, and `k`-step batching must leave every DP-relevant quantity
+//! (padding volume, read sizes, QET, answers) untouched while shrinking join work.
+
+use incshrink::prelude::*;
+use incshrink::transform::{StepInputs, TransformProtocol, CARDINALITY_SHARE};
+use incshrink::ViewDefinition;
+use incshrink_mpc::cost::CostModel;
+use incshrink_mpc::runtime::TwoPartyContext;
+use incshrink_secretshare::arrays::SharedArrayPair;
+use incshrink_secretshare::tuple::PlainRecord;
+use incshrink_storage::{LogicalUpdate, Relation, UploadBatch};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn view_def() -> ViewDefinition {
+    ViewDefinition {
+        left_key: 0,
+        left_time: 1,
+        right_key: 0,
+        right_time: 1,
+        window: 10,
+    }
+}
+
+fn batch(relation: Relation, time: u64, rows: &[(u64, u32, u32)], padded: usize) -> UploadBatch {
+    let mut rng = StdRng::seed_from_u64(time ^ 0xBA7C4);
+    let updates: Vec<LogicalUpdate> = rows
+        .iter()
+        .map(|&(id, key, t)| LogicalUpdate {
+            id,
+            relation,
+            arrival: time,
+            fields: vec![key, t],
+        })
+        .collect();
+    let refs: Vec<&LogicalUpdate> = updates.iter().collect();
+    UploadBatch::from_updates(relation, time, &refs, 2, padded, &mut rng)
+}
+
+/// Build a random step sequence from proptest-drawn row keys. Record ids are unique
+/// across the run; times advance with the step so the join window stays meaningful.
+fn build_steps(left_keys: &[Vec<u32>], right_keys: &[Vec<u32>]) -> Vec<StepInputs> {
+    let mut next_id = 1u64;
+    let steps = left_keys.len();
+    (0..steps)
+        .map(|i| {
+            let t = i as u64 + 1;
+            let lrows: Vec<(u64, u32, u32)> = left_keys[i]
+                .iter()
+                .map(|&k| {
+                    let id = next_id;
+                    next_id += 1;
+                    (id, k, t as u32)
+                })
+                .collect();
+            let rrows: Vec<(u64, u32, u32)> = right_keys[i]
+                .iter()
+                .map(|&k| {
+                    let id = next_id;
+                    next_id += 1;
+                    (id, k, t as u32 + 1)
+                })
+                .collect();
+            StepInputs {
+                delta_left: batch(Relation::Left, t, &lrows, 3),
+                delta_right: Some(batch(Relation::Right, t, &rrows, 3)),
+                full_right_len: 3 * t as usize,
+                full_left_len: 3 * t as usize,
+            }
+        })
+        .collect()
+}
+
+/// Re-share a cache's plaintext mirror from scratch and compare recovered contents —
+/// the "cached-delta sharing ≡ full `share_active` re-sharing" equivalence.
+fn assert_cache_matches_full_reshare(transform: &TransformProtocol, seed: u64) {
+    let (left, right) = transform.share_caches();
+    for cache in [left, right] {
+        let records: Vec<PlainRecord> = cache
+            .records()
+            .iter()
+            .map(|r| PlainRecord::real(r.fields.clone()))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fresh = SharedArrayPair::share_records(&records, &mut rng);
+        assert_eq!(fresh.len(), cache.shares().len());
+        assert_eq!(
+            fresh.recover_all(),
+            cache.shares().recover_all(),
+            "cached encodings must recover to exactly what a full re-share produces"
+        );
+    }
+}
+
+proptest! {
+    /// Across random step sequences with record expiry (tight budgets) and random
+    /// batch-flush interleavings, the delta share cache stays equivalent to full
+    /// re-sharing and the batched protocol replays the sequential one exactly.
+    #[test]
+    fn prop_cached_delta_sharing_equals_full_resharing(
+        left_keys in proptest::collection::vec(proptest::collection::vec(0u32..4, 0..3), 2..9),
+        right_keys_seed in proptest::collection::vec(proptest::collection::vec(0u32..4, 0..3), 2..9),
+        budget in 1u64..5,
+        chunk in 1usize..4,
+        seed: u64,
+    ) {
+        // Align lengths (proptest draws them independently).
+        let steps_len = left_keys.len().min(right_keys_seed.len());
+        let steps = build_steps(&left_keys[..steps_len], &right_keys_seed[..steps_len]);
+
+        // Reference: strict per-step invocations (ω = 1, small budget ⇒ expiry).
+        let mut ctx_seq = TwoPartyContext::new(seed ^ 1, CostModel::default());
+        let mut seq = TransformProtocol::new(view_def(), 1, budget, None);
+        let mut seq_delta: Vec<PlainRecord> = Vec::new();
+        for s in &steps {
+            let out = seq.invoke(
+                &mut ctx_seq,
+                &s.delta_left,
+                s.delta_right.as_ref(),
+                s.full_right_len,
+                s.full_left_len,
+            );
+            seq_delta.extend(out.delta.recover_all());
+            assert_cache_matches_full_reshare(&seq, seed);
+        }
+
+        // Batched: the same steps in random chunks (flush interleavings).
+        let mut ctx_bat = TwoPartyContext::new(seed ^ 1, CostModel::default());
+        let mut bat = TransformProtocol::new(view_def(), 1, budget, None)
+            .with_join_plan(JoinPlanMode::Adaptive);
+        let mut bat_delta: Vec<PlainRecord> = Vec::new();
+        for group in steps.chunks(chunk) {
+            let out = bat.invoke_batched(&mut ctx_bat, group);
+            bat_delta.extend(out.delta.recover_all());
+            assert_cache_matches_full_reshare(&bat, seed);
+        }
+
+        // Identical plaintext protocol state however the steps were chunked.
+        prop_assert_eq!(bat_delta, seq_delta);
+        prop_assert_eq!(bat.active_counts(), seq.active_counts());
+        prop_assert_eq!(bat.truncation_losses(), seq.truncation_losses());
+        prop_assert_eq!(
+            ctx_bat.recover_named(CARDINALITY_SHARE),
+            ctx_seq.recover_named(CARDINALITY_SHARE)
+        );
+    }
+}
+
+fn tpcds(steps: u64) -> Dataset {
+    TpcDsGenerator::new(WorkloadParams {
+        steps,
+        view_entries_per_step: 2.7,
+        seed: 77,
+    })
+    .generate()
+}
+
+fn cpdb(steps: u64) -> Dataset {
+    CpdbGenerator::new(WorkloadParams {
+        steps,
+        view_entries_per_step: 9.8,
+        seed: 78,
+    })
+    .generate()
+}
+
+/// Regression: `k > 1` batching leaves the DP padding volume and the QET counts of
+/// every step invariant (batching defers join work, never DP messages), while the
+/// Transform secure-compare total strictly drops under adaptive planning.
+#[test]
+fn batching_leaves_dp_padding_and_qet_invariant_and_reduces_compares() {
+    for (dataset, interval) in [(tpcds(90), 11u64), (cpdb(60), 3u64)] {
+        let base = IncShrinkConfig::tpcds_default(UpdateStrategy::DpTimer { interval })
+            .with_join_plan(JoinPlanMode::Adaptive);
+        let k1 = Simulation::new(dataset.clone(), base.with_transform_batch(1), 0xFACE).run();
+        let k4 = Simulation::new(dataset.clone(), base.with_transform_batch(4), 0xFACE).run();
+
+        assert_eq!(k1.horizon(), k4.horizon());
+        for (a, b) in k1.steps.iter().zip(k4.steps.iter()) {
+            assert_eq!(a.answer, b.answer, "t={}: answers invariant in k", a.time);
+            assert_eq!(a.synced, b.synced, "t={}: sync schedule invariant", a.time);
+            assert_eq!(
+                a.view_len, b.view_len,
+                "t={}: view length invariant",
+                a.time
+            );
+            assert_eq!(
+                a.view_len - a.view_real,
+                b.view_len - b.view_real,
+                "t={}: DP padding volume invariant",
+                a.time
+            );
+            assert!(
+                (a.qet_secs - b.qet_secs).abs() < 1e-12,
+                "t={}: QET invariant ({} vs {})",
+                a.time,
+                a.qet_secs,
+                b.qet_secs
+            );
+            assert!((a.l1_error - b.l1_error).abs() < 1e-9);
+        }
+        assert_eq!(k1.summary.sync_count, k4.summary.sync_count);
+        assert!(
+            k4.summary.transform_secure_compares < k1.summary.transform_secure_compares,
+            "k=4 must reduce Transform compares: {} vs {}",
+            k4.summary.transform_secure_compares,
+            k1.summary.transform_secure_compares
+        );
+    }
+}
+
+/// The plan mode alone (nested loop vs adaptive, at `k = 1`) must not change what the
+/// protocol releases — only what the join work costs.
+#[test]
+fn plan_mode_changes_costs_but_not_releases() {
+    let dataset = tpcds(70);
+    let nlj = IncShrinkConfig::tpcds_default(UpdateStrategy::DpTimer { interval: 11 });
+    let adaptive = nlj.with_join_plan(JoinPlanMode::Adaptive);
+    let a = Simulation::new(dataset.clone(), nlj, 0xBEEF).run();
+    let b = Simulation::new(dataset, adaptive, 0xBEEF).run();
+    for (x, y) in a.steps.iter().zip(b.steps.iter()) {
+        assert_eq!(x.answer, y.answer);
+        assert_eq!(x.view_len, y.view_len);
+        assert_eq!(x.view_real, y.view_real);
+        assert_eq!(x.synced, y.synced);
+    }
+    // Costs are accounted differently (the adaptive path prices the join against the
+    // full outsourced relation, including the sort gap the legacy compensation
+    // omits) but both meter real work.
+    assert!(a.summary.transform_secure_compares > 0);
+    assert!(b.summary.transform_secure_compares > 0);
+    assert_ne!(
+        a.summary.transform_secure_compares,
+        b.summary.transform_secure_compares
+    );
+}
+
+/// `sDPANT` inspects the counter every step, so batching degrades gracefully to an
+/// effective `k = 1`: the trace is *identical*, not merely equivalent.
+#[test]
+fn ant_strategy_forces_per_step_flush() {
+    let dataset = cpdb(50);
+    let cfg = IncShrinkConfig::cpdb_default(UpdateStrategy::DpAnt { threshold: 30.0 });
+    let k1 = Simulation::new(dataset.clone(), cfg, 0xA17).run();
+    let k8 = Simulation::new(dataset, cfg.with_transform_batch(8), 0xA17).run();
+    assert_eq!(k1.steps, k8.steps);
+    assert_eq!(k1.summary, k8.summary);
+}

@@ -116,6 +116,23 @@ impl CostReport {
     pub fn is_empty(&self) -> bool {
         *self == Self::default()
     }
+
+    /// Field-wise saturating difference. Used to price the *gap* between two modelled
+    /// executions (e.g. a join against the full outsourced relation vs the physically
+    /// scanned subset) without ever going negative.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self {
+            secure_compares: self.secure_compares.saturating_sub(rhs.secure_compares),
+            secure_swaps: self.secure_swaps.saturating_sub(rhs.secure_swaps),
+            secure_ands: self.secure_ands.saturating_sub(rhs.secure_ands),
+            secure_adds: self.secure_adds.saturating_sub(rhs.secure_adds),
+            bytes_communicated: self
+                .bytes_communicated
+                .saturating_sub(rhs.bytes_communicated),
+            rounds: self.rounds.saturating_sub(rhs.rounds),
+        }
+    }
 }
 
 impl Add for CostReport {

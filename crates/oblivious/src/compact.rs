@@ -11,6 +11,10 @@ use incshrink_secretshare::arrays::SharedArrayPair;
 
 /// Obliviously compact `array` so that all real tuples precede all dummy tuples.
 /// The length is unchanged; only the (hidden) order moves.
+///
+/// Cost: one Batcher sort on the `isView` key — `batcher_pair_count(n)` secure
+/// comparisons and record-wide swaps ([`crate::sort::batcher_pair_count`]). Leakage:
+/// none beyond the public length `n`.
 pub fn oblivious_compact(array: &mut SharedArrayPair, meter: &mut CostMeter) {
     oblivious_sort_by_is_view(array, meter);
 }
@@ -21,6 +25,12 @@ pub fn oblivious_compact(array: &mut SharedArrayPair, meter: &mut CostMeter) {
 ///
 /// Returns the fetched entries. The servers observe only `read_size` (which the
 /// calling Shrink protocol derives from a DP mechanism) — never the true cardinality.
+///
+/// Cost: the [`oblivious_compact`] sort of the whole cache plus the `read_size`
+/// record transfer. This sort over the cache length is why keeping ΔV at the
+/// `ω·|delta|` nested-loop output contract (rather than Example 5.1's
+/// `ω·(|T1|+|T2|)`) matters: the cache, and with it every synchronization, would
+/// otherwise grow with the accumulated relation.
 pub fn cache_read(
     cache: &mut SharedArrayPair,
     read_size: usize,

@@ -56,7 +56,11 @@ impl<'a> Predicate<'a> {
 
 /// Obliviously filter `input`: the output has exactly the same length and record
 /// order; records failing `predicate` (and records that were already dummies) have
-/// `isView = 0` in the output.
+/// `isView = 0` in the output (Appendix A.1.1).
+///
+/// Cost: one secure comparison and one AND per record, plus re-sharing the rewritten
+/// array. Leakage: none beyond the public length — selectivity stays hidden because
+/// every record is emitted and only the hidden flag changes.
 pub fn oblivious_filter<R: Rng + ?Sized>(
     input: &SharedArrayPair,
     predicate: &Predicate<'_>,

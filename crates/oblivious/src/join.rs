@@ -1,22 +1,50 @@
-//! Truncated oblivious joins.
+//! Truncated oblivious joins and their cost models.
 //!
-//! Two instantiations of the paper's *truncated view transformation*:
+//! Three instantiations of the paper's *truncated view transformation*, plus the
+//! analytic cost functions the adaptive planner ([`crate::planner`]) chooses between:
 //!
+//! * [`truncated_nested_loop_join`] — Algorithm 4: for each outer tuple, scan the
+//!   inner table, generate joins only while both tuples have remaining contribution
+//!   budget, obliviously sort each per-outer buffer and keep its first `b` slots.
+//!   The output is exhaustively padded to `b · |outer|` entries.
 //! * [`truncated_sort_merge_join`] — Example 5.1: union both tables, obliviously sort
 //!   by join key (left-table records break ties first), then linearly scan, emitting
 //!   exactly `b` (possibly dummy) output tuples after accessing each merged tuple.
 //!   The output is therefore exhaustively padded to `b · (|T1| + |T2|)` entries while
 //!   each input record contributes at most `b` real join tuples.
-//! * [`truncated_nested_loop_join`] — Algorithm 4: for each outer tuple, scan the
-//!   inner table, generate joins only while both tuples have remaining contribution
-//!   budget, obliviously sort each per-outer buffer and keep its first `b` slots.
-//!   The output is exhaustively padded to `b · |outer|` entries.
+//! * [`truncated_sort_merge_delta_join`] — the delta-oriented instantiation of
+//!   Example 5.1 used by the incremental Transform hot path: same union + oblivious
+//!   sort + scan, followed by an oblivious compaction that cuts the emission down to
+//!   the *public* `b · |outer|` prefix, so it is a drop-in replacement for the
+//!   nested-loop operator (identical output contract, different cost profile).
 //!
-//! Both operators are oblivious: their operation counts and output sizes depend only
-//! on the input lengths and the truncation bound, never on the data.
+//! All operators are oblivious: their operation counts and output sizes depend only
+//! on the input lengths and the truncation bound, never on the data. The per-operator
+//! secure-compare counts are exposed as [`nested_loop_join_cost`] and
+//! [`delta_sort_merge_join_cost`]; [`crate::planner::plan_join`] compares them to pick
+//! the cheaper operator for given `(|outer|, |inner|, b)`, and
+//! [`crate::planner::plan_and_execute`] runs the winner.
+//!
+//! ```
+//! use incshrink_oblivious::{truncated_nested_loop_join, JoinSpec, PlainTable};
+//! use incshrink_mpc::cost::CostMeter;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut meter = CostMeter::new();
+//! let mut sales = PlainTable::new(&["pid", "day"]);
+//! sales.push_row(vec![1, 10]);
+//! let mut returns = PlainTable::new(&["pid", "day"]);
+//! returns.push_row(vec![1, 15]);
+//! let spec = JoinSpec::with_condition(0, 0, |l, r| r[1].saturating_sub(l[1]) <= 10);
+//! let out = truncated_nested_loop_join(
+//!     &sales.share(&mut rng), &returns.share(&mut rng), &spec, 2, &mut meter, &mut rng);
+//! assert_eq!(out.len(), 2); // b · |outer|, regardless of the data
+//! assert_eq!(out.true_cardinality(), 1);
+//! ```
 
-use crate::sort::{batcher_pairs, oblivious_sort_by_key, SortKey, SortOrder};
-use incshrink_mpc::cost::CostMeter;
+use crate::sort::{batcher_pair_count, oblivious_sort_by_key, SortKey, SortOrder};
+use incshrink_mpc::cost::{CostMeter, CostReport};
 use incshrink_secretshare::arrays::SharedArrayPair;
 use incshrink_secretshare::tuple::{PlainRecord, SharedRecordPair};
 use rand::Rng;
@@ -73,7 +101,147 @@ fn join_output_arity(left: &SharedArrayPair, right: &SharedArrayPair) -> usize {
     left.arity().unwrap_or(0) + right.arity().unwrap_or(0)
 }
 
-fn push_padded<R: Rng + ?Sized>(
+/// The plaintext functionality every truncated join operator in this module
+/// implements: for each outer tuple (in input order) scan the inner table and emit
+/// the concatenated field vectors of matching pairs, while both tuples still have
+/// per-invocation contribution budget `bound` (Algorithm 4 lines 1–7 / the Eq. 3
+/// truncation). Returns one `Vec` of produced rows per outer tuple, each of length
+/// at most `bound`.
+///
+/// This runs on recovered plaintext and is therefore **protocol-internal**: the
+/// simulated MPC operators call it to derive their (identical) outputs and charge the
+/// oblivious cost separately, and the batched Transform uses it to replay several
+/// per-step joins inside one amortized invocation. It performs no metering and leaks
+/// nothing by construction — it never executes outside the simulated circuit.
+#[must_use]
+pub fn truncated_match(
+    outer: &[PlainRecord],
+    inner: &[PlainRecord],
+    spec: &JoinSpec<'_>,
+    bound: usize,
+) -> Vec<Vec<Vec<u32>>> {
+    let mut inner_budget: Vec<usize> = vec![bound; inner.len()];
+    outer
+        .iter()
+        .map(|orec| {
+            let mut produced: Vec<Vec<u32>> = Vec::new();
+            let mut outer_budget = bound;
+            for (ii, irec) in inner.iter().enumerate() {
+                let can_join = outer_budget > 0 && inner_budget[ii] > 0;
+                let is_match =
+                    orec.is_view && irec.is_view && spec.matches(&orec.fields, &irec.fields);
+                if can_join && is_match {
+                    let mut fields = orec.fields.clone();
+                    fields.extend_from_slice(&irec.fields);
+                    produced.push(fields);
+                    outer_budget -= 1;
+                    inner_budget[ii] -= 1;
+                }
+            }
+            produced
+        })
+        .collect()
+}
+
+/// Oblivious-operation counts of one [`truncated_nested_loop_join`] invocation over
+/// `outer_len × inner_len` inputs with truncation bound `bound` and output arity
+/// `out_arity` — exactly what the physical operator meters.
+///
+/// Cost shape: `|outer|·|inner|` secure compares and `2·|outer|·|inner|` AND gates for
+/// the match/budget checks, plus a Batcher sort of each per-outer buffer of `|inner|`
+/// slots (`|outer| · batcher_pair_count(|inner|)` compares and record-wide swaps), plus
+/// the `b·|outer|` output write. Depends only on public sizes, never on data.
+#[must_use]
+pub fn nested_loop_join_cost(
+    outer_len: usize,
+    inner_len: usize,
+    bound: usize,
+    out_arity: usize,
+) -> CostReport {
+    let o = outer_len as u64;
+    let i = inner_len as u64;
+    let bp = batcher_pair_count(inner_len);
+    let width = out_arity as u64 + 1;
+    CostReport {
+        secure_compares: o.saturating_mul(i).saturating_add(o.saturating_mul(bp)),
+        secure_ands: 2u64.saturating_mul(o).saturating_mul(i),
+        secure_swaps: o.saturating_mul(bp).saturating_mul(width),
+        secure_adds: 0,
+        bytes_communicated: o
+            .saturating_mul(bound as u64)
+            .saturating_mul(width)
+            .saturating_mul(4),
+        rounds: 1,
+    }
+}
+
+/// Oblivious-operation counts of one [`truncated_sort_merge_delta_join`] invocation —
+/// exactly what the physical operator meters.
+///
+/// Cost shape, with `n = |outer| + |inner|`: share the tagged union (`n` records of
+/// `merged_arity` words), obliviously sort it by `(join key, table tag)`
+/// (`batcher_pair_count(n)` compares + record-wide swaps), scan it emitting `bound`
+/// slots per position (`n·bound` compares and ANDs), obliviously compact the
+/// `bound·n` emission down to the *public* `bound·|outer|` prefix
+/// (`batcher_pair_count(bound·n)` compares + swaps), and write the output. Depends
+/// only on public sizes, never on data.
+#[must_use]
+pub fn delta_sort_merge_join_cost(
+    outer_len: usize,
+    inner_len: usize,
+    bound: usize,
+    out_arity: usize,
+    merged_arity: usize,
+) -> CostReport {
+    let nm = outer_len + inner_len;
+    let emission = nm.saturating_mul(bound);
+    let bp_merge = batcher_pair_count(nm);
+    let bp_compact = batcher_pair_count(emission);
+    let merged_width = merged_arity as u64 + 1;
+    let out_width = out_arity as u64 + 1;
+    let mut report = CostReport {
+        bytes_communicated: (nm as u64)
+            .saturating_mul(merged_arity as u64)
+            .saturating_mul(4),
+        ..CostReport::default()
+    };
+    if nm >= 2 {
+        report.secure_compares = report.secure_compares.saturating_add(bp_merge);
+        report.secure_swaps = report
+            .secure_swaps
+            .saturating_add(bp_merge.saturating_mul(merged_width));
+        report.rounds += 1;
+    }
+    report.secure_compares = report
+        .secure_compares
+        .saturating_add((nm as u64).saturating_mul(bound as u64));
+    report.secure_ands = report
+        .secure_ands
+        .saturating_add((nm as u64).saturating_mul(bound as u64));
+    report.rounds += 1;
+    if emission >= 2 {
+        report.secure_compares = report.secure_compares.saturating_add(bp_compact);
+        report.secure_swaps = report
+            .secure_swaps
+            .saturating_add(bp_compact.saturating_mul(out_width));
+        report.rounds += 1;
+    }
+    report.bytes_communicated = report.bytes_communicated.saturating_add(
+        (outer_len as u64)
+            .saturating_mul(bound as u64)
+            .saturating_mul(out_width)
+            .saturating_mul(4),
+    );
+    report
+}
+
+/// Append one `bound`-slot output block — real join tuples first (truncated to
+/// `bound`), dummy padding after — the per-outer output layout shared by every
+/// truncated join operator. Exposed (alongside [`truncated_match`]) so the batched
+/// Transform assembles ΔV with exactly the layout the physical operators produce;
+/// the block structure is public (it depends only on `bound`), the contents are
+/// fresh shares.
+pub fn push_padded<R: Rng + ?Sized>(
     out: &mut SharedArrayPair,
     mut real: Vec<Vec<u32>>,
     bound: usize,
@@ -97,6 +265,18 @@ fn push_padded<R: Rng + ?Sized>(
 /// Returns an exhaustively padded array of exactly `bound * (left.len() + right.len())`
 /// records; real join tuples have `isView = 1`. Each input record (from either side)
 /// contributes at most `bound` real tuples.
+///
+/// # Leakage
+/// Oblivious: the union size, the Batcher sort schedule and the `bound`-slot
+/// emission per merged position are fixed by the public input lengths; only hidden
+/// `isView` bits distinguish real join tuples from dummies.
+///
+/// # Cost
+/// One Batcher sort of the `|T1| + |T2|` union (`batcher_pair_count` compares and
+/// record-wide swaps) plus a linear scan emitting `bound` slots per position. Use
+/// [`truncated_sort_merge_delta_join`] when the nested-loop output contract
+/// (`bound · |outer|` entries) is required — this variant's `bound·(|T1|+|T2|)`
+/// output is the one-shot Example 5.1 shape, not the incremental ΔV shape.
 pub fn truncated_sort_merge_join<R: Rng + ?Sized>(
     left: &SharedArrayPair,
     right: &SharedArrayPair,
@@ -158,26 +338,7 @@ pub fn truncated_sort_merge_join<R: Rng + ?Sized>(
 
     let left_plain: Vec<PlainRecord> = left.entries().iter().map(|e| e.recover()).collect();
     let right_plain: Vec<PlainRecord> = right.entries().iter().map(|e| e.recover()).collect();
-    let mut right_budget: Vec<usize> = vec![bound; right_plain.len()];
-
-    for lrec in &left_plain {
-        let mut produced: Vec<Vec<u32>> = Vec::new();
-        if lrec.is_view {
-            let mut left_remaining = bound;
-            for (ri, rrec) in right_plain.iter().enumerate() {
-                if left_remaining == 0 {
-                    break;
-                }
-                if rrec.is_view && right_budget[ri] > 0 && spec.matches(&lrec.fields, &rrec.fields)
-                {
-                    let mut fields = lrec.fields.clone();
-                    fields.extend_from_slice(&rrec.fields);
-                    produced.push(fields);
-                    left_remaining -= 1;
-                    right_budget[ri] -= 1;
-                }
-            }
-        }
+    for produced in truncated_match(&left_plain, &right_plain, spec, bound) {
         push_padded(&mut out, produced, bound, out_arity, rng);
     }
     // The right-side positions of the merged scan also emit `bound` slots each; with
@@ -192,8 +353,20 @@ pub fn truncated_sort_merge_join<R: Rng + ?Sized>(
 /// `b`-truncated oblivious nested-loop join (Algorithm 4).
 ///
 /// Output is exhaustively padded to `bound * outer.len()` records. Both the outer and
-/// the inner tuple consume one unit of contribution budget per emitted join tuple;
-/// once a tuple's budget is exhausted, further joins with it are discarded.
+/// the inner tuple consume one unit of contribution budget per emitted join tuple
+/// (Algorithm 4 line 1); once a tuple's budget is exhausted, further joins with it
+/// are discarded.
+///
+/// # Leakage
+/// Oblivious: the operation schedule and the `bound · |outer|` output size are fixed
+/// functions of the public input lengths; the hidden `isView` bits are the only place
+/// the data shows up. The servers learn nothing beyond `(|outer|, |inner|, bound)`.
+///
+/// # Cost
+/// Exactly [`nested_loop_join_cost`]`(|outer|, |inner|, bound, out_arity)`:
+/// `O(|outer|·|inner|)` secure compares plus `|outer|` per-buffer Batcher sorts —
+/// the quadratic term the adaptive planner ([`crate::planner`]) trades against the
+/// sort-merge variant.
 pub fn truncated_nested_loop_join<R: Rng + ?Sized>(
     outer: &SharedArrayPair,
     inner: &SharedArrayPair,
@@ -210,35 +383,68 @@ pub fn truncated_nested_loop_join<R: Rng + ?Sized>(
     let outer_plain: Vec<PlainRecord> = outer.entries().iter().map(|e| e.recover()).collect();
     let inner_plain: Vec<PlainRecord> = inner.entries().iter().map(|e| e.recover()).collect();
 
-    // Algorithm 4 line 1: assign a contribution budget to every tuple of both tables.
-    let mut inner_budget: Vec<usize> = vec![bound; inner_plain.len()];
-
     // Cost accounting: |outer|·|inner| secure comparisons and budget checks, plus an
     // oblivious sort of each per-outer buffer of |inner| slots, plus the output write.
-    let n_outer = outer_plain.len() as u64;
-    let n_inner = inner_plain.len() as u64;
-    meter.compares(n_outer * n_inner);
-    meter.ands(2 * n_outer * n_inner);
-    let per_buffer_pairs = batcher_pairs(inner_plain.len()).len() as u64;
-    meter.compares(n_outer * per_buffer_pairs);
-    meter.swaps(n_outer * per_buffer_pairs, out_arity as u64 + 1);
-    meter.bytes(n_outer * (bound as u64) * (out_arity as u64 + 1) * 4);
-    meter.round();
+    meter.record(nested_loop_join_cost(
+        outer_plain.len(),
+        inner_plain.len(),
+        bound,
+        out_arity,
+    ));
 
-    for orec in &outer_plain {
-        let mut produced: Vec<Vec<u32>> = Vec::new();
-        let mut outer_budget = bound;
-        for (ii, irec) in inner_plain.iter().enumerate() {
-            let can_join = outer_budget > 0 && inner_budget[ii] > 0;
-            let is_match = orec.is_view && irec.is_view && spec.matches(&orec.fields, &irec.fields);
-            if can_join && is_match {
-                let mut fields = orec.fields.clone();
-                fields.extend_from_slice(&irec.fields);
-                produced.push(fields);
-                outer_budget -= 1;
-                inner_budget[ii] -= 1;
-            }
-        }
+    for produced in truncated_match(&outer_plain, &inner_plain, spec, bound) {
+        push_padded(&mut out, produced, bound, out_arity, rng);
+    }
+    out
+}
+
+/// Delta-oriented `b`-truncated oblivious sort-merge join: Example 5.1's
+/// union–sort–scan pipeline followed by an oblivious compaction to the public
+/// `bound · |outer|` output prefix.
+///
+/// This is the operator the adaptive planner substitutes for
+/// [`truncated_nested_loop_join`] on large inner relations: it produces the **same
+/// output contract** (exhaustively padded to `bound · |outer|` entries, identical
+/// real join tuples via [`truncated_match`]) but replaces the `|outer|·|inner|`
+/// compare matrix and the `|outer|` per-buffer sorts with one Batcher sort of the
+/// `|outer| + |inner|` union plus one of the `bound · (|outer| + |inner|)` emission.
+///
+/// # Leakage
+/// Oblivious: the sort network, the per-position `bound`-slot emission and the
+/// compaction cut are fixed by the public lengths. Cutting the compacted emission at
+/// `bound · |outer|` is safe because at most `bound` real tuples exist per outer
+/// record (Eq. 3), so the prefix length is a public function of `|outer|`.
+///
+/// # Cost
+/// Exactly [`delta_sort_merge_join_cost`]. The merged union and the compaction
+/// network are priced but not physically permuted — the simulation derives the
+/// identical output from [`truncated_match`] directly, the established idiom for
+/// operators whose data movement does not affect the recovered result.
+pub fn truncated_sort_merge_delta_join<R: Rng + ?Sized>(
+    outer: &SharedArrayPair,
+    inner: &SharedArrayPair,
+    spec: &JoinSpec<'_>,
+    bound: usize,
+    meter: &mut CostMeter,
+    rng: &mut R,
+) -> SharedArrayPair {
+    let out_arity = join_output_arity(outer, inner);
+    let mut out = SharedArrayPair::with_arity(out_arity);
+    if bound == 0 {
+        return out;
+    }
+    let merged_arity = outer.arity().unwrap_or(0).max(inner.arity().unwrap_or(0)) + 2;
+    meter.record(delta_sort_merge_join_cost(
+        outer.len(),
+        inner.len(),
+        bound,
+        out_arity,
+        merged_arity,
+    ));
+
+    let outer_plain: Vec<PlainRecord> = outer.entries().iter().map(|e| e.recover()).collect();
+    let inner_plain: Vec<PlainRecord> = inner.entries().iter().map(|e| e.recover()).collect();
+    for produced in truncated_match(&outer_plain, &inner_plain, spec, bound) {
         push_padded(&mut out, produced, bound, out_arity, rng);
     }
     out

@@ -7,8 +7,11 @@
 //!   sequence, so the access pattern leaks nothing about the data.
 //! * [`filter`] — oblivious selection: every input row is emitted, only the hidden
 //!   `isView` bit distinguishes matches from dummies (Appendix A.1.1).
-//! * [`join`] — `b`-truncated oblivious sort-merge join (Example 5.1) and
-//!   `b`-truncated oblivious nested-loop join (Algorithm 4).
+//! * [`join`] — `b`-truncated oblivious joins: sort-merge (Example 5.1, plus its
+//!   delta-oriented variant with the nested-loop output contract) and nested-loop
+//!   (Algorithm 4), with analytic per-operator cost models.
+//! * [`planner`] — adaptive join planning: pick the cheaper truncated-join operator
+//!   from a secure-compare cost model over the public input sizes.
 //! * [`compact`] — the cache-read primitive of Figure 3: sort by `isView` so real
 //!   tuples precede dummies, then cut a prefix of a given (DP-noised) size.
 //!
@@ -23,12 +26,21 @@ pub mod aggregate;
 pub mod compact;
 pub mod filter;
 pub mod join;
+pub mod planner;
 pub mod sort;
 pub mod table;
 
 pub use aggregate::{oblivious_count, oblivious_group_count, oblivious_sum};
 pub use compact::{cache_read, oblivious_compact};
 pub use filter::{oblivious_filter, Predicate};
-pub use join::{truncated_nested_loop_join, truncated_sort_merge_join, JoinSpec};
-pub use sort::{oblivious_sort_by_field, oblivious_sort_by_is_view, SortOrder};
+pub use join::{
+    delta_sort_merge_join_cost, nested_loop_join_cost, push_padded, truncated_match,
+    truncated_nested_loop_join, truncated_sort_merge_delta_join, truncated_sort_merge_join,
+    JoinSpec,
+};
+pub use planner::{
+    charge_full_relation_gap, charge_planned_join, plan_and_execute, plan_join, JoinAlgorithm,
+    JoinPlan,
+};
+pub use sort::{batcher_pair_count, oblivious_sort_by_field, oblivious_sort_by_is_view, SortOrder};
 pub use table::PlainTable;

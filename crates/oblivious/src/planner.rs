@@ -1,0 +1,312 @@
+//! Adaptive oblivious-join planning.
+//!
+//! The two truncated join operators have sharply different cost profiles:
+//! [`crate::join::truncated_nested_loop_join`] pays `|outer|·|inner|` secure compares
+//! plus `|outer|` per-buffer Batcher sorts (quadratic in the inner relation), while
+//! [`crate::join::truncated_sort_merge_delta_join`] pays one Batcher sort of the
+//! `|outer| + |inner|` union plus one of the `b·(|outer| + |inner|)` emission
+//! (`O(n log² n)`). For the tiny inner relations of early time steps the nested loop
+//! wins; once the accumulated relation grows — and especially once `k`-step batching
+//! raises `|outer|` — the sort-merge form is integer factors cheaper.
+//!
+//! [`plan_join`] picks the operator with the smaller **secure-compare** count from a
+//! cost model over `(|outer|, |inner|, b)` alone. Secure compares dominate
+//! garbled-circuit join cost (each is 32 AND gates, and swap counts track compare
+//! counts within a small factor), so a compare-count model orders the two operators
+//! correctly everywhere that matters while staying a pure function of public sizes.
+//!
+//! # Leakage
+//! The plan decision is computed from the *public* array lengths and the public
+//! truncation bound — quantities both servers already observe — so adaptivity adds no
+//! leakage: for any fixed input sizes the chosen operator, and hence the entire
+//! operation schedule, is a deterministic public function.
+
+use crate::join::{
+    delta_sort_merge_join_cost, nested_loop_join_cost, truncated_nested_loop_join,
+    truncated_sort_merge_delta_join, JoinSpec,
+};
+use crate::sort::batcher_pair_count;
+use incshrink_mpc::cost::CostMeter;
+use incshrink_secretshare::arrays::SharedArrayPair;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which physical operator a planned truncated join runs as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinAlgorithm {
+    /// [`crate::join::truncated_nested_loop_join`] (Algorithm 4).
+    NestedLoop,
+    /// [`crate::join::truncated_sort_merge_delta_join`] (Example 5.1, delta-oriented).
+    SortMerge,
+}
+
+impl JoinAlgorithm {
+    /// Short label used in experiment tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            JoinAlgorithm::NestedLoop => "NLJ",
+            JoinAlgorithm::SortMerge => "SMJ",
+        }
+    }
+}
+
+impl std::fmt::Display for JoinAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Outcome of one planning decision: the winner plus both candidates' modelled
+/// secure-compare counts (exposed so experiments can report the margin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinPlan {
+    /// The cheaper operator for the given sizes.
+    pub algorithm: JoinAlgorithm,
+    /// Modelled secure compares of the nested-loop candidate.
+    pub nested_loop_compares: u64,
+    /// Modelled secure compares of the delta sort-merge candidate.
+    pub sort_merge_compares: u64,
+}
+
+/// Modelled secure-compare count of a `b`-truncated nested-loop join:
+/// `|outer|·|inner| + |outer| · batcher_pair_count(|inner|)`.
+#[must_use]
+pub fn nested_loop_secure_compares(outer_len: usize, inner_len: usize) -> u64 {
+    let o = outer_len as u64;
+    o.saturating_mul(inner_len as u64)
+        .saturating_add(o.saturating_mul(batcher_pair_count(inner_len)))
+}
+
+/// Modelled secure-compare count of a delta sort-merge join with `n = |outer| +
+/// |inner|`: `batcher_pair_count(n) + n·b + batcher_pair_count(b·n)`.
+#[must_use]
+pub fn sort_merge_secure_compares(outer_len: usize, inner_len: usize, bound: usize) -> u64 {
+    let n = outer_len + inner_len;
+    batcher_pair_count(n)
+        .saturating_add((n as u64).saturating_mul(bound as u64))
+        .saturating_add(batcher_pair_count(n.saturating_mul(bound)))
+}
+
+/// Choose the cheaper truncated-join operator for the given public sizes. Ties go to
+/// the nested loop (the historically default operator, so degenerate sizes — empty
+/// inputs, `bound = 0` — keep their established cost accounting).
+#[must_use]
+pub fn plan_join(outer_len: usize, inner_len: usize, bound: usize) -> JoinPlan {
+    let nested_loop_compares = nested_loop_secure_compares(outer_len, inner_len);
+    let sort_merge_compares = sort_merge_secure_compares(outer_len, inner_len, bound);
+    let algorithm = if nested_loop_compares <= sort_merge_compares {
+        JoinAlgorithm::NestedLoop
+    } else {
+        JoinAlgorithm::SortMerge
+    };
+    JoinPlan {
+        algorithm,
+        nested_loop_compares,
+        sort_merge_compares,
+    }
+}
+
+/// Plan and physically execute the chosen operator over shared arrays, metering the
+/// winner's full oblivious cost. Returns the padded output (always the nested-loop
+/// contract: `bound · |outer|` entries) and the algorithm that ran.
+pub fn plan_and_execute<R: Rng + ?Sized>(
+    outer: &SharedArrayPair,
+    inner: &SharedArrayPair,
+    spec: &JoinSpec<'_>,
+    bound: usize,
+    meter: &mut CostMeter,
+    rng: &mut R,
+) -> (SharedArrayPair, JoinAlgorithm) {
+    let plan = plan_join(outer.len(), inner.len(), bound);
+    let out = match plan.algorithm {
+        JoinAlgorithm::NestedLoop => {
+            truncated_nested_loop_join(outer, inner, spec, bound, meter, rng)
+        }
+        JoinAlgorithm::SortMerge => {
+            truncated_sort_merge_delta_join(outer, inner, spec, bound, meter, rng)
+        }
+    };
+    (out, plan.algorithm)
+}
+
+/// Charge the full modelled cost of a planned join at the given sizes without
+/// physically executing it — identical, count for count, to what the corresponding
+/// physical operator would meter. Used by the batched Transform, which replays the
+/// per-step plaintext functionality but prices the work as one amortized join.
+pub fn charge_planned_join(
+    meter: &mut CostMeter,
+    algorithm: JoinAlgorithm,
+    outer_len: usize,
+    inner_len: usize,
+    bound: usize,
+    out_arity: usize,
+    merged_arity: usize,
+) {
+    if bound == 0 {
+        return;
+    }
+    match algorithm {
+        JoinAlgorithm::NestedLoop => {
+            meter.record(nested_loop_join_cost(
+                outer_len, inner_len, bound, out_arity,
+            ));
+        }
+        JoinAlgorithm::SortMerge => {
+            meter.record(delta_sort_merge_join_cost(
+                outer_len,
+                inner_len,
+                bound,
+                out_arity,
+                merged_arity,
+            ));
+        }
+    }
+}
+
+/// Charge the cost *gap* between joining against the full outsourced relation
+/// (`full_inner_len`) and the physically scanned subset (`scanned_inner_len`): the
+/// compensation that keeps simulated time honest when host-side pruning shrinks the
+/// plaintext inner relation (retired records, public-window pruning) even though the
+/// real oblivious protocol would scan everything.
+#[allow(clippy::too_many_arguments)]
+pub fn charge_full_relation_gap(
+    meter: &mut CostMeter,
+    algorithm: JoinAlgorithm,
+    outer_len: usize,
+    scanned_inner_len: usize,
+    full_inner_len: usize,
+    bound: usize,
+    out_arity: usize,
+    merged_arity: usize,
+) {
+    if bound == 0 || full_inner_len <= scanned_inner_len {
+        return;
+    }
+    let (full, scanned) = match algorithm {
+        JoinAlgorithm::NestedLoop => (
+            nested_loop_join_cost(outer_len, full_inner_len, bound, out_arity),
+            nested_loop_join_cost(outer_len, scanned_inner_len, bound, out_arity),
+        ),
+        JoinAlgorithm::SortMerge => (
+            delta_sort_merge_join_cost(outer_len, full_inner_len, bound, out_arity, merged_arity),
+            delta_sort_merge_join_cost(
+                outer_len,
+                scanned_inner_len,
+                bound,
+                out_arity,
+                merged_arity,
+            ),
+        ),
+    };
+    meter.record(full.saturating_sub(scanned));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::PlainTable;
+    use incshrink_mpc::cost::CostMeter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planner_prefers_nested_loop_on_tiny_inners_and_sort_merge_on_large() {
+        // Tiny inner: the quadratic term is negligible, NLJ avoids the big sorts.
+        assert_eq!(plan_join(4, 2, 1).algorithm, JoinAlgorithm::NestedLoop);
+        assert_eq!(plan_join(0, 0, 1).algorithm, JoinAlgorithm::NestedLoop);
+        // Large inner: per-outer Batcher sorts dominate, the union sort wins.
+        let plan = plan_join(8, 2000, 1);
+        assert_eq!(plan.algorithm, JoinAlgorithm::SortMerge);
+        assert!(plan.sort_merge_compares * 4 < plan.nested_loop_compares);
+        // The crossover is monotone-ish: much bigger bounds penalise the compaction.
+        assert!(sort_merge_secure_compares(8, 2000, 10) > sort_merge_secure_compares(8, 2000, 1));
+    }
+
+    #[test]
+    fn charge_planned_join_matches_physical_execution() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut left = PlainTable::new(&["k", "t"]);
+        let mut right = PlainTable::new(&["k", "t"]);
+        for i in 0..7u32 {
+            left.push_row(vec![i % 3, i]);
+        }
+        for i in 0..19u32 {
+            right.push_row(vec![i % 3, i + 1]);
+        }
+        let (l, r) = (left.share(&mut rng), right.share(&mut rng));
+        let spec = JoinSpec::equi(0, 0);
+        for algorithm in [JoinAlgorithm::NestedLoop, JoinAlgorithm::SortMerge] {
+            let mut physical = CostMeter::new();
+            let out = match algorithm {
+                JoinAlgorithm::NestedLoop => {
+                    truncated_nested_loop_join(&l, &r, &spec, 2, &mut physical, &mut rng)
+                }
+                JoinAlgorithm::SortMerge => {
+                    truncated_sort_merge_delta_join(&l, &r, &spec, 2, &mut physical, &mut rng)
+                }
+            };
+            assert_eq!(out.len(), 2 * l.len(), "{algorithm}: output contract");
+            let mut modelled = CostMeter::new();
+            let merged_arity = 2 + 2;
+            charge_planned_join(
+                &mut modelled,
+                algorithm,
+                l.len(),
+                r.len(),
+                2,
+                4,
+                merged_arity,
+            );
+            assert_eq!(
+                physical.report(),
+                modelled.report(),
+                "{algorithm}: modelled charge must equal the physical meter"
+            );
+        }
+    }
+
+    #[test]
+    fn both_operators_produce_identical_real_tuples() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut meter = CostMeter::new();
+        let mut left = PlainTable::new(&["k", "t"]);
+        let mut right = PlainTable::new(&["k", "t"]);
+        for i in 0..9u32 {
+            left.push_row(vec![i % 4, i]);
+            right.push_row(vec![i % 4, i + 2]);
+        }
+        let (l, r) = (left.share_padded(12, &mut rng), right.share(&mut rng));
+        let spec = JoinSpec::with_condition(0, 0, |a, b| b[1] >= a[1]);
+        let nlj = truncated_nested_loop_join(&l, &r, &spec, 2, &mut meter, &mut rng);
+        let spec2 = JoinSpec::with_condition(0, 0, |a, b| b[1] >= a[1]);
+        let smj = truncated_sort_merge_delta_join(&l, &r, &spec2, 2, &mut meter, &mut rng);
+        let reals = |arr: &incshrink_secretshare::arrays::SharedArrayPair| {
+            arr.recover_all()
+                .into_iter()
+                .filter(|rec| rec.is_view)
+                .map(|rec| rec.fields)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(reals(&nlj), reals(&smj));
+        assert_eq!(nlj.len(), smj.len());
+    }
+
+    #[test]
+    fn full_relation_gap_tops_up_to_the_full_cost() {
+        for algorithm in [JoinAlgorithm::NestedLoop, JoinAlgorithm::SortMerge] {
+            let mut scanned_plus_gap = CostMeter::new();
+            charge_planned_join(&mut scanned_plus_gap, algorithm, 6, 40, 2, 4, 4);
+            charge_full_relation_gap(&mut scanned_plus_gap, algorithm, 6, 40, 100, 2, 4, 4);
+            let mut full = CostMeter::new();
+            charge_planned_join(&mut full, algorithm, 6, 100, 2, 4, 4);
+            let (a, b) = (scanned_plus_gap.report(), full.report());
+            // Compares/ands/swaps/bytes top up exactly; rounds are not re-charged.
+            assert_eq!(a.secure_compares, b.secure_compares, "{algorithm}");
+            assert_eq!(a.secure_ands, b.secure_ands, "{algorithm}");
+            assert_eq!(a.secure_swaps, b.secure_swaps, "{algorithm}");
+            assert_eq!(a.bytes_communicated, b.bytes_communicated, "{algorithm}");
+            assert!(a.rounds >= b.rounds, "{algorithm}");
+        }
+    }
+}

@@ -38,6 +38,10 @@ pub(crate) struct SortKey {
 /// Enumerate the compare-exchange pairs of Batcher's odd-even merge sort for `n`
 /// elements (indices `i < j`), in execution order. Exposed so cost estimators can
 /// price sorting networks they never physically execute.
+///
+/// Cost note: materialising the schedule is `O(n log² n)` host time and memory; when
+/// only the comparator *count* is needed (join cost models, the adaptive planner),
+/// use [`batcher_pair_count`], which computes the same number without allocating.
 pub fn batcher_pairs(n: usize) -> Vec<(usize, usize)> {
     let mut pairs = Vec::new();
     if n < 2 {
@@ -64,6 +68,60 @@ pub fn batcher_pairs(n: usize) -> Vec<(usize, usize)> {
         p *= 2;
     }
     pairs
+}
+
+/// Exact number of compare-exchange gates in the pruned Batcher odd-even merge
+/// network for `n` elements — always equal to `batcher_pairs(n).len()`, but computed
+/// arithmetically in `O(n log n)` loop iterations with no allocation.
+///
+/// This is the primitive every join cost model in this crate is built on: the
+/// comparator count is a *public* function of the (public) input length, so pricing a
+/// network — or letting the adaptive planner compare two candidate networks — leaks
+/// nothing beyond what the array sizes already reveal.
+#[must_use]
+pub fn batcher_pair_count(n: usize) -> u64 {
+    if n < 2 {
+        return 0;
+    }
+    let padded = n.next_power_of_two();
+    let mut count: u64 = 0;
+    let mut p = 1usize;
+    while p < padded {
+        let mut k = p;
+        while k >= 1 {
+            let mut j = k % p;
+            while j + k < padded {
+                // The materialising loop visits i ∈ [0, min(k, padded − j − k)) and
+                // keeps (lo, hi) = (i + j, i + j + k) when hi < n and both endpoints
+                // fall in the same 2p-block, i.e. (i + j) mod 2p < 2p − k.
+                let m = k.min(padded - j - k).min(n.saturating_sub(j + k));
+                count += count_mod_below(j, m, 2 * p, 2 * p - k);
+                j += 2 * k;
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+    count
+}
+
+/// Number of `v ∈ [start, start + len)` with `(v mod modulus) < limit`.
+fn count_mod_below(start: usize, len: usize, modulus: usize, limit: usize) -> u64 {
+    if len == 0 || limit == 0 {
+        return 0;
+    }
+    let limit = limit.min(modulus);
+    let mut count = (len / modulus * limit) as u64;
+    let rem = len % modulus;
+    let s = start % modulus;
+    let e = s + rem;
+    if e <= modulus {
+        count += limit.min(e).saturating_sub(s.min(limit)) as u64;
+    } else {
+        count += limit.saturating_sub(s.min(limit)) as u64;
+        count += limit.min(e - modulus) as u64;
+    }
+    count
 }
 
 /// Oblivious sort of `array` by the key produced from each record by `key_fn`.
@@ -172,6 +230,24 @@ mod tests {
             }
             let expect: Vec<usize> = (0..n).collect();
             assert_eq!(data, expect, "network failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn pair_count_matches_materialized_network() {
+        for n in 0..=400usize {
+            assert_eq!(
+                batcher_pair_count(n),
+                batcher_pairs(n).len() as u64,
+                "n={n}"
+            );
+        }
+        for n in [1000usize, 4096, 5000] {
+            assert_eq!(
+                batcher_pair_count(n),
+                batcher_pairs(n).len() as u64,
+                "n={n}"
+            );
         }
     }
 

@@ -162,6 +162,22 @@ impl SharedArrayPair {
         self.entries.clear();
     }
 
+    /// Keep only the entries whose `(index, entry)` the predicate accepts, preserving
+    /// order. This is the eviction primitive of the Transform delta-share cache: when
+    /// a record's contribution budget expires, its cached share encoding is dropped in
+    /// lockstep with its plaintext mirror so the two stay index-aligned.
+    pub fn retain_with<F>(&mut self, mut keep: F)
+    where
+        F: FnMut(usize, &SharedRecordPair) -> bool,
+    {
+        let mut index = 0usize;
+        self.entries.retain(|entry| {
+            let kept = keep(index, entry);
+            index += 1;
+            kept
+        });
+    }
+
     /// Count entries whose recovered `isView` bit is set. Only protocol-internal code
     /// (and tests) may call this: it reconstructs the flag.
     #[must_use]
@@ -231,6 +247,22 @@ mod tests {
         let mut arr2 = sample_array(2, 2, 2);
         arr2.clear();
         assert!(arr2.is_empty());
+    }
+
+    #[test]
+    fn retain_with_keeps_order_and_indices() {
+        let mut arr = sample_array(6, 0, 2);
+        let before = arr.recover_all();
+        arr.retain_with(|i, _| i % 2 == 0);
+        assert_eq!(arr.len(), 3);
+        let after = arr.recover_all();
+        assert_eq!(after[0], before[0]);
+        assert_eq!(after[1], before[2]);
+        assert_eq!(after[2], before[4]);
+        // Arity survives even when everything is evicted.
+        arr.retain_with(|_, _| false);
+        assert!(arr.is_empty());
+        assert_eq!(arr.arity(), Some(2));
     }
 
     #[test]
