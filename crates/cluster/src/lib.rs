@@ -5,7 +5,10 @@
 //! materialized view and secure cache are **hash-partitioned by join key** across
 //! independent Transform-and-Shrink pipelines, and the analyst's counting query is
 //! answered with a **scatter-gather** executor that scans every shard view in
-//! parallel and obliviously aggregates the partial counts.
+//! parallel and obliviously aggregates the partial counts. Workloads whose records
+//! arrive partitioned by a *non-join* attribute are handled by the [`shuffle`]
+//! phase ([`RoutingPolicy::Shuffled`]), which obliviously re-routes each delta to
+//! the shard owning its join key before maintenance.
 //!
 //! ```text
 //!                    owners ──▶ ShardRouter (hash on join key)
@@ -43,7 +46,9 @@
 pub mod executor;
 pub mod router;
 pub mod sharded;
+pub mod shuffle;
 
 pub use executor::{ClusterQueryResult, ScatterGatherExecutor, ShardAnswer};
 pub use router::{shard_of, ShardRouter};
 pub use sharded::{shard_config, ClusterPrivacy, ClusterRunReport, ShardReport, ShardedSimulation};
+pub use shuffle::{ClusterShuffler, RoutingPolicy, ShuffleStats};

@@ -12,26 +12,21 @@
 use incshrink_storage::GrowingDatabase;
 use incshrink_workload::Dataset;
 
-/// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation. Raw join keys are
-/// often sequential (officer ids, product ids), so routing on `key % S` would put
-/// systematically correlated load on shards; the mix spreads any key distribution
-/// uniformly.
-#[must_use]
-fn mix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
 /// The shard a join key belongs to, for a cluster of `shards` pipelines.
+///
+/// Delegates to [`incshrink_oblivious::shuffle::destination_of`] — a SplitMix64
+/// mix of the key (raw join keys are often sequential, so routing on `key % S`
+/// would put systematically correlated load on shards). Sharing one
+/// implementation with the shuffle operator is load-bearing: the shuffle's
+/// in-MPC routing tag and the router's plaintext ownership partition *must*
+/// agree, or re-routed records land on shards that do not own their join key.
 ///
 /// # Panics
 /// Panics when `shards` is zero.
 #[must_use]
 pub fn shard_of(key: u32, shards: usize) -> usize {
     assert!(shards > 0, "cluster needs at least one shard");
-    (mix64(u64::from(key)) % shards as u64) as usize
+    incshrink_oblivious::shuffle::destination_of(key, shards)
 }
 
 /// Routes owner uploads to shard pipelines by hashing the join-key column.
@@ -79,29 +74,41 @@ impl ShardRouter {
         }
     }
 
-    fn partition_relation(&self, db: &GrowingDatabase) -> Vec<GrowingDatabase> {
-        let key_column = db.schema.key_column;
+    /// Partition one relation's records by the value in `column`.
+    ///
+    /// # Panics
+    /// Panics when a record does not carry the routing column — routing such a
+    /// record to an arbitrary shard (the old `unwrap_or(0)` behaviour) silently
+    /// corrupts that shard's ground truth on schema drift, which is strictly worse
+    /// than failing fast.
+    fn partition_relation_by(&self, db: &GrowingDatabase, column: usize) -> Vec<GrowingDatabase> {
         let mut parts: Vec<GrowingDatabase> = (0..self.shards)
             .map(|_| GrowingDatabase::new(db.schema.clone(), db.relation))
             .collect();
         for update in db.updates() {
-            let key = update.fields.get(key_column).copied().unwrap_or(0);
+            let key = update.fields.get(column).copied().unwrap_or_else(|| {
+                panic!(
+                    "record {} of relation '{}' is missing routing column {} \
+                     (arity {}): refusing to misroute it",
+                    update.id,
+                    db.schema.name,
+                    column,
+                    update.fields.len()
+                )
+            });
             parts[self.shard_of(key)].insert(update.clone());
         }
         parts
     }
 
-    /// Split a workload into `S` disjoint shard workloads. Both relations are
-    /// partitioned by their join-key column (including a public right relation — a
-    /// shard only ever joins against keys it owns), arrival order is preserved within
-    /// each shard, and upload batch sizes are scaled by `1/S`.
-    ///
-    /// With a single shard this returns the input workload unchanged, which is what
-    /// lets a 1-shard cluster reproduce the single-pair simulation exactly.
-    #[must_use]
-    pub fn partition(&self, dataset: &Dataset) -> Vec<Dataset> {
-        let lefts = self.partition_relation(&dataset.left);
-        let rights = self.partition_relation(&dataset.right);
+    fn partition_dataset_by(
+        &self,
+        dataset: &Dataset,
+        left_column: usize,
+        right_column: usize,
+    ) -> Vec<Dataset> {
+        let lefts = self.partition_relation_by(&dataset.left, left_column);
+        let rights = self.partition_relation_by(&dataset.right, right_column);
         lefts
             .into_iter()
             .zip(rights)
@@ -117,6 +124,41 @@ impl ShardRouter {
                 params: dataset.params,
             })
             .collect()
+    }
+
+    /// Split a workload into `S` *arrival* shard workloads: each relation is
+    /// partitioned by its schema's arrival-partition column. For co-partitioned
+    /// workloads (the default — partition column *is* the join key, including a
+    /// public right relation: a shard only ever joins against keys it owns) this is
+    /// the lossless equi-join split, arrival order is preserved within each shard,
+    /// and upload batch sizes are scaled by `1/S`. For non-co-partitioned workloads
+    /// the parts describe where records *arrive*, not which shard owns their join
+    /// key — maintaining a view then requires the shuffle phase
+    /// ([`crate::shuffle`]).
+    ///
+    /// With a single shard this returns the input workload unchanged, which is what
+    /// lets a 1-shard cluster reproduce the single-pair simulation exactly.
+    #[must_use]
+    pub fn partition(&self, dataset: &Dataset) -> Vec<Dataset> {
+        self.partition_dataset_by(
+            dataset,
+            dataset.left.schema.partition_column,
+            dataset.right.schema.partition_column,
+        )
+    }
+
+    /// Split a workload into `S` *ownership* shard workloads: both relations
+    /// partitioned by their join-key column regardless of how records arrive. This
+    /// is the partition the shuffle phase routes records into, and the one per-shard
+    /// ground truths are evaluated against (shard truths sum to the global truth for
+    /// equi-join views).
+    #[must_use]
+    pub fn partition_by_join_key(&self, dataset: &Dataset) -> Vec<Dataset> {
+        self.partition_dataset_by(
+            dataset,
+            dataset.left.schema.key_column,
+            dataset.right.schema.key_column,
+        )
     }
 }
 
@@ -165,6 +207,30 @@ mod tests {
                     assert_eq!(shard_of(u.fields[part.left.schema.key_column], shards), s);
                 }
             }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing routing column")]
+    fn missing_key_column_fails_fast_instead_of_misrouting() {
+        // Simulate schema drift: the schema claims a key column the records do not
+        // carry. The old behaviour routed every such record to shard_of(0), silently
+        // corrupting shard truths; now the router refuses.
+        let mut ds = dataset();
+        ds.left.schema.key_column = 7;
+        ds.left.schema.partition_column = 7;
+        let _ = ShardRouter::new(4).partition(&ds);
+    }
+
+    #[test]
+    fn ownership_partition_equals_arrival_partition_when_co_partitioned() {
+        let ds = dataset();
+        let router = ShardRouter::new(4);
+        let arrival = router.partition(&ds);
+        let ownership = router.partition_by_join_key(&ds);
+        for (a, o) in arrival.iter().zip(&ownership) {
+            assert_eq!(a.left, o.left);
+            assert_eq!(a.right, o.right);
         }
     }
 

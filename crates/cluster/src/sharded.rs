@@ -23,11 +23,16 @@
 
 use crate::executor::ScatterGatherExecutor;
 use crate::router::ShardRouter;
+use crate::shuffle::{ClusterShuffler, RoutingPolicy, ShuffleStats};
+use incshrink::framework::StepUploads;
 use incshrink::metrics::{relative_error, SummaryBuilder};
 use incshrink::{IncShrinkConfig, ShardPipeline, StepRecord, Summary, UpdateStrategy};
 use incshrink_dp::accountant::{MechanismApplication, PrivacyAccountant};
 use incshrink_mpc::cost::{CostModel, SimDuration};
+use incshrink_storage::{Relation, UploadBatch};
 use incshrink_workload::{Dataset, DatasetKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Per-shard seed stride (golden-ratio increment): shard 0 keeps the cluster seed, so
@@ -126,6 +131,8 @@ pub struct ClusterRunReport {
     pub config: IncShrinkConfig,
     /// Number of shard pipelines.
     pub shards: usize,
+    /// How uploads were routed to the shard pipelines.
+    pub routing: RoutingPolicy,
     /// Per-step cluster trace (answers aggregated, times are slowest-shard).
     pub steps: Vec<StepRecord>,
     /// Aggregated cluster summary.
@@ -139,6 +146,12 @@ pub struct ClusterRunReport {
     pub avg_max_shard_qet_secs: f64,
     /// Mean cross-shard aggregation time per issued query.
     pub avg_aggregation_secs: f64,
+    /// Mean shuffle-phase time per upload epoch (0 under
+    /// [`RoutingPolicy::CoPartitioned`]).
+    pub avg_shuffle_secs: f64,
+    /// Cumulative shuffle-phase statistics (all-zero under
+    /// [`RoutingPolicy::CoPartitioned`]).
+    pub shuffle: ShuffleStats,
 }
 
 impl ClusterRunReport {
@@ -158,11 +171,19 @@ impl ClusterRunReport {
 /// * **Cadence stretched to the shard's arrival rate** — a shard sees `1/S` of the
 ///   view-entry rate, so the paper's `T = ⌊θ/rate⌋` correspondence gives `S·T` for
 ///   the `sDPTimer` interval, while the `sDPANT` threshold θ stays unchanged (the
-///   shard counter simply takes `S×` longer to reach it). Fewer, equally sized
+///   shard counter simply takes `S×` longer to reach it). The independent cache-flush
+///   interval `f` stretches by `S` for the same reason: a flush is sized for the
+///   entries `f` single-pair steps accumulate, so a shard accruing at `1/S` of that
+///   rate reaches the same fill level only every `S·f` steps. Leaving `f` at the
+///   single-pair cadence would make each shard flush `S×` too often relative to its
+///   arrival rate — extra counter-inspecting Shrink actions that both break the
+///   per-shard padding argument below and force the deferred Transform batch to
+///   flush early, defeating `transform_batch > 1`. Fewer, equally sized
 ///   releases per shard is also what bounds the per-shard dummy padding: each
 ///   release pads by `O(b·S/ε)` expected dummies, so keeping the *number* of
-///   releases at `1/S` of the single-pair run keeps per-shard padding at the
-///   single-pair level while the real entries shrink by `1/S`.
+///   releases (synchronizations *and* flushes) at `1/S` of the single-pair run keeps
+///   per-shard padding at the single-pair level while the real entries shrink by
+///   `1/S`.
 ///
 /// The incremental-execution knobs (`transform_batch` `k` and `join_plan`) pass
 /// through untouched: each shard pipeline batches and plans its own Transform, and
@@ -172,6 +193,7 @@ impl ClusterRunReport {
 pub fn shard_config(config: &IncShrinkConfig, shards: usize) -> IncShrinkConfig {
     let mut cfg = *config;
     cfg.epsilon = config.epsilon / shards as f64;
+    cfg.flush_interval = config.flush_interval.saturating_mul(shards as u64);
     if let UpdateStrategy::DpTimer { interval } = config.strategy {
         cfg.strategy = UpdateStrategy::DpTimer {
             interval: interval.saturating_mul(shards as u64),
@@ -181,13 +203,15 @@ pub fn shard_config(config: &IncShrinkConfig, shards: usize) -> IncShrinkConfig 
 }
 
 /// The sharded cluster simulation: `S` hash-partitioned shard pipelines stepped in
-/// lockstep with a scatter-gather query executor on top.
+/// lockstep with a scatter-gather query executor on top, optionally behind a
+/// shuffle phase re-routing non-co-partitioned arrivals to their join-key owners.
 pub struct ShardedSimulation {
     dataset: Dataset,
     config: IncShrinkConfig,
     shards: usize,
     seed: u64,
     cost_model: CostModel,
+    routing: RoutingPolicy,
 }
 
 impl ShardedSimulation {
@@ -210,6 +234,7 @@ impl ShardedSimulation {
             shards,
             seed,
             cost_model: CostModel::default(),
+            routing: RoutingPolicy::CoPartitioned,
         }
     }
 
@@ -220,7 +245,25 @@ impl ShardedSimulation {
         self
     }
 
+    /// Select how uploads are routed to shard pipelines. The default,
+    /// [`RoutingPolicy::CoPartitioned`], requires a workload whose arrival
+    /// partition *is* the join key and keeps the pre-shuffle run loop bit for bit
+    /// (see its rustdoc for the one deliberate cadence difference);
+    /// [`RoutingPolicy::Shuffled`] inserts the [`crate::shuffle`] phase and also
+    /// handles workloads partitioned by a non-join attribute.
+    #[must_use]
+    pub fn with_routing_policy(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
     /// Run the cluster simulation to completion.
+    ///
+    /// # Panics
+    /// Panics when the workload is *not* co-partitioned (its arrival-partition
+    /// column differs from the join key) but the routing policy is
+    /// [`RoutingPolicy::CoPartitioned`]: maintaining such a view shard-locally
+    /// would silently lose every cross-shard join pair.
     #[must_use]
     pub fn run(self) -> ClusterRunReport {
         let ShardedSimulation {
@@ -229,25 +272,77 @@ impl ShardedSimulation {
             shards,
             seed,
             cost_model,
+            routing,
         } = self;
+
+        // A single shard owns every key, so even a non-co-partitioned arrival
+        // cannot split a join pair — the guard only applies to real clusters.
+        let offending: Vec<String> = [&dataset.left.schema, &dataset.right.schema]
+            .into_iter()
+            .filter(|s| !s.is_co_partitioned())
+            .map(|s| {
+                format!(
+                    "'{}' (partition column {}, join key {})",
+                    s.name, s.partition_column, s.key_column
+                )
+            })
+            .collect();
+        if shards > 1 && !offending.is_empty() && routing == RoutingPolicy::CoPartitioned {
+            panic!(
+                "workload arrives partitioned by a non-join attribute ({}): \
+                 RoutingPolicy::CoPartitioned would lose cross-shard join pairs — \
+                 use RoutingPolicy::Shuffled",
+                offending.join(", ")
+            );
+        }
 
         let steps = dataset.params.steps;
         let kind = dataset.kind;
         let per_shard_config = shard_config(&config, shards);
         let router = ShardRouter::new(shards);
-        let mut pipelines: Vec<ShardPipeline> = router
-            .partition(&dataset)
-            .into_iter()
-            .enumerate()
-            .map(|(i, part)| {
-                ShardPipeline::new(
-                    part,
-                    per_shard_config,
-                    seed.wrapping_add((i as u64).wrapping_mul(SHARD_SEED_STRIDE)),
-                    cost_model,
-                )
-            })
-            .collect();
+        let make_pipelines = |parts: Vec<Dataset>| -> Vec<ShardPipeline> {
+            parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, part)| {
+                    ShardPipeline::new(
+                        part,
+                        per_shard_config,
+                        seed.wrapping_add((i as u64).wrapping_mul(SHARD_SEED_STRIDE)),
+                        cost_model,
+                    )
+                })
+                .collect()
+        };
+
+        // Per-routing-policy upload paths. Co-partitioned: pipelines own their
+        // arrival shard's workload and build their own uploads (the historical
+        // path, bit for bit). Shuffled: pipelines own the *join-key* partition
+        // (their ground truth), while uploads are built per *arrival* shard and
+        // re-routed through the shuffle phase each step.
+        let mut shuffled_path = match routing {
+            RoutingPolicy::CoPartitioned => None,
+            RoutingPolicy::Shuffled { bucket_cushion } => {
+                let arrival_parts = router.partition(&dataset);
+                let arrival_rngs: Vec<StdRng> = (0..shards)
+                    .map(|i| {
+                        StdRng::seed_from_u64(
+                            seed ^ 0x0B17_A5E5 ^ (i as u64).wrapping_mul(SHARD_SEED_STRIDE),
+                        )
+                    })
+                    .collect();
+                let shuffler = ClusterShuffler::new(shards, bucket_cushion, cost_model, seed);
+                Some((arrival_parts, arrival_rngs, shuffler))
+            }
+        };
+        let mut pipelines: Vec<ShardPipeline> = match routing {
+            RoutingPolicy::CoPartitioned => make_pipelines(router.partition(&dataset)),
+            RoutingPolicy::Shuffled { .. } => {
+                make_pipelines(router.partition_by_join_key(&dataset))
+            }
+        };
+        let left_ingest = router.shard_batch_size(dataset.left_batch_size);
+        let right_ingest = router.shard_batch_size(dataset.right_batch_size);
         let executor = ScatterGatherExecutor::new(cost_model);
 
         let mut builder = SummaryBuilder::new();
@@ -259,7 +354,76 @@ impl ShardedSimulation {
         for t in 1..=steps {
             // Step every shard pipeline; the pairs run in parallel, so the cluster's
             // per-phase wall-clock is the slowest shard.
-            let outcomes: Vec<_> = pipelines.iter_mut().map(|p| p.advance(t)).collect();
+            let outcomes: Vec<_> = match &mut shuffled_path {
+                None => pipelines.iter_mut().map(|p| p.advance(t)).collect(),
+                Some((arrival_parts, arrival_rngs, shuffler)) => {
+                    let batches_for = |relation: Relation,
+                                       rngs: &mut [StdRng],
+                                       parts: &[Dataset]|
+                     -> Vec<UploadBatch> {
+                        parts
+                            .iter()
+                            .zip(rngs.iter_mut())
+                            .map(|(part, rng)| {
+                                let db = match relation {
+                                    Relation::Left => &part.left,
+                                    Relation::Right => &part.right,
+                                };
+                                let size = match relation {
+                                    Relation::Left => part.left_batch_size,
+                                    Relation::Right => part.right_batch_size,
+                                };
+                                UploadBatch::from_updates(
+                                    relation,
+                                    t,
+                                    &db.arrivals_at(t),
+                                    db.schema.arity(),
+                                    size,
+                                    rng,
+                                )
+                            })
+                            .collect()
+                    };
+
+                    // Per-step durations are accumulated by the shuffler itself
+                    // (`ShuffleStats::total_secs`, left and right phases adding up
+                    // since each arrival pair shuffles them sequentially), which is
+                    // where the report's shuffle timing comes from.
+                    let left_batches = batches_for(Relation::Left, arrival_rngs, arrival_parts);
+                    let (left_routed, _) = shuffler.route_step(
+                        t,
+                        Relation::Left,
+                        dataset.left.schema.key_column,
+                        &left_batches,
+                        left_ingest,
+                    );
+                    let right_routed = if dataset.right_is_public {
+                        None
+                    } else {
+                        let right_batches =
+                            batches_for(Relation::Right, arrival_rngs, arrival_parts);
+                        let (routed, _) = shuffler.route_step(
+                            t,
+                            Relation::Right,
+                            dataset.right.schema.key_column,
+                            &right_batches,
+                            right_ingest,
+                        );
+                        Some(routed)
+                    };
+                    let mut rights = right_routed.map(Vec::into_iter);
+                    pipelines
+                        .iter_mut()
+                        .zip(left_routed)
+                        .map(|(p, left)| {
+                            let right = rights
+                                .as_mut()
+                                .map(|it| it.next().expect("one routed right batch per shard"));
+                            p.advance_with_uploads(t, StepUploads { left, right })
+                        })
+                        .collect()
+                }
+            };
             let transform_max = outcomes.iter().filter_map(|o| o.transform_duration).max();
             let shrink_max = outcomes.iter().filter_map(|o| o.shrink_duration).max();
             let shrink_did_work = outcomes.iter().any(|o| o.shrink_did_work);
@@ -353,16 +517,26 @@ impl ShardedSimulation {
                 sum / queries as f64
             }
         };
+        let shuffle_stats = shuffled_path
+            .map(|(_, _, shuffler)| shuffler.stats())
+            .unwrap_or_default();
         ClusterRunReport {
             dataset: kind,
             config,
             shards,
+            routing,
             steps: trace,
             summary: builder.build(),
             shard_reports,
             privacy: ClusterPrivacy::compose(&config, shards),
             avg_max_shard_qet_secs: div(max_shard_qet_sum),
             avg_aggregation_secs: div(aggregation_sum),
+            avg_shuffle_secs: if steps == 0 {
+                0.0
+            } else {
+                shuffle_stats.total_secs / steps as f64
+            },
+            shuffle: shuffle_stats,
         }
     }
 }
@@ -394,6 +568,9 @@ mod tests {
             split.strategy,
             UpdateStrategy::DpTimer { interval: 40 }
         ));
+        // The flush interval stretches with the 1/S shard arrival rate too —
+        // otherwise each shard flushes S× too often for what it accumulates.
+        assert_eq!(split.flush_interval, cfg.flush_interval * 4);
         assert_eq!(shard_config(&cfg, 1), cfg, "single shard keeps the config");
 
         // sDPANT keeps θ: the shard counter reaches it S× more slowly on its own.
@@ -403,6 +580,7 @@ mod tests {
             split.strategy,
             UpdateStrategy::DpAnt { threshold } if (threshold - 30.0).abs() < 1e-12
         ));
+        assert_eq!(split.flush_interval, ant.flush_interval * 4);
         assert_eq!(shard_config(&ant, 1), ant);
     }
 

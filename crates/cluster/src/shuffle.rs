@@ -1,0 +1,262 @@
+//! The cluster shuffle phase: secure re-routing of upload batches from the shard
+//! they *arrive* on to the shard that *owns* their join key.
+//!
+//! The fast path of the cluster layer ([`RoutingPolicy::CoPartitioned`]) assumes
+//! records arrive partitioned by join key, so every join pair forms shard-locally.
+//! When the arrival partition is a different attribute (a retail chain's uploads
+//! grouped by store while the view joins on item id —
+//! `incshrink_workload::to_store_partitioned`), pairs span shards and the cluster
+//! must re-route deltas before maintenance. [`RoutingPolicy::Shuffled`] inserts a
+//! shuffle phase between upload routing and the shard pipelines:
+//!
+//! ```text
+//!  owners ──▶ arrival shards (partition column, e.g. store id)
+//!                 │ per arrival pair: ObliShuffle + hashed routing tag
+//!                 ▼
+//!          S × S padded buckets (fixed bucket size per destination)
+//!                 │ per destination pair: concat + ObliCompact + fixed-size cut
+//!                 ▼
+//!          ownership shards (join-key partition) ──▶ ShardPipeline::advance
+//! ```
+//!
+//! # Leakage
+//!
+//! Each phase only reveals public quantities. The arrival pairs observe their own
+//! (padded) batch sizes; the shuffle emits **fixed-size buckets** (`⌈batch/S⌉ +
+//! cushion` records each), so the wire carries the same number of records to every
+//! destination regardless of the key distribution; the destination-side compaction
+//! cuts the concatenated buckets back to the same fixed per-shard ingest size the
+//! co-partitioned router would deliver. True per-destination counts stay hidden
+//! unless a bucket (or the ingest cut) overflows its padded size, which is the
+//! burst-tolerance contract padded uploads already have — overflow events are
+//! counted ([`ShuffleStats::overflow_events`]) so experiments can verify the
+//! cushion dominates. A co-partitioned run never enters this module, which is why
+//! [`RoutingPolicy::CoPartitioned`] adds no leakage and replays the pre-shuffle
+//! run loop bit for bit (modulo the flush-cadence bugfix shipped in the same PR,
+//! which changes `S > 1` shard configurations on purpose).
+
+use incshrink_mpc::cost::{CostMeter, CostModel, SimDuration};
+use incshrink_oblivious::shuffle::shuffle_route;
+use incshrink_oblivious::sort::charge_sort_network;
+use incshrink_secretshare::arrays::SharedArrayPair;
+use incshrink_secretshare::tuple::{PlainRecord, SharedRecordPair};
+use incshrink_storage::{RecordId, Relation, UploadBatch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How the cluster routes owner uploads to shard pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Records arrive partitioned by their join key; every delta is maintained on
+    /// the shard it arrives at. This is the historical cluster code path — no
+    /// shuffle work, no extra leakage — and replays the pre-shuffle driver bit for
+    /// bit *given the same per-shard configuration*. (Trajectories at `S > 1` still
+    /// differ from the earlier release because `shard_config` now stretches the
+    /// cache-flush interval ×S — the cadence bugfix shipped alongside this policy,
+    /// deliberate and independent of the routing dispatch.)
+    CoPartitioned,
+    /// Records arrive partitioned by a non-join attribute; a shuffle phase
+    /// re-routes every delta to the shard owning its join key before maintenance.
+    Shuffled {
+        /// Additive dummy cushion on every per-destination bucket (on top of the
+        /// rate-proportional `⌈batch/S⌉` share), absorbing routing skew the same
+        /// way upload batches absorb arrival bursts.
+        bucket_cushion: usize,
+    },
+}
+
+impl RoutingPolicy {
+    /// The shuffled policy with the default bucket cushion (2, matching the burst
+    /// cushion the workload generators build into upload batches).
+    #[must_use]
+    pub fn shuffled() -> Self {
+        RoutingPolicy::Shuffled { bucket_cushion: 2 }
+    }
+
+    /// Short label used in experiment tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::CoPartitioned => "co-partitioned",
+            RoutingPolicy::Shuffled { .. } => "shuffled",
+        }
+    }
+}
+
+impl std::fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Cumulative statistics of a run's shuffle phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShuffleStats {
+    /// Total simulated wall-clock spent in the shuffle phase (per step: slowest
+    /// arrival pair's shuffle + slowest destination pair's compaction, since pairs
+    /// run in parallel within each sub-phase).
+    pub total_secs: f64,
+    /// Bucket or ingest-cut overflows — each one leaked a true per-destination
+    /// count for one step (ideally zero; the cushion should dominate).
+    pub overflow_events: u64,
+    /// Number of routed relation-steps (for averaging).
+    pub steps: u64,
+}
+
+/// Executes the shuffle phase for a cluster run: holds the destination count,
+/// bucket cushion, cost model and the protocol randomness.
+pub struct ClusterShuffler {
+    shards: usize,
+    bucket_cushion: usize,
+    cost_model: CostModel,
+    rng: StdRng,
+    stats: ShuffleStats,
+}
+
+impl ClusterShuffler {
+    /// A shuffler routing to `shards` destination pipelines.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero.
+    #[must_use]
+    pub fn new(shards: usize, bucket_cushion: usize, cost_model: CostModel, seed: u64) -> Self {
+        assert!(shards > 0, "cluster needs at least one shard");
+        Self {
+            shards,
+            bucket_cushion,
+            cost_model,
+            rng: StdRng::seed_from_u64(seed ^ 0x05FF_1E5E_ED00_77AA),
+            stats: ShuffleStats::default(),
+        }
+    }
+
+    /// Cumulative shuffle statistics.
+    #[must_use]
+    pub fn stats(&self) -> ShuffleStats {
+        self.stats
+    }
+
+    /// Route one step's arrival-shard batches of one relation to the destination
+    /// shards owning their join keys. Returns one ingest-ready [`UploadBatch`] per
+    /// destination plus the phase's simulated duration (slowest arrival pair's
+    /// shuffle + slowest destination pair's compaction).
+    ///
+    /// `key_column` is the join-key column the hashed routing tag is computed from;
+    /// `ingest_size` is the fixed per-destination batch size the compaction cuts
+    /// back to (normally the co-partitioned router's `shard_batch_size`, so
+    /// downstream padding is identical to a co-partitioned run).
+    pub fn route_step(
+        &mut self,
+        time: u64,
+        relation: Relation,
+        key_column: usize,
+        arrival_batches: &[UploadBatch],
+        ingest_size: usize,
+    ) -> (Vec<UploadBatch>, SimDuration) {
+        assert_eq!(
+            arrival_batches.len(),
+            self.shards,
+            "one arrival batch per shard"
+        );
+
+        // Phase 1 — per arrival pair (parallel): oblivious shuffle + bucket route.
+        let mut dest_records: Vec<SharedArrayPair> =
+            (0..self.shards).map(|_| SharedArrayPair::new()).collect();
+        let mut dest_ids: Vec<Vec<Option<RecordId>>> = vec![Vec::new(); self.shards];
+        let mut max_shuffle = SimDuration::ZERO;
+        for batch in arrival_batches {
+            let bucket_size = batch.len().div_ceil(self.shards) + self.bucket_cushion;
+            let mut meter = CostMeter::new();
+            let routed = shuffle_route(
+                &batch.records,
+                key_column,
+                self.shards,
+                bucket_size,
+                &mut meter,
+                &mut self.rng,
+            );
+            self.stats.overflow_events += routed.overflows;
+            max_shuffle = max_shuffle.max(self.cost_model.simulate(&meter.report()));
+            for (dest, (bucket, sources)) in
+                routed.buckets.into_iter().zip(routed.sources).enumerate()
+            {
+                for src in &sources {
+                    dest_ids[dest].push(src.and_then(|i| batch.ids.get(i).copied().flatten()));
+                }
+                dest_records[dest].extend(bucket).expect("uniform arity");
+            }
+        }
+
+        // Phase 2 — per destination pair (parallel): compact the concatenated
+        // buckets (reals first) and cut back to the fixed ingest size.
+        let mut out = Vec::with_capacity(self.shards);
+        let mut max_compact = SimDuration::ZERO;
+        for (records, ids) in dest_records.into_iter().zip(dest_ids) {
+            let mut meter = CostMeter::new();
+            let (records, ids) = self.compact_and_cut(records, ids, ingest_size, &mut meter);
+            max_compact = max_compact.max(self.cost_model.simulate(&meter.report()));
+            out.push(UploadBatch {
+                relation,
+                time,
+                records,
+                ids,
+            });
+        }
+
+        let duration = max_shuffle + max_compact;
+        self.stats.total_secs += duration.as_secs_f64();
+        self.stats.steps += 1;
+        (out, duration)
+    }
+
+    /// Destination-side resize: obliviously sort the concatenated buckets by
+    /// `isView` (reals first, order otherwise preserved — the same network the
+    /// Shrink cache read uses, priced through the same
+    /// [`charge_sort_network`] so the two cannot drift; the sort itself is
+    /// replayed by hand here because the record ids riding outside the shares
+    /// must follow their records) and cut the prefix back to `ingest_size`. A
+    /// destination holding more real records than that keeps them all (overflow,
+    /// counted) rather than dropping data.
+    fn compact_and_cut(
+        &mut self,
+        records: SharedArrayPair,
+        ids: Vec<Option<RecordId>>,
+        ingest_size: usize,
+        meter: &mut CostMeter,
+    ) -> (SharedArrayPair, Vec<Option<RecordId>>) {
+        let n = records.len();
+        let arity = records.arity().unwrap_or(1);
+        let width = arity as u64 + 1;
+        charge_sort_network(n, width, meter);
+
+        // Stable real-first order is exactly what the isView sort produces.
+        let mut reals: Vec<(SharedRecordPair, Option<RecordId>)> = Vec::new();
+        for (entry, id) in records.entries().iter().zip(&ids) {
+            if entry.recover().is_view {
+                reals.push((entry.clone(), *id));
+            }
+        }
+        if reals.len() > ingest_size {
+            self.stats.overflow_events += 1;
+        }
+        let cut = ingest_size.max(reals.len());
+        let mut out = SharedArrayPair::with_arity(arity);
+        let mut out_ids = Vec::with_capacity(cut);
+        for (entry, id) in reals {
+            out.push(entry).expect("uniform arity");
+            out_ids.push(id);
+        }
+        while out.len() < cut {
+            out.push(SharedRecordPair::share(
+                &PlainRecord::dummy(arity),
+                &mut self.rng,
+            ))
+            .expect("uniform arity");
+            out_ids.push(None);
+        }
+        meter.bytes(out.len() as u64 * width * 4);
+        meter.round();
+        (out, out_ids)
+    }
+}

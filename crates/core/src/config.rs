@@ -2,8 +2,10 @@
 //!
 //! Default values follow Section 7 ("Default setting"): ε = 1.5, cache flush interval
 //! `f = 2000`, flush size `s = 15`, `sDPANT` threshold θ = 30, `sDPTimer` interval
-//! `T = ⌊θ / rate⌋`, truncation bound ω = 1 / 10 and contribution budget b = 10 / 20
-//! for the TPC-ds / CPDB workloads respectively.
+//! `T = ⌊θ / ⌈rate⌉⌋` (the quantized form of the paper's `⌊θ/rate⌋` that reproduces
+//! its reported T = 10 / T = 3 — see
+//! [`IncShrinkConfig::timer_interval_for_threshold`]), truncation bound ω = 1 / 10
+//! and contribution budget b = 10 / 20 for the TPC-ds / CPDB workloads respectively.
 //!
 //! On top of the paper parameters, two incremental-execution knobs control *how* the
 //! same protocol is executed (never *what* it releases): [`IncShrinkConfig::transform_batch`]
@@ -187,14 +189,23 @@ impl IncShrinkConfig {
     }
 
     /// Derive the `sDPTimer` interval that corresponds to an `sDPANT` threshold θ for a
-    /// workload with the given mean view-entry rate — the paper's `T = ⌊θ / rate⌋`
-    /// consistency rule (Section 7, "Default setting").
+    /// workload with the given mean view-entry rate (Section 7, "Default setting").
+    ///
+    /// The paper states `T = ⌊θ / rate⌋` but *reports* `T = 10` for TPC-ds
+    /// (θ = 30, rate ≈ 2.7, where the bare quotient floors to 11) and `T = 3` for
+    /// CPDB (θ = 30, rate ≈ 9.8). Both reported values are reproduced by quantizing
+    /// the measured rate **up to a whole number of view entries per step first**:
+    /// `T = ⌊θ / ⌈rate⌉⌋` gives ⌊30/3⌋ = 10 and ⌊30/10⌋ = 3. That is the rule
+    /// implemented here. It is also the conservative direction: rounding the rate up
+    /// can only shorten the interval, so the expected accumulation per timer firing,
+    /// `T · rate`, never exceeds θ — the timer synchronizes at least as often as the
+    /// ANT threshold it is calibrated against would fire.
     #[must_use]
     pub fn timer_interval_for_threshold(threshold: f64, view_rate_per_step: f64) -> u64 {
         if view_rate_per_step <= 0.0 {
             return 1;
         }
-        ((threshold / view_rate_per_step).floor() as u64).max(1)
+        ((threshold / view_rate_per_step.ceil()).floor() as u64).max(1)
     }
 
     /// Validate parameter sanity; returns a description of the first problem found.
@@ -273,11 +284,15 @@ mod tests {
     }
 
     #[test]
-    fn timer_interval_derivation() {
-        // Paper: rate 2.7 -> T = 10 ⋅ ⌊30/2.7⌋ = 11? The paper floors to 10 via ⌊30/2.7⌋ = 11;
-        // it reports T = 10 for TPC-ds and 3 for CPDB.
-        assert_eq!(IncShrinkConfig::timer_interval_for_threshold(30.0, 2.7), 11);
+    fn timer_interval_derivation_matches_paper_reported_values() {
+        // Section 7 reports T = 10 for TPC-ds (θ = 30, rate ≈ 2.7) and T = 3 for
+        // CPDB (θ = 30, rate ≈ 9.8). The bare quotient ⌊30/2.7⌋ = 11 contradicts the
+        // TPC-ds value; ceiling the rate first (⌊30/⌈2.7⌉⌋ = 10, ⌊30/⌈9.8⌉⌋ = 3)
+        // reproduces both — see the rustdoc for why that is the chosen rule.
+        assert_eq!(IncShrinkConfig::timer_interval_for_threshold(30.0, 2.7), 10);
         assert_eq!(IncShrinkConfig::timer_interval_for_threshold(30.0, 9.8), 3);
+        // Integer rates are untouched by the quantization.
+        assert_eq!(IncShrinkConfig::timer_interval_for_threshold(30.0, 3.0), 10);
         assert_eq!(IncShrinkConfig::timer_interval_for_threshold(30.0, 0.0), 1);
         assert_eq!(IncShrinkConfig::timer_interval_for_threshold(0.5, 100.0), 1);
     }

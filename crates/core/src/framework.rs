@@ -95,6 +95,23 @@ pub struct PipelineStepOutcome {
     pub shrink_did_work: bool,
     /// Whether Shrink issued a view synchronization this step.
     pub synced: bool,
+    /// Whether the independent cache-flush mechanism fired this step (a
+    /// counter-inspecting action — the cluster cadence tests assert these scale with
+    /// the shard arrival rate).
+    pub flushed: bool,
+}
+
+/// One step's owner upload batches, ready for ingestion by a pipeline.
+///
+/// Normally built by the pipeline itself from its own workload
+/// ([`ShardPipeline::upload_batches`]); a cluster running a shuffle phase instead
+/// routes externally built batches in via [`ShardPipeline::advance_with_uploads`].
+#[derive(Debug, Clone)]
+pub struct StepUploads {
+    /// The left relation's padded upload batch.
+    pub left: UploadBatch,
+    /// The right relation's padded upload batch (`None` when the right is public).
+    pub right: Option<UploadBatch>,
 }
 
 /// One server pair's complete view-maintenance stack: execution context, outsourced
@@ -287,15 +304,13 @@ impl ShardPipeline {
         }
     }
 
-    /// Run one upload epoch: owner uploads, Transform (strategy dependent) and Shrink
-    /// (DP strategies only). Queries are issued separately via [`Self::query`] so a
-    /// cluster driver can scatter-gather them across shards.
-    pub fn advance(&mut self, t: u64) -> PipelineStepOutcome {
-        let mut outcome = PipelineStepOutcome::default();
-
-        // --- Owner uploads (fixed-size padded batches every step).
+    /// Build this step's padded owner upload batches from the pipeline's own
+    /// workload — the default upload path, factored out so a cluster shuffle phase
+    /// can substitute externally routed batches via
+    /// [`Self::advance_with_uploads`].
+    pub fn upload_batches(&mut self, t: u64) -> StepUploads {
         let left_updates = self.dataset.left.arrivals_at(t);
-        let left_batch = UploadBatch::from_updates(
+        let left = UploadBatch::from_updates(
             Relation::Left,
             t,
             &left_updates,
@@ -303,31 +318,54 @@ impl ShardPipeline {
             self.dataset.left_batch_size,
             &mut self.upload_rng,
         );
-        self.ctx.servers.observe_both(ObservedEvent::UploadBatch {
-            time: t,
-            count: left_batch.len(),
-        });
-        self.store.ingest(&left_batch);
-
-        let right_batch = if self.dataset.right_is_public {
+        let right = if self.dataset.right_is_public {
             None
         } else {
             let right_updates = self.dataset.right.arrivals_at(t);
-            let batch = UploadBatch::from_updates(
+            Some(UploadBatch::from_updates(
                 Relation::Right,
                 t,
                 &right_updates,
                 self.right_arity,
                 self.dataset.right_batch_size,
                 &mut self.upload_rng,
-            );
+            ))
+        };
+        StepUploads { left, right }
+    }
+
+    /// Run one upload epoch: owner uploads, Transform (strategy dependent) and Shrink
+    /// (DP strategies only). Queries are issued separately via [`Self::query`] so a
+    /// cluster driver can scatter-gather them across shards.
+    pub fn advance(&mut self, t: u64) -> PipelineStepOutcome {
+        let uploads = self.upload_batches(t);
+        self.advance_with_uploads(t, uploads)
+    }
+
+    /// Run one upload epoch over externally provided upload batches — the ingest
+    /// hook for cluster drivers whose shuffle phase re-routes records to the shard
+    /// owning their join key before maintenance. [`Self::advance`] is exactly
+    /// `advance_with_uploads(t, self.upload_batches(t))`, so co-partitioned
+    /// trajectories are unchanged by the refactor.
+    pub fn advance_with_uploads(&mut self, t: u64, uploads: StepUploads) -> PipelineStepOutcome {
+        let mut outcome = PipelineStepOutcome::default();
+
+        // --- Owner uploads (fixed-size padded batches every step).
+        let left_batch = uploads.left;
+        self.ctx.servers.observe_both(ObservedEvent::UploadBatch {
+            time: t,
+            count: left_batch.len(),
+        });
+        self.store.ingest(&left_batch);
+
+        let right_batch = uploads.right;
+        if let Some(batch) = &right_batch {
             self.ctx.servers.observe_both(ObservedEvent::UploadBatch {
                 time: t,
                 count: batch.len(),
             });
-            self.store.ingest(&batch);
-            Some(batch)
-        };
+            self.store.ingest(batch);
+        }
 
         // --- Transform (strategy dependent): accumulate the step, flush when the
         // batch is full or the DP accounting needs a current counter.
@@ -371,6 +409,7 @@ impl ShardPipeline {
             outcome.shrink_duration = Some(shrink_outcome.duration);
             outcome.shrink_did_work = shrink_outcome.updated || shrink_outcome.flushed;
             outcome.synced = shrink_outcome.updated;
+            outcome.flushed = shrink_outcome.flushed;
         }
 
         outcome

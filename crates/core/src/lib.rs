@@ -56,17 +56,19 @@ pub mod view;
 pub mod prelude {
     pub use crate::config::{IncShrinkConfig, JoinPlanMode, UpdateStrategy};
     pub use crate::framework::{
-        PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord,
+        PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord, StepUploads,
     };
     pub use crate::metrics::Summary;
     pub use crate::view::{MaterializedView, ViewDefinition};
     pub use incshrink_workload::{
-        scale_dataset, to_burst, to_sparse, CpdbGenerator, Dataset, DatasetKind, JoinQuery,
-        TpcDsGenerator, WorkloadParams, WorkloadVariant,
+        scale_dataset, to_burst, to_sparse, to_store_partitioned, CpdbGenerator, Dataset,
+        DatasetKind, JoinQuery, TpcDsGenerator, WorkloadParams, WorkloadVariant,
     };
 }
 
 pub use config::{IncShrinkConfig, JoinPlanMode, UpdateStrategy};
-pub use framework::{PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord};
+pub use framework::{
+    PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord, StepUploads,
+};
 pub use metrics::Summary;
 pub use view::{MaterializedView, ViewDefinition};

@@ -14,6 +14,9 @@
 //!   from a secure-compare cost model over the public input sizes.
 //! * [`compact`] — the cache-read primitive of Figure 3: sort by `isView` so real
 //!   tuples precede dummies, then cut a prefix of a given (DP-noised) size.
+//! * [`shuffle`] — oblivious permutation plus secure re-routing of a batch into
+//!   fixed-size padded per-destination buckets by a hashed routing tag; the
+//!   building block of the cluster layer's cross-shard (non-co-partitioned) joins.
 //!
 //! Every operator takes a [`incshrink_mpc::cost::CostMeter`] and records the secure
 //! comparisons, oblivious swaps and AND gates it would cost inside a garbled-circuit
@@ -27,6 +30,7 @@ pub mod compact;
 pub mod filter;
 pub mod join;
 pub mod planner;
+pub mod shuffle;
 pub mod sort;
 pub mod table;
 
@@ -42,5 +46,6 @@ pub use planner::{
     charge_full_relation_gap, charge_planned_join, plan_and_execute, plan_join, JoinAlgorithm,
     JoinPlan,
 };
+pub use shuffle::{destination_of, oblivious_shuffle, shuffle_route, ShuffleRouteOutcome};
 pub use sort::{batcher_pair_count, oblivious_sort_by_field, oblivious_sort_by_is_view, SortOrder};
 pub use table::PlainTable;

@@ -124,6 +124,22 @@ fn count_mod_below(start: usize, len: usize, modulus: usize, limit: usize) -> u6
     count
 }
 
+/// Charge one Batcher network pass over `n` records of `width` shared words —
+/// `batcher_pair_count(n)` secure comparisons and record-wide swaps in one round —
+/// without executing it. The single place the network's price is defined: the
+/// physical sorts below, the shuffle operator's permutation, and callers that must
+/// permute side-band metadata alongside the shares (the cluster's destination-side
+/// compaction) all charge through here, so the pricing cannot drift between them.
+pub fn charge_sort_network(n: usize, width: u64, meter: &mut CostMeter) {
+    if n < 2 {
+        return;
+    }
+    let pairs = batcher_pair_count(n);
+    meter.compares(pairs);
+    meter.swaps(pairs, width);
+    meter.round();
+}
+
 /// Oblivious sort of `array` by the key produced from each record by `key_fn`.
 ///
 /// `key_fn` receives the record index and the recovered record fields (reconstruction
@@ -143,10 +159,8 @@ pub(crate) fn oblivious_sort_by_key<F>(
         return;
     }
     let width = array.arity().unwrap_or(1) as u64 + 1;
+    charge_sort_network(n, width, meter);
     let pairs = batcher_pairs(n);
-    meter.compares(pairs.len() as u64);
-    meter.swaps(pairs.len() as u64, width);
-    meter.round();
 
     let entries = array.entries_mut();
     for (lo, hi) in pairs {

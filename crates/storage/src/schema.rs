@@ -47,10 +47,18 @@ pub struct Schema {
     pub key_column: usize,
     /// Index of the timestamp column.
     pub time_column: usize,
+    /// Index of the column records *arrive* partitioned by in a sharded deployment.
+    /// Defaults to [`Self::key_column`] (co-partitioned arrival: join locality holds
+    /// per shard); a workload where uploads are grouped by a non-join attribute (e.g.
+    /// retail returns arriving per store while the view joins on item id) sets a
+    /// different column via [`Self::with_partition_column`], and the cluster layer
+    /// must then shuffle records to the shard owning their join key.
+    pub partition_column: usize,
 }
 
 impl Schema {
-    /// Create a schema.
+    /// Create a schema. The arrival-partition column defaults to the join-key column
+    /// (co-partitioned).
     ///
     /// # Panics
     /// Panics when the key or time column index is out of range.
@@ -63,7 +71,29 @@ impl Schema {
             columns: columns.iter().map(|s| (*s).to_string()).collect(),
             key_column,
             time_column,
+            partition_column: key_column,
         }
+    }
+
+    /// Builder-style override of the arrival-partition column.
+    ///
+    /// # Panics
+    /// Panics when the column index is out of range.
+    #[must_use]
+    pub fn with_partition_column(mut self, partition_column: usize) -> Self {
+        assert!(
+            partition_column < self.columns.len(),
+            "partition column out of range"
+        );
+        self.partition_column = partition_column;
+        self
+    }
+
+    /// True when records arrive already partitioned by their join key, i.e. an
+    /// equi-join view can be maintained shard-locally without a shuffle phase.
+    #[must_use]
+    pub fn is_co_partitioned(&self) -> bool {
+        self.partition_column == self.key_column
     }
 
     /// Number of columns.
@@ -99,6 +129,21 @@ mod tests {
         assert_eq!(s.column_index("missing"), None);
         assert_eq!(s.key_column, 0);
         assert_eq!(s.time_column, 1);
+        assert_eq!(s.partition_column, 0, "defaults to the join key");
+        assert!(s.is_co_partitioned());
+    }
+
+    #[test]
+    fn partition_column_override() {
+        let s = Schema::new("sales", &["pid", "sale_date", "store"], 0, 1).with_partition_column(2);
+        assert_eq!(s.partition_column, 2);
+        assert!(!s.is_co_partitioned());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition column out of range")]
+    fn bad_partition_column_panics() {
+        let _ = Schema::new("x", &["a", "t"], 0, 1).with_partition_column(5);
     }
 
     #[test]

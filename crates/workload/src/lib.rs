@@ -20,12 +20,14 @@
 
 pub mod cpdb;
 pub mod dataset;
+pub mod partitioned;
 pub mod queries;
 pub mod tpcds;
 pub mod variants;
 
 pub use cpdb::CpdbGenerator;
 pub use dataset::{Dataset, DatasetKind, WorkloadParams};
+pub use partitioned::to_store_partitioned;
 pub use queries::{logical_join_count, logical_join_counts_per_step, JoinQuery};
 pub use tpcds::TpcDsGenerator;
 pub use variants::{scale_dataset, to_burst, to_sparse, WorkloadVariant};
