@@ -1,132 +1,192 @@
-//! Scatter-gather execution of the analyst's counting query across shard views.
+//! Scatter-gather execution of typed analyst queries across shard views.
 //!
-//! Each shard answers the query with the usual oblivious scan of its own (smaller)
-//! materialized view; the cluster then obliviously aggregates the `S` secret-shared
-//! partial counts into the final answer with a tree of secure additions. Because the
-//! shard scans run on independent server pairs *in parallel*, the cluster query
-//! execution time is the **slowest shard's scan plus the aggregation rounds** — which
-//! is how sharding turns the view scan's linear cost into roughly `|V|/S`.
+//! Each shard answers the query with the usual fused oblivious scan of its own
+//! (smaller) materialized view; the cluster then obliviously aggregates the `S`
+//! secret-shared partial answers into the final one with a tree of secure additions —
+//! element-wise for vector (group-by) answers, whose per-slot adds share the same
+//! tree rounds. Because the shard scans run on independent server pairs *in
+//! parallel*, the cluster query execution time is the **slowest shard's scan plus
+//! the aggregation rounds** — which is how sharding turns the view scan's linear
+//! cost into roughly `|V|/S`.
+//!
+//! [`ScatterGatherExecutor`] is the cluster's [`QueryEngine`] implementation: bind it
+//! to the shard views with [`ScatterGatherExecutor::over`] and `execute` any
+//! [`Query`]; [`ScatterGatherExecutor::merge`] combines per-shard outcomes produced
+//! elsewhere (the NM baseline recomputes per-shard joins instead of scanning views).
 
-use incshrink::query::view_count_query;
+use incshrink::query::{
+    Query, QueryEngine, QueryOutcome, ShardBreakdown, ShardPartial, ViewEngine,
+};
 use incshrink::MaterializedView;
 use incshrink_mpc::cost::{CostModel, CostReport, SimDuration};
-use serde::{Deserialize, Serialize};
 
-/// One shard's partial answer to a scatter-gathered query.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ShardAnswer {
-    /// Shard index.
-    pub shard: usize,
-    /// The shard's partial count.
-    pub answer: u64,
-    /// Simulated execution time of the shard's local (view scan or join) work.
-    pub qet: SimDuration,
-}
-
-/// Result of one cluster query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ClusterQueryResult {
-    /// The aggregated count returned to the analyst.
-    pub answer: u64,
-    /// Cluster query execution time: slowest shard scan + oblivious aggregation.
-    pub qet: SimDuration,
-    /// The slowest shard's local execution time.
-    pub max_shard_qet: SimDuration,
-    /// Simulated time of the cross-shard oblivious aggregation.
-    pub aggregation_qet: SimDuration,
-    /// Per-shard partial answers (protocol-internal; exposed for reporting).
-    pub per_shard: Vec<ShardAnswer>,
-}
-
-/// Fans the counting query out to every shard view and obliviously aggregates the
-/// partial counts.
-#[derive(Debug, Clone, Copy)]
-pub struct ScatterGatherExecutor {
+/// Fans typed analyst queries out to every shard view and obliviously aggregates the
+/// partial answers. The unbound form (no views, [`ScatterGatherExecutor::new`]) still
+/// merges externally produced per-shard outcomes via
+/// [`ScatterGatherExecutor::merge`].
+#[derive(Debug, Clone)]
+pub struct ScatterGatherExecutor<'v> {
     cost_model: CostModel,
+    views: Vec<&'v MaterializedView>,
 }
 
-impl Default for ScatterGatherExecutor {
+impl Default for ScatterGatherExecutor<'static> {
     fn default() -> Self {
         Self::new(CostModel::default())
     }
 }
 
-impl ScatterGatherExecutor {
-    /// An executor pricing shard scans and aggregation with `cost_model`.
+impl ScatterGatherExecutor<'static> {
+    /// An unbound executor pricing the aggregation with `cost_model`; bind shard
+    /// views with [`Self::over`] to execute queries, or feed [`Self::merge`]
+    /// directly.
     #[must_use]
     pub fn new(cost_model: CostModel) -> Self {
-        Self { cost_model }
+        Self {
+            cost_model,
+            views: Vec::new(),
+        }
+    }
+}
+
+impl<'v> ScatterGatherExecutor<'v> {
+    /// An executor bound to the cluster's shard views (one per shard, in shard
+    /// order), pricing shard scans and aggregation with `cost_model`.
+    #[must_use]
+    pub fn over(cost_model: CostModel, views: Vec<&'v MaterializedView>) -> Self {
+        Self { cost_model, views }
     }
 
-    /// Oblivious-operation cost of combining `shards` secret-shared partial counts:
-    /// a binary tree of secure 32-bit additions (`S − 1` adds over `⌈log₂ S⌉`
+    /// Oblivious-operation cost of combining `shards` secret-shared scalar partial
+    /// answers: a binary tree of secure additions (`S − 1` adds over `⌈log₂ S⌉`
     /// communication rounds) followed by one reveal round towards the analyst. A
     /// single shard needs no cross-shard combine at all, so its report is empty —
     /// which is what makes a 1-shard cluster query cost exactly the single-pair cost.
     #[must_use]
     pub fn aggregation_cost(shards: usize) -> CostReport {
-        if shards <= 1 {
+        Self::aggregation_cost_for_width(shards, 1)
+    }
+
+    /// [`Self::aggregation_cost`] generalized to `width`-slot vector answers
+    /// (group-by over a public domain): every tree level adds all `width` slots
+    /// element-wise *within* its round, so the adds and bytes scale with the width
+    /// while the round count stays `⌈log₂ S⌉ + 1`.
+    #[must_use]
+    pub fn aggregation_cost_for_width(shards: usize, width: usize) -> CostReport {
+        if shards <= 1 || width == 0 {
             return CostReport::default();
         }
         let tree_rounds = u64::from(usize::BITS - (shards - 1).leading_zeros());
         CostReport {
-            secure_adds: (shards - 1) as u64,
-            bytes_communicated: 8 * shards as u64,
+            secure_adds: ((shards - 1) * width) as u64,
+            bytes_communicated: 8 * (shards * width) as u64,
             rounds: tree_rounds + 1,
             ..CostReport::default()
         }
     }
 
-    /// Gather pre-computed per-shard partial answers (count + local execution time)
-    /// into the cluster result. Used directly by the cluster driver for strategies
-    /// whose per-shard work is not a view scan (the NM baseline recomputes the join).
+    /// Combine per-shard query outcomes (however they were produced — view scans
+    /// here, per-shard join recomputations in the NM baseline) into the cluster
+    /// outcome: answers accumulate through the secure-add tree, the QET is the
+    /// slowest shard plus the aggregation, the report sums every gate evaluated
+    /// anywhere, and [`QueryOutcome::shards`] carries the per-shard decomposition.
+    ///
+    /// # Panics
+    /// Panics when `partials` is empty or the shard answers disagree in shape
+    /// (mixing queries across shards is always a driver bug).
     #[must_use]
-    pub fn gather(&self, partials: &[(u64, SimDuration)]) -> ClusterQueryResult {
-        let per_shard: Vec<ShardAnswer> = partials
+    pub fn merge(&self, query: &Query, partials: &[QueryOutcome]) -> QueryOutcome {
+        assert!(
+            !partials.is_empty(),
+            "merge needs at least one shard outcome"
+        );
+        let mut value = partials[0].value.clone();
+        for partial in &partials[1..] {
+            value.accumulate(&partial.value);
+        }
+        let aggregation = Self::aggregation_cost_for_width(partials.len(), query.output_width());
+        let aggregation_qet = self.cost_model.simulate(&aggregation);
+        let max_shard_qet = partials
             .iter()
-            .enumerate()
-            .map(|(shard, &(answer, qet))| ShardAnswer { shard, answer, qet })
-            .collect();
-        let answer = per_shard.iter().map(|s| s.answer).sum();
-        let max_shard_qet = per_shard
-            .iter()
-            .map(|s| s.qet)
+            .map(|p| p.qet)
             .max()
             .unwrap_or(SimDuration::ZERO);
-        let aggregation_qet = self
-            .cost_model
-            .simulate(&Self::aggregation_cost(per_shard.len()));
-        ClusterQueryResult {
-            answer,
-            qet: max_shard_qet + aggregation_qet,
-            max_shard_qet,
-            aggregation_qet,
-            per_shard,
-        }
-    }
-
-    /// Scatter the counting query across shard views (one oblivious scan per shard,
-    /// executed in parallel by the shard pairs) and gather the partial counts.
-    #[must_use]
-    pub fn execute(&self, views: &[&MaterializedView]) -> ClusterQueryResult {
-        let partials: Vec<(u64, SimDuration)> = views
+        let report = partials.iter().map(|p| p.report).sum::<CostReport>() + aggregation;
+        let per_shard = partials
             .iter()
-            .map(|view| {
-                let res = view_count_query(view, &self.cost_model);
-                (res.answer, res.qet)
+            .enumerate()
+            .map(|(shard, p)| ShardPartial {
+                shard,
+                value: p.value.clone(),
+                qet: p.qet,
             })
             .collect();
-        self.gather(&partials)
+        QueryOutcome {
+            value,
+            qet: max_shard_qet + aggregation_qet,
+            report,
+            shards: Some(ShardBreakdown {
+                max_shard_qet,
+                aggregation_qet,
+                per_shard,
+            }),
+        }
+    }
+}
+
+impl QueryEngine for ScatterGatherExecutor<'_> {
+    /// Scatter `query` across the bound shard views (one fused oblivious scan per
+    /// shard, executed in parallel by the shard pairs) and gather the partial
+    /// answers through the secure-add tree.
+    ///
+    /// # Panics
+    /// Panics when the executor is unbound (no views) — an empty scatter has no
+    /// meaningful answer.
+    fn execute(&self, query: &Query) -> QueryOutcome {
+        assert!(
+            !self.views.is_empty(),
+            "ScatterGatherExecutor::execute needs bound shard views (use ::over)"
+        );
+        let partials: Vec<QueryOutcome> = self
+            .views
+            .iter()
+            .map(|view| ViewEngine::new(view, self.cost_model).execute(query))
+            .collect();
+        self.merge(query, &partials)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use incshrink::query::QueryValue;
     use incshrink_mpc::cost::SimDuration;
+    use incshrink_secretshare::arrays::SharedArrayPair;
+    use incshrink_secretshare::tuple::PlainRecord;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn dur(secs: f64) -> SimDuration {
         SimDuration::from_secs_f64(secs)
+    }
+
+    fn scalar_outcome(answer: u64, qet: SimDuration) -> QueryOutcome {
+        QueryOutcome {
+            value: QueryValue::Scalar(answer),
+            qet,
+            report: CostReport::default(),
+            shards: None,
+        }
+    }
+
+    fn make_view(rng: &mut StdRng, real: usize, dummy: usize) -> MaterializedView {
+        let mut records: Vec<PlainRecord> = (0..real)
+            .map(|i| PlainRecord::real(vec![i as u32, 0]))
+            .collect();
+        records.extend((0..dummy).map(|_| PlainRecord::dummy(2)));
+        let mut v = MaterializedView::new();
+        v.append(SharedArrayPair::share_records(&records, rng));
+        v
     }
 
     #[test]
@@ -143,50 +203,81 @@ mod tests {
     }
 
     #[test]
-    fn gather_sums_answers_and_takes_slowest_shard() {
-        let exec = ScatterGatherExecutor::default();
-        let res = exec.gather(&[(10, dur(0.2)), (5, dur(0.7)), (1, dur(0.1))]);
-        assert_eq!(res.answer, 16);
-        assert_eq!(res.max_shard_qet, dur(0.7));
-        assert!(res.aggregation_qet.as_secs_f64() > 0.0);
-        assert_eq!(res.qet, res.max_shard_qet + res.aggregation_qet);
-        assert_eq!(res.per_shard.len(), 3);
-        assert_eq!(res.per_shard[1].shard, 1);
+    fn vector_aggregation_scales_adds_with_width_but_not_rounds() {
+        let wide = ScatterGatherExecutor::aggregation_cost_for_width(4, 12);
+        assert_eq!(wide.secure_adds, 3 * 12, "element-wise adds per tree edge");
+        assert_eq!(wide.bytes_communicated, 8 * 4 * 12);
+        assert_eq!(
+            wide.rounds,
+            ScatterGatherExecutor::aggregation_cost(4).rounds,
+            "per-slot adds share the tree rounds"
+        );
+        assert!(ScatterGatherExecutor::aggregation_cost_for_width(4, 0).is_empty());
+        assert!(ScatterGatherExecutor::aggregation_cost_for_width(1, 12).is_empty());
     }
 
     #[test]
-    fn single_shard_gather_matches_local_cost_exactly() {
+    fn merge_sums_answers_and_takes_slowest_shard() {
         let exec = ScatterGatherExecutor::default();
-        let res = exec.gather(&[(42, dur(0.3))]);
-        assert_eq!(res.answer, 42);
+        let partials = [
+            scalar_outcome(10, dur(0.2)),
+            scalar_outcome(5, dur(0.7)),
+            scalar_outcome(1, dur(0.1)),
+        ];
+        let res = exec.merge(&Query::count(), &partials);
+        assert_eq!(res.value, QueryValue::Scalar(16));
+        let shards = res.shards.expect("cluster breakdown");
+        assert_eq!(shards.max_shard_qet, dur(0.7));
+        assert!(shards.aggregation_qet.as_secs_f64() > 0.0);
+        assert_eq!(res.qet, shards.max_shard_qet + shards.aggregation_qet);
+        assert_eq!(shards.per_shard.len(), 3);
+        assert_eq!(shards.per_shard[1].shard, 1);
+    }
+
+    #[test]
+    fn single_shard_merge_matches_local_cost_exactly() {
+        let exec = ScatterGatherExecutor::default();
+        let res = exec.merge(&Query::count(), &[scalar_outcome(42, dur(0.3))]);
+        assert_eq!(res.value, QueryValue::Scalar(42));
         assert_eq!(res.qet, dur(0.3), "no aggregation overhead for one shard");
-        assert_eq!(res.aggregation_qet, SimDuration::ZERO);
+        assert_eq!(res.shards.unwrap().aggregation_qet, SimDuration::ZERO);
     }
 
     #[test]
     fn execute_scans_each_view() {
-        use incshrink_secretshare::arrays::SharedArrayPair;
-        use incshrink_secretshare::tuple::PlainRecord;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-
         let mut rng = StdRng::seed_from_u64(1);
-        let mut make_view = |real: usize, dummy: usize| {
-            let mut records: Vec<PlainRecord> = (0..real)
-                .map(|i| PlainRecord::real(vec![i as u32, 0]))
-                .collect();
-            records.extend((0..dummy).map(|_| PlainRecord::dummy(2)));
-            let mut v = MaterializedView::new();
-            v.append(SharedArrayPair::share_records(&records, &mut rng));
-            v
-        };
-        let a = make_view(7, 3);
-        let b = make_view(2, 100);
-        let exec = ScatterGatherExecutor::default();
-        let res = exec.execute(&[&a, &b]);
-        assert_eq!(res.answer, 9);
+        let a = make_view(&mut rng, 7, 3);
+        let b = make_view(&mut rng, 2, 100);
+        let exec = ScatterGatherExecutor::over(CostModel::default(), vec![&a, &b]);
+        let res = exec.execute(&Query::count());
+        assert_eq!(res.value, QueryValue::Scalar(9));
         // Shard b carries far more padding, so it is the slowest shard.
-        assert_eq!(res.max_shard_qet, res.per_shard[1].qet);
-        assert!(res.per_shard[1].qet > res.per_shard[0].qet);
+        let shards = res.shards.expect("cluster breakdown");
+        assert_eq!(shards.max_shard_qet, shards.per_shard[1].qet);
+        assert!(shards.per_shard[1].qet > shards.per_shard[0].qet);
+    }
+
+    #[test]
+    fn group_count_gathers_element_wise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Field-0 values 0..7 on shard a, 0..3 on shard b.
+        let a = make_view(&mut rng, 7, 1);
+        let b = make_view(&mut rng, 3, 5);
+        let exec = ScatterGatherExecutor::over(CostModel::default(), vec![&a, &b]);
+        let q = Query::group_count(0, vec![0, 1, 2, 5, 9]);
+        let res = exec.execute(&q);
+        // Values 0, 1, 2 exist on both shards; 5 only on shard a; 9 nowhere.
+        assert_eq!(res.value, QueryValue::Vector(vec![2, 2, 2, 1, 0]));
+        let single = ViewEngine::new(&a, CostModel::default()).execute(&q);
+        assert!(
+            res.report.secure_adds > single.report.secure_adds,
+            "merge adds the element-wise tree on top of the shard scans"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bound shard views")]
+    fn unbound_executor_rejects_execute() {
+        let _ = ScatterGatherExecutor::default().execute(&Query::count());
     }
 }

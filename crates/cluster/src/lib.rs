@@ -3,9 +3,10 @@
 //! Scale-out of the IncShrink framework to `S` server pairs (the N-server
 //! generalization sketched in Section 8 of the paper, applied shard-wise): the
 //! materialized view and secure cache are **hash-partitioned by join key** across
-//! independent Transform-and-Shrink pipelines, and the analyst's counting query is
-//! answered with a **scatter-gather** executor that scans every shard view in
-//! parallel and obliviously aggregates the partial counts. Workloads whose records
+//! independent Transform-and-Shrink pipelines, and the analyst's typed queries
+//! (`incshrink::query::Query` — count, sum, group-count) are answered with a
+//! **scatter-gather** executor that scans every shard view in parallel and
+//! obliviously aggregates the partial answers. Workloads whose records
 //! arrive partitioned by a *non-join* attribute are handled by the [`shuffle`]
 //! phase ([`RoutingPolicy::Shuffled`]), which obliviously re-routes each delta to
 //! the shard owning its join key before maintenance.
@@ -24,7 +25,7 @@
 //!                 └────┬─────┘ └────┬─────┘ └────┬─────┘
 //!                      └────────────┼────────────┘
 //!                                   ▼
-//!                     ScatterGatherExecutor (Σ counts,
+//!                     ScatterGatherExecutor (Σ partial answers,
 //!                     QET = max shard scan + agg rounds)
 //! ```
 //!
@@ -48,7 +49,9 @@ pub mod router;
 pub mod sharded;
 pub mod shuffle;
 
-pub use executor::{ClusterQueryResult, ScatterGatherExecutor, ShardAnswer};
+pub use executor::ScatterGatherExecutor;
 pub use router::{shard_of, ShardRouter};
-pub use sharded::{shard_config, ClusterPrivacy, ClusterRunReport, ShardReport, ShardedSimulation};
+pub use sharded::{
+    shard_config, shard_pipelines, ClusterPrivacy, ClusterRunReport, ShardReport, ShardedSimulation,
+};
 pub use shuffle::{ClusterShuffler, RoutingPolicy, ShuffleStats};

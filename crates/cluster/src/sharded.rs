@@ -26,6 +26,7 @@ use crate::router::ShardRouter;
 use crate::shuffle::{ClusterShuffler, RoutingPolicy, ShuffleStats};
 use incshrink::framework::StepUploads;
 use incshrink::metrics::{relative_error, SummaryBuilder};
+use incshrink::query::{Query, QueryEngine, QueryOutcome};
 use incshrink::{IncShrinkConfig, ShardPipeline, StepRecord, Summary, UpdateStrategy};
 use incshrink_dp::accountant::{MechanismApplication, PrivacyAccountant};
 use incshrink_mpc::cost::{CostModel, SimDuration};
@@ -202,6 +203,56 @@ pub fn shard_config(config: &IncShrinkConfig, shards: usize) -> IncShrinkConfig 
     cfg
 }
 
+/// Construct pre-partitioned shard datasets into pipelines on the cluster's
+/// per-shard seed schedule (shard 0 keeps `seed`, so one shard replays the
+/// single-pair simulation bit for bit).
+fn build_pipelines(
+    parts: Vec<Dataset>,
+    per_shard_config: IncShrinkConfig,
+    seed: u64,
+    cost_model: CostModel,
+) -> Vec<ShardPipeline> {
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, part)| {
+            ShardPipeline::new(
+                part,
+                per_shard_config,
+                seed.wrapping_add((i as u64).wrapping_mul(SHARD_SEED_STRIDE)),
+                cost_model,
+            )
+        })
+        .collect()
+}
+
+/// Build the `S` shard pipelines of a (co-partitioned) cluster run: hash-partition
+/// `dataset` by join key and construct one `ShardPipeline` per shard with the ε/S
+/// [`shard_config`] and the cluster's per-shard seed schedule. This is exactly the
+/// construction [`ShardedSimulation::run`] uses under
+/// [`RoutingPolicy::CoPartitioned`], so external drivers (benches, examples,
+/// replay tests) that step these pipelines reproduce the simulation's shard state
+/// bit for bit.
+///
+/// # Panics
+/// Panics when `shards` is zero or the configuration fails validation.
+#[must_use]
+pub fn shard_pipelines(
+    dataset: &Dataset,
+    config: &IncShrinkConfig,
+    shards: usize,
+    seed: u64,
+    cost_model: CostModel,
+) -> Vec<ShardPipeline> {
+    assert!(shards > 0, "cluster needs at least one shard");
+    build_pipelines(
+        ShardRouter::new(shards).partition(dataset),
+        shard_config(config, shards),
+        seed,
+        cost_model,
+    )
+}
+
 /// The sharded cluster simulation: `S` hash-partitioned shard pipelines stepped in
 /// lockstep with a scatter-gather query executor on top, optionally behind a
 /// shuffle phase re-routing non-co-partitioned arrivals to their join-key owners.
@@ -300,20 +351,8 @@ impl ShardedSimulation {
         let kind = dataset.kind;
         let per_shard_config = shard_config(&config, shards);
         let router = ShardRouter::new(shards);
-        let make_pipelines = |parts: Vec<Dataset>| -> Vec<ShardPipeline> {
-            parts
-                .into_iter()
-                .enumerate()
-                .map(|(i, part)| {
-                    ShardPipeline::new(
-                        part,
-                        per_shard_config,
-                        seed.wrapping_add((i as u64).wrapping_mul(SHARD_SEED_STRIDE)),
-                        cost_model,
-                    )
-                })
-                .collect()
-        };
+        let make_pipelines =
+            |parts: Vec<Dataset>| build_pipelines(parts, per_shard_config, seed, cost_model);
 
         // Per-routing-policy upload paths. Co-partitioned: pipelines own their
         // arrival shard's workload and build their own uploads (the historical
@@ -343,7 +382,10 @@ impl ShardedSimulation {
         };
         let left_ingest = router.shard_batch_size(dataset.left_batch_size);
         let right_ingest = router.shard_batch_size(dataset.right_batch_size);
-        let executor = ScatterGatherExecutor::new(cost_model);
+        // The unbound executor merges the NM baseline's per-shard outcomes; view
+        // strategies bind a fresh executor to the current shard views per query.
+        let merger = ScatterGatherExecutor::new(cost_model);
+        let counting_query = Query::count();
 
         let mut builder = SummaryBuilder::new();
         let mut trace = Vec::with_capacity(steps as usize);
@@ -453,26 +495,28 @@ impl ShardedSimulation {
             if t % config.query_interval == 0 {
                 let gathered = match config.strategy {
                     UpdateStrategy::NonMaterialized => {
-                        // NM recomputes the oblivious join per shard; gather the
-                        // precomputed partials directly.
-                        let partials: Vec<(u64, SimDuration)> = pipelines
+                        // NM recomputes the oblivious join per shard; merge the
+                        // per-shard baseline outcomes through the secure-add tree.
+                        let partials: Vec<QueryOutcome> = pipelines
                             .iter()
-                            .map(|p| (p.true_count(t), p.nm_query_duration()))
+                            .map(|p| p.nm_engine(t).execute(&counting_query))
                             .collect();
-                        executor.gather(&partials)
+                        merger.merge(&counting_query, &partials)
                     }
                     _ => {
                         let views: Vec<&_> = pipelines.iter().map(ShardPipeline::view).collect();
-                        executor.execute(&views)
+                        ScatterGatherExecutor::over(cost_model, views).execute(&counting_query)
                     }
                 };
-                answer = Some(gathered.answer);
-                l1 = gathered.answer.abs_diff(true_count) as f64;
+                let gathered_answer = gathered.value.expect_scalar();
+                let breakdown = gathered.shards.expect("scatter-gather breakdown");
+                answer = Some(gathered_answer);
+                l1 = gathered_answer.abs_diff(true_count) as f64;
                 qet = gathered.qet;
-                max_shard_qet_sum += gathered.max_shard_qet.as_secs_f64();
-                aggregation_sum += gathered.aggregation_qet.as_secs_f64();
+                max_shard_qet_sum += breakdown.max_shard_qet.as_secs_f64();
+                aggregation_sum += breakdown.aggregation_qet.as_secs_f64();
                 queries += 1;
-                builder.record_query(l1, relative_error(gathered.answer, true_count), qet);
+                builder.record_query(l1, relative_error(gathered_answer, true_count), qet);
             }
 
             let view_mb: f64 = pipelines.iter().map(|p| p.view().size_mb()).sum();

@@ -148,7 +148,7 @@ fn co_partitioned_policy_replays_pre_shuffle_loop_bit_for_bit() {
             )
         })
         .collect();
-    let executor = ScatterGatherExecutor::new(CostModel::default());
+    let counting_query = Query::count();
 
     for (i, step) in report.steps.iter().enumerate() {
         let t = (i + 1) as u64;
@@ -156,8 +156,9 @@ fn co_partitioned_policy_replays_pre_shuffle_loop_bit_for_bit() {
         let true_count: u64 = pipelines.iter().map(|p| p.true_count(t)).sum();
         assert_eq!(step.true_count, true_count, "t={t}");
         let views: Vec<&_> = pipelines.iter().map(|p| p.view()).collect();
-        let gathered = executor.execute(&views);
-        assert_eq!(step.answer, Some(gathered.answer), "t={t}");
+        let gathered =
+            ScatterGatherExecutor::over(CostModel::default(), views).execute(&counting_query);
+        assert_eq!(step.answer, Some(gathered.value.expect_scalar()), "t={t}");
         assert_eq!(step.qet_secs, gathered.qet.as_secs_f64(), "t={t}");
         let transform_max = outcomes
             .iter()

@@ -16,7 +16,9 @@
 use crate::baselines::{delta_routing, route_delta, DeltaRouting};
 use crate::config::{IncShrinkConfig, UpdateStrategy};
 use crate::metrics::{relative_error, Summary, SummaryBuilder};
-use crate::query::{non_materialized_query_cost, view_count_query, QueryResult};
+use crate::query::{
+    view_count_query, NmBaselineEngine, Query, QueryEngine, QueryOutcome, QueryResult, ViewEngine,
+};
 use crate::shrink::ShrinkProtocol;
 use crate::transform::{StepInputs, TransformProtocol};
 use crate::view::{MaterializedView, ViewDefinition};
@@ -257,24 +259,45 @@ impl ShardPipeline {
         view_count_query(&self.view, &self.cost_model)
     }
 
-    /// Simulated cost of answering the query without a view (NM baseline) over this
-    /// pipeline's accumulated outsourced data.
+    /// The typed query engine over this pipeline's materialized view: the analyst
+    /// entry point for [`Query`]s beyond the hardwired count.
     #[must_use]
-    pub fn nm_query_duration(&self) -> SimDuration {
+    pub fn query_engine(&self) -> ViewEngine<'_> {
+        ViewEngine::new(&self.view, self.cost_model)
+    }
+
+    /// Execute a typed analyst query over this pipeline's view.
+    #[must_use]
+    pub fn execute_query(&self, query: &Query) -> QueryOutcome {
+        self.query_engine().execute(query)
+    }
+
+    /// The NM-baseline engine over this pipeline's accumulated outsourced data at
+    /// step `t`: prices the full oblivious join and answers the counting query with
+    /// the logical ground truth (the join recomputes it exactly).
+    #[must_use]
+    pub fn nm_engine(&self, t: u64) -> NmBaselineEngine<'static> {
         let n_left = self.store.relation(Relation::Left).len() as u64;
         let n_right = if self.dataset.right_is_public {
             self.public_right_len as u64
         } else {
             self.store.relation(Relation::Right).len() as u64
         };
-        let (duration, _) = non_materialized_query_cost(
+        NmBaselineEngine::for_count(
             n_left,
             n_right,
             (self.left_arity + self.right_arity) as u64,
             self.config.truncation_bound,
-            &self.cost_model,
-        );
-        duration
+            self.cost_model,
+            self.true_count(t),
+        )
+    }
+
+    /// Simulated cost of answering the query without a view (NM baseline) over this
+    /// pipeline's accumulated outsourced data.
+    #[must_use]
+    pub fn nm_query_duration(&self) -> SimDuration {
+        self.nm_engine(0).execute(&Query::count()).qet
     }
 
     /// Whether the deferred Transform batch must flush at step `t`.
@@ -484,13 +507,16 @@ impl Simulation {
             let mut l1 = 0.0;
             let mut qet = SimDuration::ZERO;
             if t % config.query_interval == 0 {
-                let (ans, duration) = match config.strategy {
-                    UpdateStrategy::NonMaterialized => (true_count, pipeline.nm_query_duration()),
-                    _ => {
-                        let res = pipeline.query();
-                        (res.answer, res.qet)
+                // The counting query goes through the typed engine layer: the NM
+                // baseline recomputes (and exactly answers) the full join, every
+                // other strategy scans its materialized view.
+                let outcome = match config.strategy {
+                    UpdateStrategy::NonMaterialized => {
+                        pipeline.nm_engine(t).execute(&Query::count())
                     }
+                    _ => pipeline.execute_query(&Query::count()),
                 };
+                let (ans, duration) = (outcome.value.expect_scalar(), outcome.qet);
                 answer = Some(ans);
                 l1 = ans.abs_diff(true_count) as f64;
                 qet = duration;

@@ -59,6 +59,9 @@ pub mod prelude {
         PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord, StepUploads,
     };
     pub use crate::metrics::Summary;
+    pub use crate::query::{
+        FilterExpr, NmBaselineEngine, Query, QueryEngine, QueryOutcome, QueryValue, ViewEngine,
+    };
     pub use crate::view::{MaterializedView, ViewDefinition};
     pub use incshrink_workload::{
         scale_dataset, to_burst, to_sparse, to_store_partitioned, CpdbGenerator, Dataset,
@@ -71,4 +74,8 @@ pub use framework::{
     PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord, StepUploads,
 };
 pub use metrics::Summary;
+pub use query::{
+    AggregateSpec, FilterExpr, NmBaselineEngine, PhysicalPlan, Query, QueryEngine, QueryOutcome,
+    QueryValue, ShardBreakdown, ShardPartial, ViewEngine,
+};
 pub use view::{MaterializedView, ViewDefinition};

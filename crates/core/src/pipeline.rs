@@ -196,6 +196,17 @@ impl TwoLevelPipeline {
         &self.final_view
     }
 
+    /// The typed query engine over the final view, priced through `model` — the
+    /// analyst entry point shared with the single-level framework
+    /// ([`crate::query::Query`] / [`crate::query::QueryEngine`]).
+    #[must_use]
+    pub fn query_engine(
+        &self,
+        model: incshrink_mpc::cost::CostModel,
+    ) -> crate::query::ViewEngine<'_> {
+        crate::query::ViewEngine::new(&self.final_view, model)
+    }
+
     /// The intermediate (post-selection) view.
     #[must_use]
     pub fn intermediate_view(&self) -> &MaterializedView {
@@ -539,6 +550,34 @@ mod tests {
         assert_eq!(nlj_final, ada_final);
         assert_eq!(nlj_mid, ada_mid);
         assert!(nlj_cost > 0 && ada_cost > 0);
+    }
+
+    #[test]
+    fn query_engine_counts_the_final_view() {
+        use crate::query::{Query, QueryEngine, QueryValue};
+        let mut ctx = TwoPartyContext::new(3, CostModel::default());
+        let mut pipeline = TwoLevelPipeline::new(
+            view_def(),
+            1,
+            1000,
+            2,
+            stage(50.0, 2, 1),
+            stage(50.0, 2, 2),
+            public_table(0..40),
+            7,
+        );
+        for t in 1..=12u64 {
+            let batch = upload(&[(t as u32, t as u32)], 4, t);
+            let _ = pipeline.step(&mut ctx, &batch, t);
+        }
+        let outcome = pipeline
+            .query_engine(CostModel::default())
+            .execute(&Query::count());
+        assert_eq!(
+            outcome.value,
+            QueryValue::Scalar(pipeline.final_view().true_cardinality() as u64)
+        );
+        assert!(outcome.qet.as_secs_f64() > 0.0);
     }
 
     #[test]

@@ -57,8 +57,10 @@ impl ViewDefinition {
     }
 
     /// Build the mirrored join specification for `right ⋈ left` (used when new right
-    /// records join the accumulated left relation). Field order in the output is
-    /// (right, left); only the hidden flags matter for counting queries.
+    /// records join the accumulated left relation). The output is swapped back to the
+    /// canonical `left ++ right` column order ([`JoinSpec::with_swapped_output`]), so
+    /// view entries expose one fixed column layout to the typed analyst query API
+    /// regardless of which side's arrival produced them.
     #[must_use]
     pub fn join_spec_reversed(&self) -> JoinSpec<'static> {
         let window = self.window;
@@ -69,6 +71,7 @@ impl ViewDefinition {
             let rt_v = r.get(rt).copied().unwrap_or(0);
             rt_v >= lt_v && rt_v - lt_v <= window
         })
+        .with_swapped_output()
     }
 }
 
@@ -103,6 +106,16 @@ impl MaterializedView {
     #[must_use]
     pub fn true_cardinality(&self) -> usize {
         self.entries.true_cardinality()
+    }
+
+    /// The secret-shared view entries the analyst's oblivious query scans run over.
+    /// Columns follow the canonical `left fields ++ right fields` layout of the view
+    /// definition's join (mirrored Transform invocations swap their output back — see
+    /// [`ViewDefinition::join_spec_reversed`]), which is what the typed query API's
+    /// field indices address.
+    #[must_use]
+    pub fn entries(&self) -> &SharedArrayPair {
+        &self.entries
     }
 
     /// Number of dummy tuples carried by the view.

@@ -5,16 +5,30 @@
 //! shared register while linearly scanning the array — the access pattern is a fixed
 //! left-to-right pass, so nothing about which entries are real leaks. This module
 //! provides the oblivious COUNT / SUM primitives (optionally filtered by a predicate)
-//! plus a grouped count used by the multi-operator pipeline extension.
+//! plus grouped counts: [`oblivious_group_count`] reveals the discovered group keys
+//! (protocol-internal use) while [`oblivious_group_count_over_domain`] answers over a
+//! *public* domain with a data-independent output width — the variant the analyst
+//! query API compiles to.
+//!
+//! Every scan prices its share traffic like the other oblivious operators: the
+//! entries' shares (`(arity + 1) · 4` bytes each) are fed into the circuit as garbled
+//! inputs, plus the revealed aggregate (8 bytes per output word) on the way out, so
+//! the simulated QET reflects bandwidth at large views.
 
 use crate::filter::Predicate;
 use incshrink_mpc::cost::CostMeter;
 use incshrink_secretshare::arrays::SharedArrayPair;
 use std::collections::BTreeMap;
 
+/// Bytes of share traffic a linear scan of `array` feeds into the circuit.
+fn scan_input_bytes(array: &SharedArrayPair) -> u64 {
+    (array.len() * (array.arity().unwrap_or(0) + 1) * 4) as u64
+}
+
 /// Obliviously count the real (`isView = 1`) entries of `array` that satisfy
 /// `predicate` (pass [`Predicate::new("all", |_| true)`] for an unfiltered count).
-/// Charges one secure comparison, one AND and one addition per entry.
+/// Charges one secure comparison, one AND and one addition per entry, the scanned
+/// shares as input traffic and 8 bytes for the revealed count.
 pub fn oblivious_count(
     array: &SharedArrayPair,
     predicate: &Predicate<'_>,
@@ -24,7 +38,7 @@ pub fn oblivious_count(
     meter.compares(n);
     meter.ands(n);
     meter.adds(n);
-    meter.bytes(8);
+    meter.bytes(scan_input_bytes(array) + 8);
     meter.round();
     array
         .entries()
@@ -49,7 +63,7 @@ pub fn oblivious_sum(
     meter.compares(n);
     meter.ands(n);
     meter.adds(2 * n);
-    meter.bytes(8);
+    meter.bytes(scan_input_bytes(array) + 8);
     meter.round();
     array
         .entries()
@@ -68,6 +82,10 @@ pub fn oblivious_sum(
 /// Obliviously count real entries grouped by the value of `group_field`. The output
 /// map's *keys* are revealed (group-by results are part of the query answer); the scan
 /// itself remains a fixed pass over the array. Dummy entries contribute to no group.
+///
+/// Because the revealed key set is data-dependent, this variant is protocol-internal;
+/// the analyst query API compiles GROUP-COUNT to
+/// [`oblivious_group_count_over_domain`], whose output width is a public constant.
 pub fn oblivious_group_count(
     array: &SharedArrayPair,
     group_field: usize,
@@ -77,7 +95,7 @@ pub fn oblivious_group_count(
     meter.compares(n);
     meter.ands(n);
     meter.adds(n);
-    meter.bytes(8 * 16);
+    meter.bytes(scan_input_bytes(array) + 8 * 16);
     meter.round();
     let mut groups = BTreeMap::new();
     for entry in array.entries() {
@@ -89,6 +107,55 @@ pub fn oblivious_group_count(
         }
     }
     groups
+}
+
+/// Obliviously count the real entries that satisfy `predicate`, grouped over a
+/// *public* `domain` of `group_field` values. The output is one secret-shared counter
+/// per domain value (returned revealed, index-aligned with `domain`); entries whose
+/// group value lies outside the domain — and dummies, and predicate failures — fall
+/// in no bucket, so the returned vector may undercount relative to an unrestricted
+/// group-by. Duplicate domain values each accumulate their own (equal) counter.
+///
+/// # Leakage
+/// None beyond the public `(|array|, arity, |domain|)`: the scan is a fixed pass and
+/// the output width is the domain size, a query constant — unlike
+/// [`oblivious_group_count`], no data-dependent key set is revealed.
+///
+/// # Cost
+/// Per entry and domain slot one equality comparison, one AND (the predicate mask
+/// folds into the per-slot mux) and one addition into the slot's counter; plus the
+/// scanned shares as input traffic and 8 bytes per revealed counter.
+pub fn oblivious_group_count_over_domain(
+    array: &SharedArrayPair,
+    group_field: usize,
+    domain: &[u32],
+    predicate: &Predicate<'_>,
+    meter: &mut CostMeter,
+) -> Vec<u64> {
+    let n = array.len() as u64;
+    let d = domain.len() as u64;
+    if d == 0 {
+        return Vec::new();
+    }
+    meter.compares(n * d);
+    meter.ands(n * d);
+    meter.adds(n * d);
+    meter.bytes(scan_input_bytes(array) + 8 * d);
+    meter.round();
+    let mut counts = vec![0u64; domain.len()];
+    for entry in array.entries() {
+        let plain = entry.recover();
+        if plain.is_view && (predicate.test)(&plain.fields) {
+            if let Some(&key) = plain.fields.get(group_field) {
+                for (slot, &value) in domain.iter().enumerate() {
+                    if value == key {
+                        counts[slot] += 1;
+                    }
+                }
+            }
+        }
+    }
+    counts
 }
 
 #[cfg(test)]
@@ -141,6 +208,42 @@ mod tests {
         assert_eq!(groups[&1], 2);
         assert_eq!(groups[&2], 1);
         assert_eq!(groups[&3], 2);
+    }
+
+    #[test]
+    fn group_count_over_domain_is_index_aligned_and_filterable() {
+        let mut meter = CostMeter::new();
+        let arr = array_with(&[(1, 5), (1, 6), (2, 7), (3, 8), (3, 9)], 3);
+        let all = Predicate::new("all", |_| true);
+        // Domain covers keys 0..4; key 0 and the out-of-domain key 9 count nothing.
+        let counts = oblivious_group_count_over_domain(&arr, 0, &[0, 1, 2, 3], &all, &mut meter);
+        assert_eq!(counts, vec![0, 2, 1, 2]);
+        // A predicate folds into the scan without changing the output width.
+        let small = Predicate::le("f1 <= 7", 1, 7);
+        let counts = oblivious_group_count_over_domain(&arr, 0, &[0, 1, 2, 3], &small, &mut meter);
+        assert_eq!(counts, vec![0, 2, 1, 0]);
+        // Empty domain short-circuits to no work.
+        let mut empty_meter = CostMeter::new();
+        assert!(oblivious_group_count_over_domain(&arr, 0, &[], &all, &mut empty_meter).is_empty());
+        assert!(empty_meter.report().is_empty());
+    }
+
+    #[test]
+    fn scan_bytes_grow_with_view_size() {
+        // Regression for the flat-8-byte pricing: the scan's share traffic must make
+        // a much larger array cost proportionally more bandwidth.
+        let all = Predicate::new("all", |_| true);
+        let mut small = CostMeter::new();
+        let _ = oblivious_count(&array_with(&[(1, 1)], 9), &all, &mut small);
+        let mut large = CostMeter::new();
+        let _ = oblivious_count(&array_with(&[(1, 1)], 99), &all, &mut large);
+        let (s, l) = (
+            small.report().bytes_communicated,
+            large.report().bytes_communicated,
+        );
+        // 10 and 100 entries of arity 2: (arity+1)·4 = 12 bytes per entry + 8 output.
+        assert_eq!(s, 10 * 12 + 8);
+        assert_eq!(l, 100 * 12 + 8);
     }
 
     #[test]

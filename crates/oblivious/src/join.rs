@@ -62,6 +62,14 @@ pub struct JoinSpec<'a> {
     /// a pure equi-join. Used for the temporal predicates of Q1/Q2
     /// (`ReturnDate − SaleDate ≤ 10`).
     pub condition: Option<ThetaCondition<'a>>,
+    /// Emit output rows as `inner ++ outer` instead of the default `outer ++ inner`.
+    /// Used by *mirrored* join invocations (new right-side deltas driving a scan of
+    /// the accumulated left relation) so that every view entry carries one canonical
+    /// `left ++ right` column layout regardless of which side's arrival produced it —
+    /// the property the typed analyst query API addresses columns by. Swapping is a
+    /// plaintext relabelling of the produced row before sharing: the number of shared
+    /// values, the operation schedule and the costs are all unchanged.
+    pub swap_output: bool,
 }
 
 impl<'a> JoinSpec<'a> {
@@ -72,6 +80,7 @@ impl<'a> JoinSpec<'a> {
             left_key,
             right_key,
             condition: None,
+            swap_output: false,
         }
     }
 
@@ -86,7 +95,15 @@ impl<'a> JoinSpec<'a> {
             left_key,
             right_key,
             condition: Some(Box::new(condition)),
+            swap_output: false,
         }
+    }
+
+    /// Builder-style toggle of [`Self::swap_output`].
+    #[must_use]
+    pub fn with_swapped_output(mut self) -> Self {
+        self.swap_output = true;
+        self
     }
 
     fn matches(&self, left: &[u32], right: &[u32]) -> bool {
@@ -103,7 +120,8 @@ fn join_output_arity(left: &SharedArrayPair, right: &SharedArrayPair) -> usize {
 
 /// The plaintext functionality every truncated join operator in this module
 /// implements: for each outer tuple (in input order) scan the inner table and emit
-/// the concatenated field vectors of matching pairs, while both tuples still have
+/// the concatenated field vectors of matching pairs (`outer ++ inner`, or
+/// `inner ++ outer` under [`JoinSpec::swap_output`]), while both tuples still have
 /// per-invocation contribution budget `bound` (Algorithm 4 lines 1–7 / the Eq. 3
 /// truncation). Returns one `Vec` of produced rows per outer tuple, each of length
 /// at most `bound`.
@@ -131,8 +149,13 @@ pub fn truncated_match(
                 let is_match =
                     orec.is_view && irec.is_view && spec.matches(&orec.fields, &irec.fields);
                 if can_join && is_match {
-                    let mut fields = orec.fields.clone();
-                    fields.extend_from_slice(&irec.fields);
+                    let (first, second) = if spec.swap_output {
+                        (&irec.fields, &orec.fields)
+                    } else {
+                        (&orec.fields, &irec.fields)
+                    };
+                    let mut fields = first.clone();
+                    fields.extend_from_slice(second);
                     produced.push(fields);
                     outer_budget -= 1;
                     inner_budget[ii] -= 1;
@@ -501,6 +524,32 @@ mod tests {
         assert!(rows.contains(&vec![3, 15, 3, 20]));
         assert!(rows.contains(&vec![3, 15, 3, 21]));
         assert!(meter.report().secure_compares > 0);
+    }
+
+    #[test]
+    fn swapped_output_emits_canonical_column_order() {
+        // A mirrored invocation (returns driving a scan of the accumulated sales)
+        // with swap_output emits the same rows as the forward join would: the swap
+        // relabels the produced plaintext before sharing, so costs and answer bits
+        // are untouched while the column layout stays left ++ right.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut meter = CostMeter::new();
+        let sales = sales_table().share(&mut rng);
+        let returns = returns_table().share(&mut rng);
+        let spec_rev = JoinSpec::with_condition(0, 0, |r, l| r[1].saturating_sub(l[1]) <= 10)
+            .with_swapped_output();
+        let out = truncated_nested_loop_join(&returns, &sales, &spec_rev, 2, &mut meter, &mut rng);
+        let rows = real_rows(&out);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.contains(&vec![1, 10, 1, 15]), "sale fields lead");
+        assert!(rows.contains(&vec![3, 15, 3, 20]));
+        assert!(rows.contains(&vec![3, 15, 3, 21]));
+
+        // Cost is identical to the unswapped mirrored join.
+        let mut meter2 = CostMeter::new();
+        let spec_plain = JoinSpec::with_condition(0, 0, |r, l| r[1].saturating_sub(l[1]) <= 10);
+        let _ = truncated_nested_loop_join(&returns, &sales, &spec_plain, 2, &mut meter2, &mut rng);
+        assert_eq!(meter.report(), meter2.report());
     }
 
     #[test]

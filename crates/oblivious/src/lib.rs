@@ -34,7 +34,9 @@ pub mod shuffle;
 pub mod sort;
 pub mod table;
 
-pub use aggregate::{oblivious_count, oblivious_group_count, oblivious_sum};
+pub use aggregate::{
+    oblivious_count, oblivious_group_count, oblivious_group_count_over_domain, oblivious_sum,
+};
 pub use compact::{cache_read, oblivious_compact};
 pub use filter::{oblivious_filter, Predicate};
 pub use join::{

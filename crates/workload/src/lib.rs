@@ -28,6 +28,9 @@ pub mod variants;
 pub use cpdb::CpdbGenerator;
 pub use dataset::{Dataset, DatasetKind, WorkloadParams};
 pub use partitioned::to_store_partitioned;
-pub use queries::{logical_join_count, logical_join_counts_per_step, JoinQuery};
+pub use queries::{
+    logical_join_count, logical_join_counts_per_step, logical_join_group_count, logical_join_rows,
+    logical_join_sum, JoinQuery,
+};
 pub use tpcds::TpcDsGenerator;
 pub use variants::{scale_dataset, to_burst, to_sparse, WorkloadVariant};

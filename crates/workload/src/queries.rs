@@ -8,10 +8,16 @@
 //! Both reduce to [`JoinQuery`] with a 10-step window. [`logical_join_count`] evaluates
 //! `q_t(D_t)` over the plaintext growing database, providing the ground truth the
 //! framework compares view-based answers against (the L1 error metric of Section 4.1).
+//!
+//! The analyst query API generalizes the hardwired count to SUM and GROUP-COUNT
+//! aggregates over the joined pairs; [`logical_join_rows`], [`logical_join_sum`] and
+//! [`logical_join_group_count`] provide the matching plaintext ground truths, over
+//! rows laid out as `left fields ++ right fields` — the canonical column order of
+//! materialized view entries.
 
 use crate::dataset::Dataset;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A counting equi-join query with a temporal window predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -22,14 +28,17 @@ pub struct JoinQuery {
 
 impl JoinQuery {
     /// Whether a (left, right) field pair joins under this query. Field layout is the
-    /// generators' `(key, time)` convention.
+    /// generators' `(key, time)` convention. Records lacking either the key or the
+    /// time field never match: a malformed single-field record must not spuriously
+    /// join as if it carried timestamp 0.
     #[must_use]
     pub fn pair_matches(&self, left: &[u32], right: &[u32]) -> bool {
         if left.first() != right.first() || left.is_empty() {
             return false;
         }
-        let lt = left.get(1).copied().unwrap_or(0);
-        let rt = right.get(1).copied().unwrap_or(0);
+        let (Some(&lt), Some(&rt)) = (left.get(1), right.get(1)) else {
+            return false;
+        };
         rt >= lt && rt - lt <= self.window
     }
 }
@@ -61,6 +70,64 @@ pub fn logical_join_count(dataset: &Dataset, query: &JoinQuery, t: u64) -> u64 {
     count
 }
 
+/// Materialize the plaintext joined pairs at time `t`, one row per pair, laid out as
+/// `left fields ++ right fields` — the canonical column order of materialized view
+/// entries. This is the row set all generalized aggregates (SUM, GROUP-COUNT, filters)
+/// are ground-truthed against; [`logical_join_count`]`(d, q, t)` equals its length.
+#[must_use]
+pub fn logical_join_rows(dataset: &Dataset, query: &JoinQuery, t: u64) -> Vec<Vec<u32>> {
+    let mut right_by_key: HashMap<u32, Vec<&[u32]>> = HashMap::new();
+    for r in dataset.right.updates() {
+        if dataset.right_is_public || r.arrival <= t {
+            right_by_key.entry(r.fields[0]).or_default().push(&r.fields);
+        }
+    }
+    let mut rows = Vec::new();
+    for l in dataset.left.updates() {
+        if l.arrival > t {
+            continue;
+        }
+        if let Some(cands) = right_by_key.get(&l.fields[0]) {
+            for r in cands.iter().filter(|r| query.pair_matches(&l.fields, r)) {
+                let mut row = l.fields.clone();
+                row.extend_from_slice(r);
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+/// Ground truth for `SELECT SUM(col) FROM left ⋈ right` at time `t`: sum `field`
+/// (an index into the concatenated `left ++ right` row) over the joined pairs.
+/// Pairs lacking the field contribute 0, mirroring the oblivious SUM operator.
+#[must_use]
+pub fn logical_join_sum(dataset: &Dataset, query: &JoinQuery, t: u64, field: usize) -> u64 {
+    logical_join_rows(dataset, query, t)
+        .iter()
+        .map(|row| u64::from(row.get(field).copied().unwrap_or(0)))
+        .fold(0u64, u64::saturating_add)
+}
+
+/// Ground truth for `SELECT col, COUNT(*) … GROUP BY col` at time `t`: the number of
+/// joined pairs per value of `field` (an index into the concatenated `left ++ right`
+/// row). Pairs lacking the field fall in no group.
+#[must_use]
+pub fn logical_join_group_count(
+    dataset: &Dataset,
+    query: &JoinQuery,
+    t: u64,
+    field: usize,
+) -> BTreeMap<u32, u64> {
+    let mut groups = BTreeMap::new();
+    for row in logical_join_rows(dataset, query, t) {
+        if let Some(&key) = row.get(field) {
+            *groups.entry(key).or_insert(0u64) += 1;
+        }
+    }
+    groups
+}
+
 /// Evaluate the ground truth at every step `1..=horizon`, returning a vector indexed by
 /// `t − 1`. Used by the experiment drivers to avoid recomputing the full join per step.
 #[must_use]
@@ -89,6 +156,44 @@ mod tests {
         assert!(!q.pair_matches(&[1, 100], &[1, 99]), "right before left");
         assert!(!q.pair_matches(&[1, 100], &[2, 105]), "key mismatch");
         assert!(!q.pair_matches(&[], &[]), "empty records never match");
+    }
+
+    #[test]
+    fn records_missing_the_time_field_never_join() {
+        // Regression: single-field (key-only) records used to default the missing
+        // timestamp to 0 via unwrap_or(0), so a malformed left record [1] joined
+        // any right record [1, rt] with rt <= window.
+        let q = JoinQuery { window: 10 };
+        assert!(!q.pair_matches(&[1], &[1, 5]), "left lacks the time field");
+        assert!(!q.pair_matches(&[1, 5], &[1]), "right lacks the time field");
+        assert!(!q.pair_matches(&[1], &[1]), "both lack the time field");
+        // Well-formed records still join as before.
+        assert!(q.pair_matches(&[1, 0], &[1, 5]));
+    }
+
+    #[test]
+    fn logical_rows_match_count_and_generalized_aggregates() {
+        let ds = TpcDsGenerator::new(WorkloadParams::small(DatasetKind::TpcDs)).generate();
+        let q = JoinQuery { window: 10 };
+        for t in [10u64, 30, 60] {
+            let rows = logical_join_rows(&ds, &q, t);
+            assert_eq!(rows.len() as u64, logical_join_count(&ds, &q, t));
+            // Rows are left ++ right concatenations, so the key columns agree.
+            for row in &rows {
+                assert_eq!(row.len(), 4, "(pid, sale) ++ (pid, return)");
+                assert_eq!(row[0], row[2], "equi-join keys");
+                assert!(row[3] >= row[1] && row[3] - row[1] <= 10, "window");
+            }
+            // SUM over the left key column equals the column-wise plaintext sum.
+            let expect: u64 = rows.iter().map(|r| u64::from(r[0])).sum();
+            assert_eq!(logical_join_sum(&ds, &q, t, 0), expect);
+            // GROUP-COUNT totals the same pairs.
+            let groups = logical_join_group_count(&ds, &q, t, 1);
+            assert_eq!(groups.values().sum::<u64>(), rows.len() as u64);
+            // A field beyond the row arity sums to zero and groups nothing.
+            assert_eq!(logical_join_sum(&ds, &q, t, 9), 0);
+            assert!(logical_join_group_count(&ds, &q, t, 9).is_empty());
+        }
     }
 
     #[test]
