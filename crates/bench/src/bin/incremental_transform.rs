@@ -19,6 +19,7 @@
 use incshrink::prelude::*;
 use incshrink_bench::report::fmt;
 use incshrink_bench::{build_dataset, default_steps, print_table, write_json};
+use incshrink_oblivious::planner::Calibration;
 use serde::{Deserialize, Serialize};
 
 /// One row of the incremental sweep.
@@ -29,6 +30,7 @@ struct IncrementalRow {
     join_plan: String,
     transform_secure_compares: u64,
     compare_reduction_vs_k1: f64,
+    host_transform_secs: f64,
     avg_transform_secs: f64,
     total_mpc_secs: f64,
     avg_l1_error: f64,
@@ -52,9 +54,33 @@ fn sweep_ks() -> Vec<u64> {
     }
 }
 
+/// Load a measured planner calibration when `INCSHRINK_CALIBRATION` points at a
+/// `kernel_throughput` JSON output (or any file with the calibration keys).
+fn load_calibration() -> Option<Calibration> {
+    let path = std::env::var("INCSHRINK_CALIBRATION").ok()?;
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("warning: could not read calibration {path}: {e}");
+            return None;
+        }
+    };
+    match Calibration::from_json_str(&text) {
+        Ok(cal) => {
+            println!("loaded planner calibration from {path}");
+            Some(cal)
+        }
+        Err(e) => {
+            eprintln!("warning: could not parse calibration {path}: {e}");
+            None
+        }
+    }
+}
+
 fn main() {
     let steps = default_steps();
     let ks = sweep_ks();
+    let calibration = load_calibration();
     let mut all_rows: Vec<IncrementalRow> = Vec::new();
 
     for kind in [DatasetKind::TpcDs, DatasetKind::Cpdb] {
@@ -80,7 +106,11 @@ fn main() {
 
         let reports: Vec<RunReport> = ks
             .iter()
-            .map(|&k| Simulation::new(dataset.clone(), base.with_transform_batch(k), 0x1AC4).run())
+            .map(|&k| {
+                Simulation::new(dataset.clone(), base.with_transform_batch(k), 0x1AC4)
+                    .with_calibration(calibration)
+                    .run()
+            })
             .collect();
         let k1 = &reports[0];
         let k1_compares = k1.summary.transform_secure_compares.max(1);
@@ -99,6 +129,7 @@ fn main() {
                     transform_secure_compares: s.transform_secure_compares,
                     compare_reduction_vs_k1: k1_compares as f64
                         / s.transform_secure_compares.max(1) as f64,
+                    host_transform_secs: s.host_transform_secs,
                     avg_transform_secs: s.avg_transform_secs,
                     total_mpc_secs: s.total_mpc_secs,
                     avg_l1_error: s.avg_l1_error,
@@ -118,6 +149,7 @@ fn main() {
                     r.k.to_string(),
                     r.transform_secure_compares.to_string(),
                     format!("{:.2}x", r.compare_reduction_vs_k1),
+                    fmt(r.host_transform_secs),
                     fmt(r.avg_transform_secs),
                     fmt(r.total_mpc_secs),
                     fmt(r.avg_l1_error),
@@ -134,6 +166,7 @@ fn main() {
                 "k",
                 "transform compares",
                 "vs k=1",
+                "host(s)",
                 "transform(s)",
                 "MPC total(s)",
                 "L1 err",

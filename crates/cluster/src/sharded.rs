@@ -540,6 +540,12 @@ impl ShardedSimulation {
             pipelines.iter().map(|p| p.view().sync_count()).sum(),
             pipelines.iter().map(ShardPipeline::truncation_losses).sum(),
         );
+        builder.record_host_transform_secs(
+            pipelines
+                .iter()
+                .map(ShardPipeline::host_transform_secs)
+                .sum(),
+        );
         let shard_reports: Vec<ShardReport> = pipelines
             .iter()
             .enumerate()

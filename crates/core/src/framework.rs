@@ -25,6 +25,7 @@ use crate::view::{MaterializedView, ViewDefinition};
 use incshrink_mpc::cost::{CostModel, CostReport, SimDuration};
 use incshrink_mpc::party::ObservedEvent;
 use incshrink_mpc::runtime::TwoPartyContext;
+use incshrink_oblivious::planner::Calibration;
 use incshrink_storage::{OutsourcedStore, Relation, SecureCache, UploadBatch};
 use incshrink_workload::{logical_join_counts_per_step, Dataset, DatasetKind};
 use rand::rngs::StdRng;
@@ -142,6 +143,8 @@ pub struct ShardPipeline {
     public_right_len: usize,
     left_arity: usize,
     right_arity: usize,
+    /// Host wall-clock seconds spent inside Transform invocations so far.
+    host_transform_secs: f64,
 }
 
 impl ShardPipeline {
@@ -197,10 +200,26 @@ impl ShardPipeline {
             public_right_len,
             left_arity,
             right_arity,
+            host_transform_secs: 0.0,
             dataset,
             config,
             cost_model,
         }
+    }
+
+    /// Override the adaptive join planner's cost weights with a measured
+    /// [`Calibration`] (e.g. loaded from `kernel_throughput` output). `None` — the
+    /// default — keeps the integer compare-count planner, leaving trajectories
+    /// unchanged.
+    pub fn set_calibration(&mut self, calibration: Option<Calibration>) {
+        self.transform.set_calibration(calibration);
+    }
+
+    /// Host wall-clock seconds this pipeline has spent inside Transform invocations
+    /// — a real measurement of this process, not a simulated quantity.
+    #[must_use]
+    pub fn host_transform_secs(&self) -> f64 {
+        self.host_transform_secs
     }
 
     /// The configuration this pipeline runs with.
@@ -407,7 +426,9 @@ impl ShardPipeline {
                 full_left_len,
             });
             if self.transform_flush_due(t) {
+                let started = std::time::Instant::now();
                 let transform_outcome = self.transform.invoke_batched(&mut self.ctx, &self.pending);
+                self.host_transform_secs += started.elapsed().as_secs_f64();
                 self.pending.clear();
                 outcome.transform_duration = Some(transform_outcome.duration);
                 outcome.transform_report = Some(transform_outcome.report);
@@ -445,6 +466,7 @@ pub struct Simulation {
     config: IncShrinkConfig,
     seed: u64,
     cost_model: CostModel,
+    calibration: Option<Calibration>,
 }
 
 impl Simulation {
@@ -462,6 +484,7 @@ impl Simulation {
             config,
             seed,
             cost_model: CostModel::default(),
+            calibration: None,
         }
     }
 
@@ -469,6 +492,14 @@ impl Simulation {
     #[must_use]
     pub fn with_cost_model(mut self, model: CostModel) -> Self {
         self.cost_model = model;
+        self
+    }
+
+    /// Drive the adaptive join planner with a measured [`Calibration`] instead of
+    /// the default integer compare-count model.
+    #[must_use]
+    pub fn with_calibration(mut self, calibration: Option<Calibration>) -> Self {
+        self.calibration = calibration;
         self
     }
 
@@ -480,11 +511,13 @@ impl Simulation {
             config,
             seed,
             cost_model,
+            calibration,
         } = self;
 
         let steps = dataset.params.steps;
         let kind = dataset.kind;
         let mut pipeline = ShardPipeline::new(dataset, config, seed, cost_model);
+        pipeline.set_calibration(calibration);
 
         let mut builder = SummaryBuilder::new();
         let mut trace = Vec::with_capacity(steps as usize);
@@ -544,6 +577,7 @@ impl Simulation {
         }
 
         builder.record_totals(pipeline.view().sync_count(), pipeline.truncation_losses());
+        builder.record_host_transform_secs(pipeline.host_transform_secs());
         RunReport {
             dataset: kind,
             config,

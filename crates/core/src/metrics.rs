@@ -10,7 +10,12 @@ use incshrink_mpc::cost::SimDuration;
 use serde::{Deserialize, Serialize};
 
 /// Aggregated statistics of one simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the *simulated* trajectory only: [`Self::host_transform_secs`]
+/// is a real wall-clock measurement of this process and is never reproducible
+/// across runs, so it is excluded from `PartialEq` (reproducibility tests compare
+/// whole summaries).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct Summary {
     /// Mean L1 error over all issued queries.
     pub avg_l1_error: f64,
@@ -40,6 +45,28 @@ pub struct Summary {
     /// the `k`-step batching + adaptive join planning exists to shrink (summed across
     /// shards for cluster runs).
     pub transform_secure_compares: u64,
+    /// Host wall-clock seconds this process spent inside Transform invocations — a
+    /// *real* measurement (unlike the simulated columns), the quantity the SoA
+    /// kernel work optimizes (summed across shards for cluster runs).
+    pub host_transform_secs: f64,
+}
+
+impl PartialEq for Summary {
+    fn eq(&self, other: &Self) -> bool {
+        self.avg_l1_error == other.avg_l1_error
+            && self.avg_relative_error == other.avg_relative_error
+            && self.avg_qet_secs == other.avg_qet_secs
+            && self.avg_transform_secs == other.avg_transform_secs
+            && self.avg_shrink_secs == other.avg_shrink_secs
+            && self.final_view_mb == other.final_view_mb
+            && self.avg_view_mb == other.avg_view_mb
+            && self.sync_count == other.sync_count
+            && self.total_mpc_secs == other.total_mpc_secs
+            && self.total_query_secs == other.total_query_secs
+            && self.truncation_losses == other.truncation_losses
+            && self.queries_issued == other.queries_issued
+            && self.transform_secure_compares == other.transform_secure_compares
+    }
 }
 
 /// Incremental builder for [`Summary`].
@@ -59,6 +86,7 @@ pub struct SummaryBuilder {
     sync_count: u64,
     truncation_losses: u64,
     transform_compares: u64,
+    host_transform_secs: f64,
 }
 
 impl SummaryBuilder {
@@ -85,6 +113,12 @@ impl SummaryBuilder {
     /// Record the secure comparisons one Transform invocation metered.
     pub fn record_transform_compares(&mut self, secure_compares: u64) {
         self.transform_compares = self.transform_compares.saturating_add(secure_compares);
+    }
+
+    /// Record host wall-clock seconds spent inside Transform invocations (additive,
+    /// so cluster drivers can accumulate it per shard).
+    pub fn record_host_transform_secs(&mut self, secs: f64) {
+        self.host_transform_secs += secs;
     }
 
     /// Record one Shrink step (only steps that did DP work are counted so the average
@@ -127,6 +161,7 @@ impl SummaryBuilder {
             truncation_losses: self.truncation_losses,
             queries_issued: self.queries,
             transform_secure_compares: self.transform_compares,
+            host_transform_secs: self.host_transform_secs,
         }
     }
 }
@@ -164,6 +199,8 @@ mod tests {
         b.record_totals(7, 11);
         b.record_transform_compares(100);
         b.record_transform_compares(23);
+        b.record_host_transform_secs(0.25);
+        b.record_host_transform_secs(0.5);
 
         let s = b.build();
         assert!((s.avg_l1_error - 5.0).abs() < 1e-12);
@@ -179,6 +216,7 @@ mod tests {
         assert!((s.total_query_secs - 0.06).abs() < 1e-12);
         assert_eq!(s.queries_issued, 2);
         assert_eq!(s.transform_secure_compares, 123);
+        assert!((s.host_transform_secs - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -601,18 +601,13 @@ pub struct QueryResult {
 /// Number of compare-exchange gates in a Batcher odd-even merge network of `n`
 /// elements, computed analytically (`≈ n·log²n/4`); used to price joins that are never
 /// physically executed (the NM baseline over the full outsourced data).
+///
+/// Delegates to [`incshrink_oblivious::batcher_padded_pair_count`] — the single
+/// definition of the analytic padded-network formula (this function used to carry
+/// its own identical copy). Saturates at `u64::MAX` instead of overflowing.
 #[must_use]
 pub fn batcher_comparator_count(n: u64) -> u64 {
-    if n < 2 {
-        return 0;
-    }
-    let p = u128::from(n).next_power_of_two();
-    let k = u128::from(p.trailing_zeros());
-    // Exact count for the power-of-two network: p · k · (k + 1) / 4; the pruned
-    // arbitrary-n network is at most this. The product overflows u64 once n exceeds
-    // ~2^53 (NM-baseline joins over large outsourced relations), so compute in u128
-    // and saturate on return.
-    u64::try_from((p * k * (k + 1)) / 4).unwrap_or(u64::MAX)
+    incshrink_oblivious::batcher_padded_pair_count(n)
 }
 
 /// Execute the counting query over the materialized view: one oblivious linear scan,
@@ -707,6 +702,27 @@ mod tests {
             batcher_comparator_count(1 << 40),
             (1u64 << 40) * 40 * 41 / 4
         );
+    }
+
+    #[test]
+    fn batcher_count_delegation_matches_the_historical_formula() {
+        // The local copy of the analytic formula this function carried before
+        // delegating to the oblivious crate; the delegation must agree everywhere.
+        fn historical(n: u64) -> u64 {
+            if n < 2 {
+                return 0;
+            }
+            let p = u128::from(n).next_power_of_two();
+            let k = u128::from(p.trailing_zeros());
+            u64::try_from((p * k * (k + 1)) / 4).unwrap_or(u64::MAX)
+        }
+        for n in 0..=(1u64 << 20) {
+            assert_eq!(batcher_comparator_count(n), historical(n), "n={n}");
+        }
+        // u128-saturation edge: beyond ~2^57 the product exceeds u64.
+        for n in [1u64 << 56, (1 << 57) - 1, 1 << 57, 1 << 63, u64::MAX] {
+            assert_eq!(batcher_comparator_count(n), historical(n), "n={n}");
+        }
     }
 
     #[test]

@@ -41,8 +41,12 @@ use crate::view::ViewDefinition;
 use incshrink_dp::accountant::ContributionLedger;
 use incshrink_mpc::cost::{CostReport, SimDuration};
 use incshrink_mpc::runtime::TwoPartyContext;
-use incshrink_oblivious::planner::{charge_planned_join, plan_join, JoinAlgorithm};
-use incshrink_oblivious::{push_padded, truncated_match, truncated_nested_loop_join};
+use incshrink_oblivious::planner::{
+    charge_planned_join, plan_join, plan_join_calibrated, Calibration, JoinAlgorithm,
+};
+use incshrink_oblivious::{
+    push_padded, truncated_match_rows, truncated_nested_loop_join, KeyIndex, RowRef,
+};
 use incshrink_secretshare::arrays::SharedArrayPair;
 use incshrink_secretshare::tuple::{PlainRecord, SharedRecordPair};
 use incshrink_storage::{RecordId, UploadBatch};
@@ -229,6 +233,7 @@ pub struct TransformProtocol {
     public_right: Option<Vec<Vec<u32>>>,
     public_cache: PublicShareCache,
     join_plan: JoinPlanMode,
+    calibration: Option<Calibration>,
     initialized: bool,
     total_truncation_losses: u64,
 }
@@ -254,6 +259,7 @@ impl TransformProtocol {
             public_right,
             public_cache: PublicShareCache::default(),
             join_plan: JoinPlanMode::NestedLoop,
+            calibration: None,
             initialized: false,
             total_truncation_losses: 0,
         }
@@ -265,6 +271,22 @@ impl TransformProtocol {
     pub fn with_join_plan(mut self, mode: JoinPlanMode) -> Self {
         self.join_plan = mode;
         self
+    }
+
+    /// Builder-style override of the planner's cost weights with a measured
+    /// [`Calibration`] (e.g. loaded from `kernel_throughput` output). Only affects
+    /// the [`JoinPlanMode::Adaptive`] mode; `None` (the default) keeps the exact
+    /// integer compare-count planner, so default trajectories are unchanged.
+    #[must_use]
+    pub fn with_calibration(mut self, calibration: Option<Calibration>) -> Self {
+        self.set_calibration(calibration);
+        self
+    }
+
+    /// In-place variant of [`Self::with_calibration`] for drivers holding the
+    /// protocol inside a pipeline.
+    pub fn set_calibration(&mut self, calibration: Option<Calibration>) {
+        self.calibration = calibration;
     }
 
     /// The contribution ledger (exposed for privacy-accounting inspection).
@@ -337,29 +359,46 @@ impl TransformProtocol {
     /// Count the real join pairs that exist among this invocation's inputs *before*
     /// truncation. The difference between this and the emitted entries is the
     /// truncation loss tracked for the ω-sweep experiment of Section 7.4.
+    ///
+    /// Host-side bookkeeping over plaintext mirrors: `index` is the [`KeyIndex`]
+    /// over the inner rows' join-key column (`right_key` normally, `left_key` under
+    /// the reversed orientation) — the same index the truncated-match replay walks,
+    /// built once per snapshot and shared. Walking only index candidates turns the
+    /// former `O(|outer|·|inner|)` scan into `O(|outer| + matches)`; the count is
+    /// order-independent, so the result is exactly the quadratic scan's.
     fn count_potential_pairs(
         &self,
         outer: &[ActiveRecord],
-        inner_fields: &[Vec<u32>],
+        inner: &[RowRef<'_>],
+        index: &KeyIndex,
         reversed: bool,
     ) -> u64 {
+        // Under the reversed orientation the inner rows sit on the join's left side.
+        let outer_key = if reversed {
+            self.view.right_key
+        } else {
+            self.view.left_key
+        };
         let mut pairs = 0u64;
         for o in outer {
-            pairs += inner_fields
-                .iter()
-                .filter(|inner| {
-                    let (l, r) = if reversed {
-                        (inner.as_slice(), o.fields.as_slice())
-                    } else {
-                        (o.fields.as_slice(), inner.as_slice())
-                    };
-                    let keys = l.get(self.view.left_key) == r.get(self.view.right_key)
-                        && l.get(self.view.left_key).is_some();
-                    let lt = l.get(self.view.left_time).copied().unwrap_or(0);
-                    let rt = r.get(self.view.right_time).copied().unwrap_or(0);
-                    keys && rt >= lt && rt - lt <= self.view.window
-                })
-                .count() as u64;
+            let Some(&key) = o.fields.get(outer_key) else {
+                continue;
+            };
+            for &ii in index.candidates(key) {
+                // Key equality holds by index construction; what remains is the
+                // temporal window condition of the view definition.
+                let row = inner[ii].fields;
+                let (l, r) = if reversed {
+                    (row, o.fields.as_slice())
+                } else {
+                    (o.fields.as_slice(), row)
+                };
+                let lt = l.get(self.view.left_time).copied().unwrap_or(0);
+                let rt = r.get(self.view.right_time).copied().unwrap_or(0);
+                if rt >= lt && rt - lt <= self.view.window {
+                    pairs += 1;
+                }
+            }
         }
         pairs
     }
@@ -369,9 +408,12 @@ impl TransformProtocol {
         match self.join_plan {
             JoinPlanMode::NestedLoop => JoinAlgorithm::NestedLoop,
             JoinPlanMode::SortMerge => JoinAlgorithm::SortMerge,
-            JoinPlanMode::Adaptive => {
-                plan_join(outer_len, inner_len, self.omega as usize).algorithm
-            }
+            JoinPlanMode::Adaptive => match &self.calibration {
+                Some(cal) => {
+                    plan_join_calibrated(outer_len, inner_len, self.omega as usize, cal).algorithm
+                }
+                None => plan_join(outer_len, inner_len, self.omega as usize).algorithm,
+            },
         }
     }
 
@@ -444,28 +486,57 @@ impl TransformProtocol {
         let mut share_rng =
             StdRng::seed_from_u64(0x5EED_0000 ^ ctx.time_step().wrapping_mul(0x9E37_79B9));
 
-        let (public_inner, inner_right_fields): (Option<SharedArrayPair>, Vec<Vec<u32>>) =
+        let (public_inner, public_indices): (Option<SharedArrayPair>, Vec<usize>) =
             if let Some(public) = &self.public_right {
                 // Public right relation: prune to the join window for host-side speed;
                 // the skipped records are charged to the meter below.
                 let indices = Self::public_window_indices(&self.view, public, &new_left);
-                let fields: Vec<Vec<u32>> = indices.iter().map(|&i| public[i].clone()).collect();
                 let shared =
                     self.public_cache
                         .select(public, &indices, right_arity, &mut share_rng);
-                (Some(shared), fields)
+                (Some(shared), indices)
             } else {
-                (None, self.active_right.fields())
+                (None, Vec::new())
             };
         let inner_right_records: &SharedArrayPair = public_inner
             .as_ref()
             .unwrap_or_else(|| self.active_right.shares());
         let inner_left_records: &SharedArrayPair = self.active_left.shares();
-        let inner_left_fields: Vec<Vec<u32>> = self.active_left.fields();
 
-        // Truncation-loss bookkeeping (evaluation metric, not protocol state).
-        let potential_pairs = self.count_potential_pairs(&new_left, &inner_right_fields, false)
-            + self.count_potential_pairs(&new_right, &inner_left_fields, true);
+        // Truncation-loss bookkeeping (evaluation metric, not protocol state), over
+        // borrowed row views — no field clones on this path.
+        let inner_right_rows: Vec<RowRef<'_>> = match &self.public_right {
+            Some(public) => public_indices
+                .iter()
+                .map(|&i| RowRef {
+                    fields: &public[i],
+                    is_view: true,
+                })
+                .collect(),
+            None => self
+                .active_right
+                .records()
+                .iter()
+                .map(|r| RowRef {
+                    fields: &r.fields,
+                    is_view: true,
+                })
+                .collect(),
+        };
+        let inner_left_rows: Vec<RowRef<'_>> = self
+            .active_left
+            .records()
+            .iter()
+            .map(|r| RowRef {
+                fields: &r.fields,
+                is_view: true,
+            })
+            .collect();
+        let right_index = KeyIndex::build(&inner_right_rows, self.view.right_key);
+        let left_index = KeyIndex::build(&inner_left_rows, self.view.left_key);
+        let potential_pairs =
+            self.count_potential_pairs(&new_left, &inner_right_rows, &right_index, false)
+                + self.count_potential_pairs(&new_right, &inner_left_rows, &left_index, true);
 
         // ΔV part 1: new left records ⋈ accumulated right relation.
         let spec = self.view.join_spec();
@@ -629,28 +700,54 @@ impl TransformProtocol {
             self.active_right
                 .charge_and_evict(&mut self.ledger, self.omega);
 
-            // --- Per-step inner snapshots (active sets as of this step).
-            let inner_right_fields: Vec<Vec<u32>> = if let Some(public) = &self.public_right {
+            // --- Per-step inner snapshots (active sets as of this step): borrowed
+            // row views over the plaintext mirrors — no field clones — plus one key
+            // index per side, shared by the pair count and the truncated-match
+            // replay below.
+            let inner_right_rows: Vec<RowRef<'_>> = if let Some(public) = &self.public_right {
                 let indices = Self::public_window_indices(&self.view, public, &new_left);
-                indices.iter().map(|&i| public[i].clone()).collect()
+                indices
+                    .iter()
+                    .map(|&i| RowRef {
+                        fields: &public[i],
+                        is_view: true,
+                    })
+                    .collect()
             } else {
-                self.active_right.fields()
+                self.active_right
+                    .records()
+                    .iter()
+                    .map(|r| RowRef {
+                        fields: &r.fields,
+                        is_view: true,
+                    })
+                    .collect()
             };
-            let inner_left_fields = self.active_left.fields();
+            let inner_left_rows: Vec<RowRef<'_>> = self
+                .active_left
+                .records()
+                .iter()
+                .map(|r| RowRef {
+                    fields: &r.fields,
+                    is_view: true,
+                })
+                .collect();
+            let right_index = KeyIndex::build(&inner_right_rows, self.view.right_key);
+            let left_index = KeyIndex::build(&inner_left_rows, self.view.left_key);
 
-            let potential_pairs = self.count_potential_pairs(&new_left, &inner_right_fields, false)
-                + self.count_potential_pairs(&new_right, &inner_left_fields, true);
+            let potential_pairs =
+                self.count_potential_pairs(&new_left, &inner_right_rows, &right_index, false)
+                    + self.count_potential_pairs(&new_right, &inner_left_rows, &left_index, true);
 
             // --- Replay this step's truncated joins on plaintext; the oblivious work
             // is priced once, after the loop, over the combined delta.
             let mut step_entries = 0usize;
             let outer_plain = batch_plain_records(&step.delta_left);
-            let inner_plain: Vec<PlainRecord> = inner_right_fields
-                .iter()
-                .map(|f| PlainRecord::real(f.clone()))
-                .collect();
+            let outer_rows: Vec<RowRef<'_>> = outer_plain.iter().map(RowRef::from).collect();
             let spec = self.view.join_spec();
-            for produced in truncated_match(&outer_plain, &inner_plain, &spec, omega) {
+            for produced in
+                truncated_match_rows(&outer_rows, &inner_right_rows, &right_index, &spec, omega)
+            {
                 step_entries += produced.len();
                 push_padded(&mut delta, produced, omega, out_arity, &mut rng);
             }
@@ -659,12 +756,15 @@ impl TransformProtocol {
             if let Some(d) = &step.delta_right {
                 has_private_right = true;
                 let outer_plain = batch_plain_records(d);
-                let inner_plain: Vec<PlainRecord> = inner_left_fields
-                    .iter()
-                    .map(|f| PlainRecord::real(f.clone()))
-                    .collect();
+                let outer_rows: Vec<RowRef<'_>> = outer_plain.iter().map(RowRef::from).collect();
                 let spec_rev = self.view.join_spec_reversed();
-                for produced in truncated_match(&outer_plain, &inner_plain, &spec_rev, omega) {
+                for produced in truncated_match_rows(
+                    &outer_rows,
+                    &inner_left_rows,
+                    &left_index,
+                    &spec_rev,
+                    omega,
+                ) {
                     step_entries += produced.len();
                     push_padded(&mut delta, produced, omega, out_arity, &mut rng);
                 }
@@ -935,6 +1035,115 @@ mod tests {
         // b = 3, ω = 1: records survive three invocations, so at t = 5 only the last
         // three steps' arrivals are still active.
         assert_eq!(transform.active_counts(), (3, 3));
+    }
+
+    #[test]
+    fn indexed_pair_count_matches_the_quadratic_reference() {
+        // The pre-index implementation: a full O(|outer|·|inner|) predicate scan.
+        fn reference(
+            view: &ViewDefinition,
+            outer: &[ActiveRecord],
+            inner: &[&[u32]],
+            reversed: bool,
+        ) -> u64 {
+            let mut pairs = 0u64;
+            for o in outer {
+                pairs += inner
+                    .iter()
+                    .filter(|row| {
+                        let (l, r) = if reversed {
+                            (**row, o.fields.as_slice())
+                        } else {
+                            (o.fields.as_slice(), **row)
+                        };
+                        let keys = l.get(view.left_key) == r.get(view.right_key)
+                            && l.get(view.left_key).is_some();
+                        let lt = l.get(view.left_time).copied().unwrap_or(0);
+                        let rt = r.get(view.right_time).copied().unwrap_or(0);
+                        keys && rt >= lt && rt - lt <= view.window
+                    })
+                    .count() as u64;
+            }
+            pairs
+        }
+
+        // Asymmetric key/time columns plus short rows exercise the missing-field
+        // paths (a row too short to hold the key column can never match).
+        let views = [
+            view_def(),
+            ViewDefinition {
+                left_key: 1,
+                left_time: 0,
+                right_key: 2,
+                right_time: 1,
+                window: 3,
+            },
+        ];
+        for view in views {
+            let transform = TransformProtocol::new(view, 1, 10, None);
+            let outer: Vec<ActiveRecord> = (0..48u32)
+                .map(|i| ActiveRecord {
+                    id: u64::from(i),
+                    fields: (0..i % 4).map(|c| (i * 7 + c * 13) % 13).collect(),
+                })
+                .collect();
+            let inner_rows: Vec<Vec<u32>> = (0..48u32)
+                .map(|i| (0..(i + 2) % 4).map(|c| (i * 11 + c * 3) % 13).collect())
+                .collect();
+            let inner: Vec<&[u32]> = inner_rows.iter().map(Vec::as_slice).collect();
+            let inner_refs: Vec<RowRef<'_>> = inner_rows
+                .iter()
+                .map(|row| RowRef {
+                    fields: row,
+                    is_view: true,
+                })
+                .collect();
+            for reversed in [false, true] {
+                // The inner side is keyed on the column the join condition reads
+                // from it: right_key when it plays the right role, left_key when
+                // the direction is reversed.
+                let key_col = if reversed {
+                    transform.view.left_key
+                } else {
+                    transform.view.right_key
+                };
+                let index = KeyIndex::build(&inner_refs, key_col);
+                assert_eq!(
+                    transform.count_potential_pairs(&outer, &inner_refs, &index, reversed),
+                    reference(&transform.view, &outer, &inner, reversed),
+                    "reversed = {reversed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_threads_through_to_adaptive_plan_choices() {
+        let base =
+            TransformProtocol::new(view_def(), 1, 10, None).with_join_plan(JoinPlanMode::Adaptive);
+        let defaulted = TransformProtocol::new(view_def(), 1, 10, None)
+            .with_join_plan(JoinPlanMode::Adaptive)
+            .with_calibration(Some(Calibration::default()));
+        let swap_heavy = Calibration {
+            secs_per_swap: Calibration::default().secs_per_compare * 10.0,
+            ..Calibration::default()
+        };
+        let weighted = TransformProtocol::new(view_def(), 1, 10, None)
+            .with_join_plan(JoinPlanMode::Adaptive)
+            .with_calibration(Some(swap_heavy));
+
+        // The default calibration reproduces the integer planner's choices...
+        for inner in [0usize, 1, 5, 64, 500, 2000, 4096] {
+            assert_eq!(
+                base.choose_algorithm(8, inner),
+                defaulted.choose_algorithm(8, inner),
+                "inner = {inner}"
+            );
+        }
+        // ...while a measured swap weight moves at least one crossover.
+        let flipped = (0..=4096usize)
+            .any(|inner| base.choose_algorithm(8, inner) != weighted.choose_algorithm(8, inner));
+        assert!(flipped, "swap-heavy calibration must move a plan choice");
     }
 
     #[test]

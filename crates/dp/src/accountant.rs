@@ -13,8 +13,8 @@
 //! [`ContributionLedger`] tracks the per-record budgets; [`PrivacyAccountant`] tracks
 //! the ε consumed by each mechanism application and evaluates the Theorem-3 bound.
 
+use incshrink_mpc::hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A q-stable transformation descriptor (Lemma 1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,7 +40,10 @@ impl StableTransform {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ContributionLedger {
     total_budget: u64,
-    remaining: HashMap<u64, u64>,
+    // Charged once per active record per upload step — a hot path; the
+    // deterministic fast hasher matters here (record ids are workload-internal,
+    // never adversarial).
+    remaining: FxHashMap<u64, u64>,
     retired: u64,
 }
 
@@ -50,7 +53,7 @@ impl ContributionLedger {
     pub fn new(total_budget: u64) -> Self {
         Self {
             total_budget,
-            remaining: HashMap::new(),
+            remaining: FxHashMap::default(),
             retired: 0,
         }
     }

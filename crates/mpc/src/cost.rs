@@ -213,13 +213,22 @@ impl CostModel {
         }
     }
 
-    /// Convert an operation report into simulated time.
+    /// Seconds attributable to gate evaluation alone (compares, swaps, ANDs, adds) —
+    /// no bytes or round latency. This is the portion of the model that host-side
+    /// kernel throughput measurements can re-calibrate, so the adaptive join planner
+    /// prices candidate plans through exactly this function.
     #[must_use]
-    pub fn simulate(&self, report: &CostReport) -> SimDuration {
-        let secs = report.secure_compares as f64 * self.secs_per_compare
+    pub fn op_secs(&self, report: &CostReport) -> f64 {
+        report.secure_compares as f64 * self.secs_per_compare
             + report.secure_swaps as f64 * self.secs_per_swap
             + report.secure_ands as f64 * self.secs_per_and
             + report.secure_adds as f64 * self.secs_per_add
+    }
+
+    /// Convert an operation report into simulated time.
+    #[must_use]
+    pub fn simulate(&self, report: &CostReport) -> SimDuration {
+        let secs = self.op_secs(report)
             + report.bytes_communicated as f64 * self.secs_per_byte
             + report.rounds as f64 * self.secs_per_round;
         SimDuration::from_secs_f64(secs)
@@ -340,6 +349,29 @@ mod tests {
         };
         assert!(model.simulate(&large) > model.simulate(&small));
         assert_eq!(model.simulate(&CostReport::default()), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn op_secs_is_the_gate_only_portion_of_simulate() {
+        let model = CostModel::default();
+        let gates_only = CostReport {
+            secure_compares: 11,
+            secure_swaps: 7,
+            secure_ands: 40,
+            secure_adds: 3,
+            ..CostReport::default()
+        };
+        let with_network = CostReport {
+            bytes_communicated: 4096,
+            rounds: 2,
+            ..gates_only
+        };
+        assert!(
+            (model.op_secs(&gates_only) - model.simulate(&gates_only).as_secs_f64()).abs() < 1e-12
+        );
+        // Network terms do not move op_secs.
+        assert!((model.op_secs(&with_network) - model.op_secs(&gates_only)).abs() < 1e-15);
+        assert!(model.simulate(&with_network) > model.simulate(&gates_only));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cost;
+pub mod hash;
 pub mod multiserver;
 pub mod network;
 pub mod party;

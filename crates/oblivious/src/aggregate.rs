@@ -14,10 +14,18 @@
 //! entries' shares (`(arity + 1) · 4` bytes each) are fed into the circuit as garbled
 //! inputs, plus the revealed aggregate (8 bytes per output word) on the way out, so
 //! the simulated QET reflects bandwidth at large views.
+//!
+//! # Physical evaluation
+//! Each aggregate recovers the array once into column-major lanes
+//! ([`incshrink_secretshare::SharedColumnsPair`]) and combines them with branch-free
+//! word arithmetic — the predicate mask comes from [`Predicate::mask_lane`], the
+//! accumulation is a masked add per lane slot. No per-record `PlainRecord`
+//! allocation happens anywhere on the scan.
 
 use crate::filter::Predicate;
 use incshrink_mpc::cost::CostMeter;
 use incshrink_secretshare::arrays::SharedArrayPair;
+use incshrink_secretshare::columns::{eq_word, SharedColumnsPair};
 use std::collections::BTreeMap;
 
 /// Bytes of share traffic a linear scan of `array` feeds into the circuit.
@@ -25,8 +33,17 @@ fn scan_input_bytes(array: &SharedArrayPair) -> u64 {
     (array.len() * (array.arity().unwrap_or(0) + 1) * 4) as u64
 }
 
+/// Recover all field lanes plus the `isView` lane of `array` in one pass.
+fn recovered_lanes(array: &SharedArrayPair) -> (Vec<Vec<u64>>, Vec<u64>) {
+    let columns = SharedColumnsPair::from_pair(array);
+    let lanes = (0..columns.arity())
+        .map(|f| columns.recovered_field_lane(f))
+        .collect();
+    (lanes, columns.recovered_is_view_lane())
+}
+
 /// Obliviously count the real (`isView = 1`) entries of `array` that satisfy
-/// `predicate` (pass [`Predicate::new("all", |_| true)`] for an unfiltered count).
+/// `predicate` (pass [`Predicate::all`] for an unfiltered count).
 /// Charges one secure comparison, one AND and one addition per entry, the scanned
 /// shares as input traffic and 8 bytes for the revealed count.
 pub fn oblivious_count(
@@ -40,14 +57,8 @@ pub fn oblivious_count(
     meter.adds(n);
     meter.bytes(scan_input_bytes(array) + 8);
     meter.round();
-    array
-        .entries()
-        .iter()
-        .filter(|e| {
-            let plain = e.recover();
-            plain.is_view && (predicate.test)(&plain.fields)
-        })
-        .count() as u64
+    let (lanes, view) = recovered_lanes(array);
+    predicate.mask_lane(&lanes, &view).iter().sum()
 }
 
 /// Obliviously sum `field` over the real entries of `array` that satisfy `predicate`.
@@ -65,18 +76,16 @@ pub fn oblivious_sum(
     meter.adds(2 * n);
     meter.bytes(scan_input_bytes(array) + 8);
     meter.round();
-    array
-        .entries()
-        .iter()
-        .map(|e| {
-            let plain = e.recover();
-            if plain.is_view && (predicate.test)(&plain.fields) {
-                u64::from(plain.fields.get(field).copied().unwrap_or(0))
-            } else {
-                0
-            }
-        })
-        .fold(0u64, u64::saturating_add)
+    let (lanes, view) = recovered_lanes(array);
+    let mask = predicate.mask_lane(&lanes, &view);
+    match lanes.get(field) {
+        // mask is 0/1 and lane values are widened u32s, so the product is exact.
+        Some(lane) => mask
+            .iter()
+            .zip(lane)
+            .fold(0u64, |acc, (&m, &v)| acc.saturating_add(m * v)),
+        None => 0,
+    }
 }
 
 /// Obliviously count real entries grouped by the value of `group_field`. The output
@@ -97,12 +106,12 @@ pub fn oblivious_group_count(
     meter.adds(n);
     meter.bytes(scan_input_bytes(array) + 8 * 16);
     meter.round();
+    let (lanes, view) = recovered_lanes(array);
     let mut groups = BTreeMap::new();
-    for entry in array.entries() {
-        let plain = entry.recover();
-        if plain.is_view {
-            if let Some(&key) = plain.fields.get(group_field) {
-                *groups.entry(key).or_insert(0u64) += 1;
+    if let Some(lane) = lanes.get(group_field) {
+        for (&key, &v) in lane.iter().zip(&view) {
+            if v != 0 {
+                *groups.entry(key as u32).or_insert(0u64) += 1;
             }
         }
     }
@@ -142,20 +151,20 @@ pub fn oblivious_group_count_over_domain(
     meter.adds(n * d);
     meter.bytes(scan_input_bytes(array) + 8 * d);
     meter.round();
-    let mut counts = vec![0u64; domain.len()];
-    for entry in array.entries() {
-        let plain = entry.recover();
-        if plain.is_view && (predicate.test)(&plain.fields) {
-            if let Some(&key) = plain.fields.get(group_field) {
-                for (slot, &value) in domain.iter().enumerate() {
-                    if value == key {
-                        counts[slot] += 1;
-                    }
-                }
-            }
-        }
-    }
-    counts
+    let (lanes, view) = recovered_lanes(array);
+    let mask = predicate.mask_lane(&lanes, &view);
+    let Some(lane) = lanes.get(group_field) else {
+        return vec![0; domain.len()];
+    };
+    domain
+        .iter()
+        .map(|&value| {
+            mask.iter()
+                .zip(lane)
+                .map(|(&m, &key)| m & eq_word(key, u64::from(value)))
+                .sum()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -176,11 +185,78 @@ mod tests {
         SharedArrayPair::share_records(&records, &mut rng)
     }
 
+    /// Record-major reference implementations (what the lane kernels replaced),
+    /// kept as extensional-equality oracles.
+    mod reference {
+        use super::*;
+
+        pub fn count(array: &SharedArrayPair, predicate: &Predicate<'_>) -> u64 {
+            array
+                .entries()
+                .iter()
+                .filter(|e| {
+                    let plain = e.recover();
+                    plain.is_view && (predicate.test)(&plain.fields)
+                })
+                .count() as u64
+        }
+
+        pub fn sum(array: &SharedArrayPair, field: usize, predicate: &Predicate<'_>) -> u64 {
+            array
+                .entries()
+                .iter()
+                .map(|e| {
+                    let plain = e.recover();
+                    if plain.is_view && (predicate.test)(&plain.fields) {
+                        u64::from(plain.fields.get(field).copied().unwrap_or(0))
+                    } else {
+                        0
+                    }
+                })
+                .fold(0u64, u64::saturating_add)
+        }
+
+        pub fn group_count(array: &SharedArrayPair, group_field: usize) -> BTreeMap<u32, u64> {
+            let mut groups = BTreeMap::new();
+            for entry in array.entries() {
+                let plain = entry.recover();
+                if plain.is_view {
+                    if let Some(&key) = plain.fields.get(group_field) {
+                        *groups.entry(key).or_insert(0u64) += 1;
+                    }
+                }
+            }
+            groups
+        }
+
+        pub fn group_count_over_domain(
+            array: &SharedArrayPair,
+            group_field: usize,
+            domain: &[u32],
+            predicate: &Predicate<'_>,
+        ) -> Vec<u64> {
+            let mut counts = vec![0u64; domain.len()];
+            for entry in array.entries() {
+                let plain = entry.recover();
+                if plain.is_view && (predicate.test)(&plain.fields) {
+                    if let Some(&key) = plain.fields.get(group_field) {
+                        for (slot, &value) in domain.iter().enumerate() {
+                            if value == key {
+                                counts[slot] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            counts
+        }
+    }
+
     #[test]
     fn count_ignores_dummies_and_applies_predicate() {
         let mut meter = CostMeter::new();
         let arr = array_with(&[(1, 5), (2, 15), (3, 25)], 4);
-        let all = Predicate::new("all", |_| true);
+        let all = Predicate::all("all");
         assert_eq!(oblivious_count(&arr, &all, &mut meter), 3);
         let small = Predicate::le("f1 <= 15", 1, 15);
         assert_eq!(oblivious_count(&arr, &small, &mut meter), 2);
@@ -191,7 +267,7 @@ mod tests {
     fn sum_over_selected_rows() {
         let mut meter = CostMeter::new();
         let arr = array_with(&[(1, 5), (2, 15), (3, 25)], 2);
-        let all = Predicate::new("all", |_| true);
+        let all = Predicate::all("all");
         assert_eq!(oblivious_sum(&arr, 1, &all, &mut meter), 45);
         let small = Predicate::le("f1 <= 15", 1, 15);
         assert_eq!(oblivious_sum(&arr, 1, &small, &mut meter), 20);
@@ -214,7 +290,7 @@ mod tests {
     fn group_count_over_domain_is_index_aligned_and_filterable() {
         let mut meter = CostMeter::new();
         let arr = array_with(&[(1, 5), (1, 6), (2, 7), (3, 8), (3, 9)], 3);
-        let all = Predicate::new("all", |_| true);
+        let all = Predicate::all("all");
         // Domain covers keys 0..4; key 0 and the out-of-domain key 9 count nothing.
         let counts = oblivious_group_count_over_domain(&arr, 0, &[0, 1, 2, 3], &all, &mut meter);
         assert_eq!(counts, vec![0, 2, 1, 2]);
@@ -226,13 +302,16 @@ mod tests {
         let mut empty_meter = CostMeter::new();
         assert!(oblivious_group_count_over_domain(&arr, 0, &[], &all, &mut empty_meter).is_empty());
         assert!(empty_meter.report().is_empty());
+        // Missing group field counts nothing but keeps the public output width.
+        let counts = oblivious_group_count_over_domain(&arr, 9, &[0, 1], &all, &mut meter);
+        assert_eq!(counts, vec![0, 0]);
     }
 
     #[test]
     fn scan_bytes_grow_with_view_size() {
         // Regression for the flat-8-byte pricing: the scan's share traffic must make
         // a much larger array cost proportionally more bandwidth.
-        let all = Predicate::new("all", |_| true);
+        let all = Predicate::all("all");
         let mut small = CostMeter::new();
         let _ = oblivious_count(&array_with(&[(1, 1)], 9), &all, &mut small);
         let mut large = CostMeter::new();
@@ -248,7 +327,7 @@ mod tests {
 
     #[test]
     fn cost_depends_only_on_length() {
-        let all = Predicate::new("all", |_| true);
+        let all = Predicate::all("all");
         let mut m1 = CostMeter::new();
         let _ = oblivious_count(&array_with(&[(1, 1), (2, 2)], 2), &all, &mut m1);
         let mut m2 = CostMeter::new();
@@ -260,10 +339,22 @@ mod tests {
     fn empty_array_aggregates() {
         let mut meter = CostMeter::new();
         let arr = SharedArrayPair::new();
-        let all = Predicate::new("all", |_| true);
+        let all = Predicate::all("all");
         assert_eq!(oblivious_count(&arr, &all, &mut meter), 0);
         assert_eq!(oblivious_sum(&arr, 0, &all, &mut meter), 0);
         assert!(oblivious_group_count(&arr, 0, &mut meter).is_empty());
+    }
+
+    /// Every predicate shape the lane kernels handle, plus the opaque fallback.
+    fn predicate_under_test(which: u8) -> Predicate<'static> {
+        match which % 4 {
+            0 => Predicate::all("all"),
+            1 => Predicate::le("le", 1, 40),
+            2 => Predicate::eq("eq", 0, 3),
+            _ => Predicate::new("opaque", |fields| {
+                fields.iter().copied().sum::<u32>() % 3 != 0
+            }),
+        }
     }
 
     proptest! {
@@ -272,7 +363,7 @@ mod tests {
                                         dummies in 0usize..10) {
             let mut meter = CostMeter::new();
             let arr = array_with(&rows, dummies);
-            let all = Predicate::new("all", |_| true);
+            let all = Predicate::all("all");
             prop_assert_eq!(oblivious_count(&arr, &all, &mut meter), rows.len() as u64);
 
             let groups = oblivious_group_count(&arr, 0, &mut meter);
@@ -284,9 +375,41 @@ mod tests {
         fn prop_sum_matches_plaintext(rows in proptest::collection::vec((0u32..10, 0u32..100), 0..30)) {
             let mut meter = CostMeter::new();
             let arr = array_with(&rows, 3);
-            let all = Predicate::new("all", |_| true);
+            let all = Predicate::all("all");
             let expect: u64 = rows.iter().map(|&(_, v)| u64::from(v)).sum();
             prop_assert_eq!(oblivious_sum(&arr, 1, &all, &mut meter), expect);
+        }
+
+        #[test]
+        fn prop_lane_aggregates_equal_record_major_references(
+            rows in proptest::collection::vec((0u32..8, 0u32..90), 0..40),
+            dummies in 0usize..8,
+            which in 0u8..4,
+            field in 0usize..3,
+        ) {
+            // The lane kernels draw no randomness and charge through the same
+            // metering preamble, so extensional equality here is about the values.
+            let arr = array_with(&rows, dummies);
+            let predicate = predicate_under_test(which);
+            let mut meter = CostMeter::new();
+
+            prop_assert_eq!(
+                oblivious_count(&arr, &predicate, &mut meter),
+                reference::count(&arr, &predicate)
+            );
+            prop_assert_eq!(
+                oblivious_sum(&arr, field, &predicate, &mut meter),
+                reference::sum(&arr, field, &predicate)
+            );
+            prop_assert_eq!(
+                oblivious_group_count(&arr, field, &mut meter),
+                reference::group_count(&arr, field)
+            );
+            let domain = [0u32, 1, 3, 5, 7, 11];
+            prop_assert_eq!(
+                oblivious_group_count_over_domain(&arr, field, &domain, &predicate, &mut meter),
+                reference::group_count_over_domain(&arr, field, &domain, &predicate)
+            );
         }
     }
 }

@@ -5,14 +5,54 @@
 //! returns *all* input rows; rows that fail the predicate simply have their hidden
 //! `isView` bit cleared and become dummies. The servers observe only the (public)
 //! input length.
+//!
+//! # Physical evaluation
+//! The operator recovers the input once into column-major lanes
+//! ([`incshrink_secretshare::SharedColumnsPair`]) and, for the structurally known
+//! predicate shapes ([`PredicateKind::All`] / [`PredicateKind::Le`] /
+//! [`PredicateKind::Eq`]), evaluates the keep mask as branch-free word arithmetic
+//! over whole lanes — no per-record allocation, no data-dependent branches.
+//! Arbitrary closures ([`PredicateKind::Opaque`]) fall back to a per-record
+//! evaluation over a reused scratch buffer. Either way the re-shared output draws
+//! its masks in exactly the order the record-major implementation did, so
+//! trajectories are bit-identical.
 
 use incshrink_mpc::cost::CostMeter;
 use incshrink_secretshare::arrays::SharedArrayPair;
-use incshrink_secretshare::tuple::{PlainRecord, SharedRecordPair};
+use incshrink_secretshare::columns::{eq_word, lt_word, SharedColumnsPair};
+use incshrink_secretshare::tuple::SharedRecordPair;
 use rand::Rng;
 
 /// Boxed predicate function over a record's plaintext field values.
 pub type PredicateFn<'a> = Box<dyn Fn(&[u32]) -> bool + 'a>;
+
+/// Structural shape of a [`Predicate`], discovered by its constructor.
+///
+/// The SoA filter and aggregate kernels evaluate the structured shapes as
+/// branch-free lane arithmetic; [`PredicateKind::Opaque`] closures are evaluated
+/// record by record. The two paths are extensionally identical — `kind` only
+/// selects the physical evaluation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateKind {
+    /// Matches every record.
+    All,
+    /// `fields[field] <= bound`.
+    Le {
+        /// Index of the compared field.
+        field: usize,
+        /// Inclusive upper bound.
+        bound: u32,
+    },
+    /// `fields[field] == value`.
+    Eq {
+        /// Index of the compared field.
+        field: usize,
+        /// Value the field must equal.
+        value: u32,
+    },
+    /// Arbitrary closure; no lane form, evaluated per record.
+    Opaque,
+}
 
 /// A selection predicate over plaintext field values.
 ///
@@ -25,32 +65,101 @@ pub struct Predicate<'a> {
     pub name: &'a str,
     /// The predicate function over the record's fields.
     pub test: PredicateFn<'a>,
+    /// Structural shape, used to pick the physical evaluation strategy.
+    pub kind: PredicateKind,
 }
 
 impl<'a> Predicate<'a> {
-    /// Build a predicate from a closure.
+    /// Build a predicate from a closure. The closure's structure is unknown, so
+    /// kernels evaluate it record by record ([`PredicateKind::Opaque`]).
     #[must_use]
     pub fn new(name: &'a str, test: impl Fn(&[u32]) -> bool + 'a) -> Self {
         Self {
             name,
             test: Box::new(test),
+            kind: PredicateKind::Opaque,
+        }
+    }
+
+    /// The always-true predicate (an unfiltered scan); evaluates lane-wise.
+    #[must_use]
+    pub fn all(name: &'a str) -> Self {
+        Self {
+            name,
+            test: Box::new(|_| true),
+            kind: PredicateKind::All,
         }
     }
 
     /// `field <= bound` predicate, the shape used by the paper's Q1/Q2 temporal filters.
     #[must_use]
     pub fn le(name: &'a str, field: usize, bound: u32) -> Self {
-        Self::new(name, move |fields| {
-            fields.get(field).copied().unwrap_or(u32::MAX) <= bound
-        })
+        Self {
+            name,
+            test: Box::new(move |fields| fields.get(field).copied().unwrap_or(u32::MAX) <= bound),
+            kind: PredicateKind::Le { field, bound },
+        }
     }
 
     /// Equality predicate on one field.
     #[must_use]
     pub fn eq(name: &'a str, field: usize, value: u32) -> Self {
-        Self::new(name, move |fields| {
-            fields.get(field).copied() == Some(value)
-        })
+        Self {
+            name,
+            test: Box::new(move |fields| fields.get(field).copied() == Some(value)),
+            kind: PredicateKind::Eq { field, value },
+        }
+    }
+
+    /// Evaluate `is_view ∧ predicate` over recovered lanes, producing a 0/1 mask
+    /// word per record. Structured kinds run branch-free over whole lanes; opaque
+    /// closures gather each record's fields into a reused scratch buffer.
+    ///
+    /// `lanes` must hold one recovered lane per field and `view` the recovered
+    /// `isView` lane, all of equal length (as produced by
+    /// [`SharedColumnsPair::recovered_field_lane`] /
+    /// [`SharedColumnsPair::recovered_is_view_lane`]).
+    #[must_use]
+    pub fn mask_lane(&self, lanes: &[Vec<u64>], view: &[u64]) -> Vec<u64> {
+        // Shares decode to exactly 0 or 1 for `isView`, but booleanize anyway so a
+        // hand-built lane cannot poison the mask arithmetic.
+        let view_bit = |v: u64| 1 ^ eq_word(v, 0);
+        match self.kind {
+            PredicateKind::All => view.iter().map(|&v| view_bit(v)).collect(),
+            PredicateKind::Le { field, bound } => match lanes.get(field) {
+                Some(lane) => view
+                    .iter()
+                    .zip(lane)
+                    // a <= bound  ⇔  ¬(bound < a)
+                    .map(|(&v, &a)| view_bit(v) & (1 ^ lt_word(u64::from(bound), a)))
+                    .collect(),
+                // Missing field reads as u32::MAX: matches only a saturated bound.
+                None => {
+                    let hit = u64::from(bound == u32::MAX);
+                    view.iter().map(|&v| view_bit(v) & hit).collect()
+                }
+            },
+            PredicateKind::Eq { field, value } => match lanes.get(field) {
+                Some(lane) => view
+                    .iter()
+                    .zip(lane)
+                    .map(|(&v, &a)| view_bit(v) & eq_word(a, u64::from(value)))
+                    .collect(),
+                // Missing field never equals anything.
+                None => vec![0; view.len()],
+            },
+            PredicateKind::Opaque => {
+                let mut scratch = vec![0u32; lanes.len()];
+                (0..view.len())
+                    .map(|i| {
+                        for (slot, lane) in scratch.iter_mut().zip(lanes) {
+                            *slot = lane[i] as u32;
+                        }
+                        u64::from(view[i] != 0 && (self.test)(&scratch))
+                    })
+                    .collect()
+            }
+        }
     }
 }
 
@@ -76,14 +185,21 @@ pub fn oblivious_filter<R: Rng + ?Sized>(
     meter.bytes((input.len() * (input.arity().unwrap_or(0) + 1) * 4) as u64);
     meter.round();
 
-    for entry in input.entries() {
-        let plain = entry.recover();
-        let keep = plain.is_view && (predicate.test)(&plain.fields);
-        let rewritten = PlainRecord {
-            fields: plain.fields,
-            is_view: keep,
-        };
-        out.push(SharedRecordPair::share(&rewritten, rng))
+    let columns = SharedColumnsPair::from_pair(input);
+    let lanes: Vec<Vec<u64>> = (0..columns.arity())
+        .map(|f| columns.recovered_field_lane(f))
+        .collect();
+    let view = columns.recovered_is_view_lane();
+    let keep = predicate.mask_lane(&lanes, &view);
+
+    // Re-share record-major so the mask words come off the rng in exactly the order
+    // `SharedRecordPair::share` would draw them.
+    let mut fields = vec![0u32; lanes.len()];
+    for i in 0..input.len() {
+        for (slot, lane) in fields.iter_mut().zip(&lanes) {
+            *slot = lane[i] as u32;
+        }
+        out.push(SharedRecordPair::share_row(&fields, keep[i] != 0, rng))
             .expect("uniform arity");
     }
     out
@@ -92,8 +208,39 @@ pub fn oblivious_filter<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use incshrink_secretshare::tuple::PlainRecord;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// The record-major implementation this operator replaced; kept as the
+    /// extensional-equality oracle for the lane kernel.
+    fn reference_aos_filter<R: Rng + ?Sized>(
+        input: &SharedArrayPair,
+        predicate: &Predicate<'_>,
+        meter: &mut CostMeter,
+        rng: &mut R,
+    ) -> SharedArrayPair {
+        let mut out = match input.arity() {
+            Some(a) => SharedArrayPair::with_arity(a),
+            None => SharedArrayPair::new(),
+        };
+        meter.compares(input.len() as u64);
+        meter.ands(input.len() as u64);
+        meter.bytes((input.len() * (input.arity().unwrap_or(0) + 1) * 4) as u64);
+        meter.round();
+        for entry in input.entries() {
+            let plain = entry.recover();
+            let keep = plain.is_view && (predicate.test)(&plain.fields);
+            let rewritten = PlainRecord {
+                fields: plain.fields,
+                is_view: keep,
+            };
+            out.push(SharedRecordPair::share(&rewritten, rng))
+                .expect("uniform arity");
+        }
+        out
+    }
 
     fn input_array() -> SharedArrayPair {
         let mut rng = StdRng::seed_from_u64(5);
@@ -141,6 +288,28 @@ mod tests {
         let out = oblivious_filter(&input, &pred, &mut meter, &mut rng);
         assert_eq!(out.true_cardinality(), 0);
         assert_eq!(pred.name, "missing");
+        let le_missing_saturated = Predicate::le("missing <= MAX", 9, u32::MAX);
+        let out = oblivious_filter(&input, &le_missing_saturated, &mut meter, &mut rng);
+        assert_eq!(out.true_cardinality(), 3);
+        let le_missing = Predicate::le("missing <= 5", 9, 5);
+        let out = oblivious_filter(&input, &le_missing, &mut meter, &mut rng);
+        assert_eq!(out.true_cardinality(), 0);
+    }
+
+    #[test]
+    fn constructors_record_their_structure() {
+        assert_eq!(Predicate::all("all").kind, PredicateKind::All);
+        assert_eq!(
+            Predicate::le("le", 1, 9).kind,
+            PredicateKind::Le { field: 1, bound: 9 }
+        );
+        assert_eq!(
+            Predicate::eq("eq", 0, 3).kind,
+            PredicateKind::Eq { field: 0, value: 3 }
+        );
+        assert_eq!(Predicate::new("f", |_| true).kind, PredicateKind::Opaque);
+        // `all()` and the equivalent opaque closure agree through the closure too.
+        assert!((Predicate::all("all").test)(&[1, 2]));
     }
 
     #[test]
@@ -167,5 +336,48 @@ mod tests {
         let pred = Predicate::new("always", |_| true);
         let out = oblivious_filter(&input, &pred, &mut meter, &mut rng);
         assert!(out.is_empty());
+    }
+
+    /// Every predicate shape the lane kernel handles, plus the opaque fallback.
+    fn predicate_under_test(which: u8) -> Predicate<'static> {
+        match which % 5 {
+            0 => Predicate::all("all"),
+            1 => Predicate::le("le", 0, 7),
+            2 => Predicate::eq("eq", 1, 3),
+            3 => Predicate::le("le-missing", 9, u32::MAX),
+            _ => Predicate::new("opaque", |fields| {
+                fields.iter().copied().sum::<u32>() % 2 == 0
+            }),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_soa_filter_extensionally_equals_aos_filter(
+            rows in proptest::collection::vec((0u32..12, 0u32..6, any::<bool>()), 0..40),
+            which in 0u8..5,
+            seed in 0u64..1000,
+        ) {
+            let mut share_rng = StdRng::seed_from_u64(seed);
+            let records: Vec<PlainRecord> = rows
+                .iter()
+                .map(|&(a, b, real)| PlainRecord { fields: vec![a, b], is_view: real })
+                .collect();
+            let input = SharedArrayPair::share_records(&records, &mut share_rng);
+            let predicate = predicate_under_test(which);
+
+            let mut rng_soa = StdRng::seed_from_u64(seed ^ 0xF1F7E5);
+            let mut rng_aos = StdRng::seed_from_u64(seed ^ 0xF1F7E5);
+            let mut meter_soa = CostMeter::new();
+            let mut meter_aos = CostMeter::new();
+            let soa = oblivious_filter(&input, &predicate, &mut meter_soa, &mut rng_soa);
+            let aos = reference_aos_filter(&input, &predicate, &mut meter_aos, &mut rng_aos);
+
+            // Same share words (hence same plaintext), same meter, and the same
+            // number of rng draws (the next draw from each stream must agree).
+            prop_assert_eq!(soa, aos);
+            prop_assert_eq!(meter_soa.report(), meter_aos.report());
+            prop_assert_eq!(rng_soa.gen::<u64>(), rng_aos.gen::<u64>());
+        }
     }
 }

@@ -106,6 +106,10 @@ impl<'a> JoinSpec<'a> {
         self
     }
 
+    /// Full match semantics (key equality plus condition); the production path
+    /// splits these checks across the key index and the candidate walk, so this
+    /// remains only as the test oracle's definition of a match.
+    #[cfg(test)]
     fn matches(&self, left: &[u32], right: &[u32]) -> bool {
         let keys_equal = left.get(self.left_key) == right.get(self.right_key)
             && left.get(self.left_key).is_some();
@@ -138,23 +142,116 @@ pub fn truncated_match(
     spec: &JoinSpec<'_>,
     bound: usize,
 ) -> Vec<Vec<Vec<u32>>> {
+    let outer_rows: Vec<RowRef<'_>> = outer.iter().map(RowRef::from).collect();
+    let inner_rows: Vec<RowRef<'_>> = inner.iter().map(RowRef::from).collect();
+    let index = KeyIndex::build(&inner_rows, spec.right_key);
+    truncated_match_rows(&outer_rows, &inner_rows, &index, spec, bound)
+}
+
+/// Borrowed plaintext row: the view of one record the host-side truncated-join
+/// bookkeeping needs. Lets callers that already hold plaintext relations (the
+/// batched Transform's active-set mirrors, a public relation's rows) drive
+/// [`truncated_match_rows`] without cloning every field vector per step.
+#[derive(Debug, Clone, Copy)]
+pub struct RowRef<'a> {
+    /// The record's column values.
+    pub fields: &'a [u32],
+    /// Whether the record is real (dummies never match).
+    pub is_view: bool,
+}
+
+impl<'a> From<&'a PlainRecord> for RowRef<'a> {
+    fn from(rec: &'a PlainRecord) -> Self {
+        Self {
+            fields: &rec.fields,
+            is_view: rec.is_view,
+        }
+    }
+}
+
+/// Host-side key index over the real rows of an inner relation: join-key value →
+/// ascending list of row positions. Build it once per relation snapshot and share
+/// it between the truncation-loss pair count and the truncated-match replay — both
+/// walk candidates in ascending position order, which is exactly the order the
+/// quadratic reference scan visits, so results are bit-identical to a full scan.
+#[derive(Debug, Default)]
+pub struct KeyIndex {
+    map: incshrink_mpc::hash::FxHashMap<u32, Vec<usize>>,
+}
+
+impl KeyIndex {
+    /// Index `rows` by the `key` column, skipping dummies and rows without it.
+    #[must_use]
+    pub fn build(rows: &[RowRef<'_>], key: usize) -> Self {
+        let mut map: incshrink_mpc::hash::FxHashMap<u32, Vec<usize>> =
+            incshrink_mpc::hash::FxHashMap::default();
+        for (ii, row) in rows.iter().enumerate() {
+            if row.is_view {
+                if let Some(&k) = row.fields.get(key) {
+                    map.entry(k).or_default().push(ii);
+                }
+            }
+        }
+        Self { map }
+    }
+
+    /// Ascending positions of the real rows carrying join-key value `key`.
+    #[must_use]
+    pub fn candidates(&self, key: u32) -> &[usize] {
+        self.map.get(&key).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// [`truncated_match`] over borrowed rows with a prebuilt [`KeyIndex`] for `inner`
+/// (indexed by `spec.right_key`). The quadratic reference scan only mutates state
+/// (budgets, emission) at positions where both records are real and the equi-keys
+/// agree, and it visits those positions in ascending order — exactly the order each
+/// candidate list preserves — so walking only the index candidates reproduces its
+/// output bit for bit in O(|outer| + |inner| + matches) instead of
+/// O(|outer|·|inner|). This is plaintext bookkeeping inside the simulated circuit;
+/// the metered oblivious cost is charged separately by the callers and still
+/// reflects the full data-independent schedule.
+#[must_use]
+pub fn truncated_match_rows(
+    outer: &[RowRef<'_>],
+    inner: &[RowRef<'_>],
+    index: &KeyIndex,
+    spec: &JoinSpec<'_>,
+    bound: usize,
+) -> Vec<Vec<Vec<u32>>> {
     let mut inner_budget: Vec<usize> = vec![bound; inner.len()];
+
     outer
         .iter()
         .map(|orec| {
             let mut produced: Vec<Vec<u32>> = Vec::new();
+            if !orec.is_view {
+                return produced;
+            }
+            let Some(&key) = orec.fields.get(spec.left_key) else {
+                return produced;
+            };
             let mut outer_budget = bound;
-            for (ii, irec) in inner.iter().enumerate() {
-                let can_join = outer_budget > 0 && inner_budget[ii] > 0;
-                let is_match =
-                    orec.is_view && irec.is_view && spec.matches(&orec.fields, &irec.fields);
-                if can_join && is_match {
+            for &ii in index.candidates(key) {
+                if outer_budget == 0 {
+                    break;
+                }
+                if inner_budget[ii] == 0 {
+                    continue;
+                }
+                let irec = &inner[ii];
+                let extra = spec
+                    .condition
+                    .as_ref()
+                    .map_or(true, |c| c(orec.fields, irec.fields));
+                if extra {
+                    let mut fields = Vec::with_capacity(orec.fields.len() + irec.fields.len());
                     let (first, second) = if spec.swap_output {
-                        (&irec.fields, &orec.fields)
+                        (irec.fields, orec.fields)
                     } else {
-                        (&orec.fields, &irec.fields)
+                        (orec.fields, irec.fields)
                     };
-                    let mut fields = first.clone();
+                    fields.extend_from_slice(first);
                     fields.extend_from_slice(second);
                     produced.push(fields);
                     outer_budget -= 1;
@@ -202,12 +299,20 @@ pub fn nested_loop_join_cost(
 /// exactly what the physical operator meters.
 ///
 /// Cost shape, with `n = |outer| + |inner|`: share the tagged union (`n` records of
-/// `merged_arity` words), obliviously sort it by `(join key, table tag)`
-/// (`batcher_pair_count(n)` compares + record-wide swaps), scan it emitting `bound`
+/// `merged_arity` words), obliviously sort the *delta run only* by `(join key, table
+/// tag)` (`batcher_pair_count(|outer|)` compares + record-wide swaps — the
+/// accumulated inner relation is already in key order from previous invocations),
+/// then **bitonic-merge** the two sorted runs
+/// ([`crate::sort::bitonic_merge_pair_count`]`(n)` compares + record-wide swaps,
+/// plus the fixed `⌊|outer|/2⌋`-swap valley reversal of the delta run — see
+/// [`crate::sort::bitonic_merge_pairs`]), scan the merged relation emitting `bound`
 /// slots per position (`n·bound` compares and ANDs), obliviously compact the
 /// `bound·n` emission down to the *public* `bound·|outer|` prefix
-/// (`batcher_pair_count(bound·n)` compares + swaps), and write the output. Depends
-/// only on public sizes, never on data.
+/// (`batcher_pair_count(bound·n)` compares + swaps), and write the output. The
+/// bitonic merge replaces the previous full `batcher_pair_count(n)` re-sort of the
+/// nearly-sorted union — `O(n log n)` instead of `O(n log² n)` comparators, which
+/// is what shifts the planner's NLJ↔SMJ crossover toward smaller inner relations.
+/// Depends only on public sizes, never on data.
 #[must_use]
 pub fn delta_sort_merge_join_cost(
     outer_len: usize,
@@ -218,7 +323,8 @@ pub fn delta_sort_merge_join_cost(
 ) -> CostReport {
     let nm = outer_len + inner_len;
     let emission = nm.saturating_mul(bound);
-    let bp_merge = batcher_pair_count(nm);
+    let bp_delta_sort = batcher_pair_count(outer_len);
+    let bm_merge = crate::sort::bitonic_merge_pair_count(nm);
     let bp_compact = batcher_pair_count(emission);
     let merged_width = merged_arity as u64 + 1;
     let out_width = out_arity as u64 + 1;
@@ -228,11 +334,20 @@ pub fn delta_sort_merge_join_cost(
             .saturating_mul(4),
         ..CostReport::default()
     };
-    if nm >= 2 {
-        report.secure_compares = report.secure_compares.saturating_add(bp_merge);
+    if outer_len >= 2 {
+        report.secure_compares = report.secure_compares.saturating_add(bp_delta_sort);
         report.secure_swaps = report
             .secure_swaps
-            .saturating_add(bp_merge.saturating_mul(merged_width));
+            .saturating_add(bp_delta_sort.saturating_mul(merged_width));
+        report.rounds += 1;
+    }
+    if nm >= 2 {
+        report.secure_compares = report.secure_compares.saturating_add(bm_merge);
+        report.secure_swaps = report.secure_swaps.saturating_add(
+            bm_merge
+                .saturating_add(outer_len as u64 / 2)
+                .saturating_mul(merged_width),
+        );
         report.rounds += 1;
     }
     report.secure_compares = report
@@ -273,12 +388,14 @@ pub fn push_padded<R: Rng + ?Sized>(
 ) {
     real.truncate(bound);
     let real_count = real.len();
+    // share_row / share_dummy draw mask words in exactly the order share(&PlainRecord)
+    // would, without materialising intermediate plaintext records.
     for fields in real {
-        out.push(SharedRecordPair::share(&PlainRecord::real(fields), rng))
+        out.push(SharedRecordPair::share_row(&fields, true, rng))
             .expect("uniform arity");
     }
     for _ in real_count..bound {
-        out.push(SharedRecordPair::share(&PlainRecord::dummy(arity), rng))
+        out.push(SharedRecordPair::share_dummy(arity, rng))
             .expect("uniform arity");
     }
 }
@@ -429,8 +546,9 @@ pub fn truncated_nested_loop_join<R: Rng + ?Sized>(
 /// [`truncated_nested_loop_join`] on large inner relations: it produces the **same
 /// output contract** (exhaustively padded to `bound · |outer|` entries, identical
 /// real join tuples via [`truncated_match`]) but replaces the `|outer|·|inner|`
-/// compare matrix and the `|outer|` per-buffer sorts with one Batcher sort of the
-/// `|outer| + |inner|` union plus one of the `bound · (|outer| + |inner|)` emission.
+/// compare matrix and the `|outer|` per-buffer sorts with a small Batcher sort of
+/// the `|outer|`-record delta run, a bitonic merge of the two sorted runs, and one
+/// Batcher compaction of the `bound · (|outer| + |inner|)` emission.
 ///
 /// # Leakage
 /// Oblivious: the sort network, the per-position `bound`-slot emission and the
@@ -686,6 +804,73 @@ mod tests {
     fn join_spec_missing_key_column_never_matches() {
         let spec = JoinSpec::equi(5, 0);
         assert!(!spec.matches(&[1, 2], &[1, 2]));
+        // And the indexed matcher agrees: no outer key column means no candidates.
+        let outer = vec![PlainRecord::real(vec![1, 2])];
+        let inner = vec![PlainRecord::real(vec![1, 2])];
+        assert!(truncated_match(&outer, &inner, &spec, 3)[0].is_empty());
+    }
+
+    /// The pre-index quadratic scan, kept as the reference semantics for
+    /// `truncated_match`.
+    fn reference_quadratic_match(
+        outer: &[PlainRecord],
+        inner: &[PlainRecord],
+        spec: &JoinSpec<'_>,
+        bound: usize,
+    ) -> Vec<Vec<Vec<u32>>> {
+        let mut inner_budget: Vec<usize> = vec![bound; inner.len()];
+        outer
+            .iter()
+            .map(|orec| {
+                let mut produced: Vec<Vec<u32>> = Vec::new();
+                let mut outer_budget = bound;
+                for (ii, irec) in inner.iter().enumerate() {
+                    let can_join = outer_budget > 0 && inner_budget[ii] > 0;
+                    let is_match =
+                        orec.is_view && irec.is_view && spec.matches(&orec.fields, &irec.fields);
+                    if can_join && is_match {
+                        let (first, second) = if spec.swap_output {
+                            (&irec.fields, &orec.fields)
+                        } else {
+                            (&orec.fields, &irec.fields)
+                        };
+                        let mut fields = first.clone();
+                        fields.extend_from_slice(second);
+                        produced.push(fields);
+                        outer_budget -= 1;
+                        inner_budget[ii] -= 1;
+                    }
+                }
+                produced
+            })
+            .collect()
+    }
+
+    #[test]
+    fn push_padded_draws_masks_like_record_sharing() {
+        // The share_row/share_dummy fast path must consume the rng stream exactly as
+        // the old share(&PlainRecord) path did, or every replayed trajectory shifts.
+        let rows = vec![vec![1u32, 2, 3], vec![9, 8, 7]];
+        let mut fast = SharedArrayPair::with_arity(3);
+        let mut rng = StdRng::seed_from_u64(77);
+        push_padded(&mut fast, rows.clone(), 4, 3, &mut rng);
+        let tail: u64 = rng.gen();
+
+        let mut slow = SharedArrayPair::with_arity(3);
+        let mut rng = StdRng::seed_from_u64(77);
+        for fields in rows {
+            slow.push(SharedRecordPair::share(
+                &PlainRecord::real(fields),
+                &mut rng,
+            ))
+            .unwrap();
+        }
+        for _ in 2..4 {
+            slow.push(SharedRecordPair::share(&PlainRecord::dummy(3), &mut rng))
+                .unwrap();
+        }
+        assert_eq!(fast, slow);
+        assert_eq!(tail, rng.gen::<u64>(), "rng streams diverged");
     }
 
     proptest! {
@@ -719,6 +904,37 @@ mod tests {
             }
             prop_assert!(rows.len() <= bound * keys_left.len());
             prop_assert!(rows.len() <= bound * keys_right.len());
+        }
+
+        #[test]
+        fn prop_indexed_match_equals_quadratic_scan(
+            outer_rows in proptest::collection::vec((0u32..6, any::<u32>(), any::<bool>()), 0..14),
+            inner_rows in proptest::collection::vec((0u32..6, any::<u32>(), any::<bool>()), 0..20),
+            bound in 0usize..4,
+            with_condition: bool,
+            swap_output: bool,
+        ) {
+            // Bit-for-bit agreement of the key-indexed matcher with the quadratic
+            // reference, across dummies, shared inner budgets, θ-conditions and
+            // swapped output layouts.
+            let outer: Vec<PlainRecord> = outer_rows.iter()
+                .map(|&(k, v, real)| PlainRecord { fields: vec![k, v], is_view: real })
+                .collect();
+            let inner: Vec<PlainRecord> = inner_rows.iter()
+                .map(|&(k, v, real)| PlainRecord { fields: vec![k, v], is_view: real })
+                .collect();
+            let mut spec = if with_condition {
+                JoinSpec::with_condition(0, 0, |l, r| l[1].wrapping_add(r[1]) % 3 != 0)
+            } else {
+                JoinSpec::equi(0, 0)
+            };
+            if swap_output {
+                spec = spec.with_swapped_output();
+            }
+            prop_assert_eq!(
+                truncated_match(&outer, &inner, &spec, bound),
+                reference_quadratic_match(&outer, &inner, &spec, bound)
+            );
         }
     }
 }

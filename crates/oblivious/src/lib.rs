@@ -38,16 +38,19 @@ pub use aggregate::{
     oblivious_count, oblivious_group_count, oblivious_group_count_over_domain, oblivious_sum,
 };
 pub use compact::{cache_read, oblivious_compact};
-pub use filter::{oblivious_filter, Predicate};
+pub use filter::{oblivious_filter, Predicate, PredicateKind};
 pub use join::{
     delta_sort_merge_join_cost, nested_loop_join_cost, push_padded, truncated_match,
-    truncated_nested_loop_join, truncated_sort_merge_delta_join, truncated_sort_merge_join,
-    JoinSpec,
+    truncated_match_rows, truncated_nested_loop_join, truncated_sort_merge_delta_join,
+    truncated_sort_merge_join, JoinSpec, KeyIndex, RowRef,
 };
 pub use planner::{
-    charge_full_relation_gap, charge_planned_join, plan_and_execute, plan_join, JoinAlgorithm,
-    JoinPlan,
+    charge_full_relation_gap, charge_planned_join, plan_and_execute, plan_join,
+    plan_join_calibrated, Calibration, JoinAlgorithm, JoinPlan,
 };
 pub use shuffle::{destination_of, oblivious_shuffle, shuffle_route, ShuffleRouteOutcome};
-pub use sort::{batcher_pair_count, oblivious_sort_by_field, oblivious_sort_by_is_view, SortOrder};
+pub use sort::{
+    batcher_padded_pair_count, batcher_pair_count, batcher_pairs_iter, bitonic_merge_pair_count,
+    oblivious_sort_by_field, oblivious_sort_by_is_view, SortOrder,
+};
 pub use table::PlainTable;

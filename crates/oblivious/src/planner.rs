@@ -3,17 +3,25 @@
 //! The two truncated join operators have sharply different cost profiles:
 //! [`crate::join::truncated_nested_loop_join`] pays `|outer|·|inner|` secure compares
 //! plus `|outer|` per-buffer Batcher sorts (quadratic in the inner relation), while
-//! [`crate::join::truncated_sort_merge_delta_join`] pays one Batcher sort of the
-//! `|outer| + |inner|` union plus one of the `b·(|outer| + |inner|)` emission
-//! (`O(n log² n)`). For the tiny inner relations of early time steps the nested loop
-//! wins; once the accumulated relation grows — and especially once `k`-step batching
-//! raises `|outer|` — the sort-merge form is integer factors cheaper.
+//! [`crate::join::truncated_sort_merge_delta_join`] pays a Batcher sort of the
+//! `|outer|`-record delta run, a bitonic merge of the sorted runs, and a Batcher
+//! compaction of the `b·(|outer| + |inner|)` emission. For the tiny inner relations
+//! of early time steps the nested loop wins; once the accumulated relation grows —
+//! and especially once `k`-step batching raises `|outer|` — the sort-merge form is
+//! integer factors cheaper.
 //!
 //! [`plan_join`] picks the operator with the smaller **secure-compare** count from a
 //! cost model over `(|outer|, |inner|, b)` alone. Secure compares dominate
 //! garbled-circuit join cost (each is 32 AND gates, and swap counts track compare
 //! counts within a small factor), so a compare-count model orders the two operators
 //! correctly everywhere that matters while staying a pure function of public sizes.
+//!
+//! [`plan_join_calibrated`] generalises this to *measured* throughput: a
+//! [`Calibration`] (loadable from `bench --bin kernel_throughput` JSON output)
+//! weighs each operator's compare/swap/AND counts by measured seconds-per-op, so
+//! adaptive planning tracks the hardware instead of the gate-count proxy. The
+//! default calibration weighs compares only, in which case the decision reduces —
+//! exactly, with no floating-point rounding — to [`plan_join`]'s integer comparison.
 //!
 //! # Leakage
 //! The plan decision is computed from the *public* array lengths and the public
@@ -25,8 +33,8 @@ use crate::join::{
     delta_sort_merge_join_cost, nested_loop_join_cost, truncated_nested_loop_join,
     truncated_sort_merge_delta_join, JoinSpec,
 };
-use crate::sort::batcher_pair_count;
-use incshrink_mpc::cost::CostMeter;
+use crate::sort::{batcher_pair_count, bitonic_merge_pair_count};
+use incshrink_mpc::cost::{CostMeter, CostModel, CostReport};
 use incshrink_secretshare::arrays::SharedArrayPair;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -79,13 +87,162 @@ pub fn nested_loop_secure_compares(outer_len: usize, inner_len: usize) -> u64 {
 }
 
 /// Modelled secure-compare count of a delta sort-merge join with `n = |outer| +
-/// |inner|`: `batcher_pair_count(n) + n·b + batcher_pair_count(b·n)`.
+/// |inner|`: `batcher_pair_count(|outer|) + bitonic_merge_pair_count(n) + n·b +
+/// batcher_pair_count(b·n)` — a Batcher sort of the delta run alone, a bitonic merge
+/// of the two sorted runs (the accumulated relation is already key-ordered), the
+/// `b`-bounded merge scan, and the Batcher compaction of the padded emission.
 #[must_use]
 pub fn sort_merge_secure_compares(outer_len: usize, inner_len: usize, bound: usize) -> u64 {
     let n = outer_len + inner_len;
-    batcher_pair_count(n)
+    batcher_pair_count(outer_len)
+        .saturating_add(bitonic_merge_pair_count(n))
         .saturating_add((n as u64).saturating_mul(bound as u64))
         .saturating_add(batcher_pair_count(n.saturating_mul(bound)))
+}
+
+/// Measured seconds-per-primitive-operation, used by [`plan_join_calibrated`] to
+/// turn the planner's op-count models into predicted wall-clock.
+///
+/// The intended source is the JSON emitted by `cargo run -p incshrink-bench --bin
+/// kernel_throughput` (see [`Calibration::from_json_str`]), whose numbers come from
+/// timing the SoA share kernels on the host that will actually run the protocol. The
+/// [`Default`] calibration is *honest about what it knows*: it weighs secure
+/// compares at the [`CostModel`] LAN constant and everything else at zero, which
+/// makes [`plan_join_calibrated`] reduce — by exact integer comparison, with no
+/// floating-point round-off — to [`plan_join`].
+///
+/// All fields default individually, so a partial JSON object (say, compares only)
+/// parses with the remaining weights at their defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Measured seconds per secure 32-bit comparison.
+    pub secs_per_compare: f64,
+    /// Measured seconds per oblivious word swap.
+    pub secs_per_swap: f64,
+    /// Measured seconds per secure single-bit AND / multiplexer gate.
+    pub secs_per_and: f64,
+    /// Measured seconds per secure 32-bit addition.
+    pub secs_per_add: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Self {
+            secs_per_compare: CostModel::default().secs_per_compare,
+            secs_per_swap: 0.0,
+            secs_per_and: 0.0,
+            secs_per_add: 0.0,
+        }
+    }
+}
+
+impl Calibration {
+    /// True when only compares carry weight. In that regime the relative order of two
+    /// plans is scale-invariant in `secs_per_compare`, so the planner can (and does)
+    /// fall back to the exact integer compare-count decision of [`plan_join`].
+    #[must_use]
+    pub fn is_compare_only(&self) -> bool {
+        self.secs_per_compare > 0.0
+            && self.secs_per_swap == 0.0
+            && self.secs_per_and == 0.0
+            && self.secs_per_add == 0.0
+    }
+
+    /// Parse a calibration from JSON. Accepts either a bare object
+    /// (`{"secs_per_compare": ..., ...}`) or the full `kernel_throughput` report,
+    /// whose calibration lives under a top-level `"calibration"` key. Unknown keys
+    /// are ignored; absent fields keep their [`Default`] values.
+    ///
+    /// # Errors
+    /// Returns a [`serde_json::ParseError`] when the input is not valid JSON, the
+    /// (possibly unwrapped) value is not an object, or a calibration field is not a
+    /// number.
+    pub fn from_json_str(json: &str) -> Result<Self, serde_json::ParseError> {
+        let value = serde_json::from_str(json)?;
+        let serde_json::Value::Object(mut entries) = value else {
+            return Err(serde_json::ParseError::new(
+                "calibration must be a JSON object",
+                0,
+            ));
+        };
+        if let Some(idx) = entries.iter().position(|(k, _)| k == "calibration") {
+            let serde_json::Value::Object(inner) = entries.swap_remove(idx).1 else {
+                return Err(serde_json::ParseError::new(
+                    "`calibration` key must hold a JSON object",
+                    0,
+                ));
+            };
+            entries = inner;
+        }
+        let as_secs = |key: &str, value: &serde_json::Value| match *value {
+            serde_json::Value::Float(f) => Ok(f),
+            serde_json::Value::UInt(u) => Ok(u as f64),
+            serde_json::Value::Int(i) => Ok(i as f64),
+            _ => Err(serde_json::ParseError::new(
+                format!("`{key}` must be a number"),
+                0,
+            )),
+        };
+        let mut calibration = Self::default();
+        for (key, value) in &entries {
+            match key.as_str() {
+                "secs_per_compare" => calibration.secs_per_compare = as_secs(key, value)?,
+                "secs_per_swap" => calibration.secs_per_swap = as_secs(key, value)?,
+                "secs_per_and" => calibration.secs_per_and = as_secs(key, value)?,
+                "secs_per_add" => calibration.secs_per_add = as_secs(key, value)?,
+                _ => {}
+            }
+        }
+        Ok(calibration)
+    }
+
+    /// Predicted wall-clock seconds of an op-count report under this calibration —
+    /// the gate-only pricing path ([`CostModel::op_secs`]) with measured weights.
+    #[must_use]
+    pub fn predict_secs(&self, report: &CostReport) -> f64 {
+        CostModel {
+            secs_per_compare: self.secs_per_compare,
+            secs_per_swap: self.secs_per_swap,
+            secs_per_and: self.secs_per_and,
+            secs_per_add: self.secs_per_add,
+            secs_per_byte: 0.0,
+            secs_per_round: 0.0,
+        }
+        .op_secs(report)
+    }
+}
+
+/// Width-free op-count model of a `b`-truncated nested-loop join: the compares of
+/// [`nested_loop_secure_compares`], one per-outer Batcher sort's worth of swaps, and
+/// two AND gates per `(outer, inner)` pair (match bit ∧ budget bit).
+#[must_use]
+pub fn nested_loop_op_counts(outer_len: usize, inner_len: usize) -> CostReport {
+    let o = outer_len as u64;
+    CostReport {
+        secure_compares: nested_loop_secure_compares(outer_len, inner_len),
+        secure_swaps: o.saturating_mul(batcher_pair_count(inner_len)),
+        secure_ands: 2u64.saturating_mul(o.saturating_mul(inner_len as u64)),
+        ..CostReport::default()
+    }
+}
+
+/// Width-free op-count model of a delta sort-merge join with `n = |outer| +
+/// |inner|`: the compares of [`sort_merge_secure_compares`]; swaps for the delta-run
+/// sort, the bitonic merge (plus the `⌊|outer|/2⌋`-swap valley reversal) and the
+/// emission compaction; one AND per emission-scan step.
+#[must_use]
+pub fn sort_merge_op_counts(outer_len: usize, inner_len: usize, bound: usize) -> CostReport {
+    let n = outer_len + inner_len;
+    let emission = n.saturating_mul(bound);
+    CostReport {
+        secure_compares: sort_merge_secure_compares(outer_len, inner_len, bound),
+        secure_swaps: batcher_pair_count(outer_len)
+            .saturating_add(bitonic_merge_pair_count(n))
+            .saturating_add(outer_len as u64 / 2)
+            .saturating_add(batcher_pair_count(emission)),
+        secure_ands: emission as u64,
+        ..CostReport::default()
+    }
 }
 
 /// Choose the cheaper truncated-join operator for the given public sizes. Ties go to
@@ -104,6 +261,40 @@ pub fn plan_join(outer_len: usize, inner_len: usize, bound: usize) -> JoinPlan {
         algorithm,
         nested_loop_compares,
         sort_merge_compares,
+    }
+}
+
+/// Choose the cheaper truncated-join operator under a measured [`Calibration`].
+///
+/// A compare-only calibration (the default) delegates to [`plan_join`]'s exact
+/// integer comparison — the compare-count order is scale-invariant in
+/// `secs_per_compare`, and routing through `f64` could flip integer ties. Otherwise
+/// each candidate's width-free op counts ([`nested_loop_op_counts`],
+/// [`sort_merge_op_counts`]) are priced in predicted seconds and the cheaper plan
+/// wins, ties again going to the nested loop. The reported compare counts stay the
+/// exact integer model either way.
+#[must_use]
+pub fn plan_join_calibrated(
+    outer_len: usize,
+    inner_len: usize,
+    bound: usize,
+    calibration: &Calibration,
+) -> JoinPlan {
+    if calibration.is_compare_only() {
+        return plan_join(outer_len, inner_len, bound);
+    }
+    let nested_loop_secs = calibration.predict_secs(&nested_loop_op_counts(outer_len, inner_len));
+    let sort_merge_secs =
+        calibration.predict_secs(&sort_merge_op_counts(outer_len, inner_len, bound));
+    let algorithm = if nested_loop_secs <= sort_merge_secs {
+        JoinAlgorithm::NestedLoop
+    } else {
+        JoinAlgorithm::SortMerge
+    };
+    JoinPlan {
+        algorithm,
+        nested_loop_compares: nested_loop_secure_compares(outer_len, inner_len),
+        sort_merge_compares: sort_merge_secure_compares(outer_len, inner_len, bound),
     }
 }
 
@@ -290,6 +481,85 @@ mod tests {
         };
         assert_eq!(reals(&nlj), reals(&smj));
         assert_eq!(nlj.len(), smj.len());
+    }
+
+    #[test]
+    fn default_calibration_reproduces_the_integer_planner() {
+        let calibration = Calibration::default();
+        assert!(calibration.is_compare_only());
+        for outer in [0usize, 1, 2, 4, 8, 16, 64, 256] {
+            for inner in [0usize, 1, 2, 5, 17, 100, 500, 2000] {
+                for bound in [0usize, 1, 2, 10] {
+                    assert_eq!(
+                        plan_join_calibrated(outer, inner, bound, &calibration),
+                        plan_join(outer, inner, bound),
+                        "o={outer} i={inner} b={bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_heavy_calibration_moves_the_planner_crossover() {
+        // Weighting swaps changes the relative price of the two operators (their
+        // swap:compare ratios differ), so some sizes that the compare-only planner
+        // decides one way must flip under a swap-heavy calibration — and wherever
+        // the decisions differ, the calibrated pick must be the one its own model
+        // predicts is cheaper.
+        let swap_heavy = Calibration {
+            secs_per_swap: 10.0 * Calibration::default().secs_per_compare,
+            ..Calibration::default()
+        };
+        assert!(!swap_heavy.is_compare_only());
+        let mut flipped = 0usize;
+        for inner in 1..=4096usize {
+            let base = plan_join(8, inner, 1);
+            let calibrated = plan_join_calibrated(8, inner, 1, &swap_heavy);
+            if base.algorithm != calibrated.algorithm {
+                flipped += 1;
+                let nlj_secs = swap_heavy.predict_secs(&nested_loop_op_counts(8, inner));
+                let smj_secs = swap_heavy.predict_secs(&sort_merge_op_counts(8, inner, 1));
+                let (winner_secs, loser_secs) = match calibrated.algorithm {
+                    JoinAlgorithm::NestedLoop => (nlj_secs, smj_secs),
+                    JoinAlgorithm::SortMerge => (smj_secs, nlj_secs),
+                };
+                assert!(
+                    winner_secs <= loser_secs,
+                    "inner={inner}: calibrated pick must be predicted-cheaper"
+                );
+            }
+        }
+        assert!(
+            flipped > 0,
+            "a swap-heavy calibration must move at least one crossover point"
+        );
+    }
+
+    #[test]
+    fn calibration_parses_bare_and_wrapped_json() {
+        let bare: Calibration =
+            Calibration::from_json_str(r#"{"secs_per_compare": 1e-6, "secs_per_swap": 2e-7}"#)
+                .unwrap();
+        assert!((bare.secs_per_compare - 1e-6).abs() < 1e-18);
+        assert!((bare.secs_per_swap - 2e-7).abs() < 1e-18);
+        // Unlisted fields take their defaults.
+        assert_eq!(bare.secs_per_and, 0.0);
+
+        let wrapped = Calibration::from_json_str(
+            r#"{"host": "bench-box", "calibration": {"secs_per_compare": 3e-8,
+                "secs_per_swap": 4e-9, "secs_per_and": 5e-10, "secs_per_add": 6e-9}}"#,
+        )
+        .unwrap();
+        assert!((wrapped.secs_per_compare - 3e-8).abs() < 1e-20);
+        assert!((wrapped.secs_per_and - 5e-10).abs() < 1e-22);
+
+        // Round-trip through serde keeps every field.
+        let json = serde_json::to_string(&wrapped).unwrap();
+        assert_eq!(Calibration::from_json_str(&json).unwrap(), wrapped);
+
+        assert!(Calibration::from_json_str("not json").is_err());
+        assert!(Calibration::from_json_str(r#"{"secs_per_compare": "fast"}"#).is_err());
     }
 
     #[test]

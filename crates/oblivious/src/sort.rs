@@ -10,9 +10,26 @@
 //! power of two with `+∞` keys at the tail and dropping comparators that touch the
 //! padding — a standard, correctness-preserving specialisation of Batcher's
 //! construction.
+//!
+//! Two physical-layer notes:
+//!
+//! * The sorts here execute as **struct-of-arrays kernels**: each record's key is
+//!   extracted once into contiguous `u64` lanes (primary key, tie-breaker, original
+//!   position), the comparator network runs branch-free over those lanes with
+//!   xor-mask conditional swaps, and the record shares are gathered through the
+//!   index lane in a single final pass. Swap decisions depend only on the keys,
+//!   which travel with their indices, so the final arrangement — and the metered
+//!   cost, charged up front from the input length — is bit-identical to swapping
+//!   whole records at every comparator.
+//! * For merging two *already sorted* runs (the delta sort-merge join's cache ‖
+//!   delta union) a full Batcher re-sort is overkill: [`bitonic_merge_pairs`] is the
+//!   `O(n log n)`-comparator bitonic merge network for that case, and
+//!   [`bitonic_merge_pair_count`] prices it.
 
 use incshrink_mpc::cost::CostMeter;
 use incshrink_secretshare::arrays::SharedArrayPair;
+use incshrink_secretshare::columns::{eq_word, lt_word};
+use incshrink_secretshare::tuple::PlainRecord;
 use serde::{Deserialize, Serialize};
 
 /// Sort direction.
@@ -39,45 +56,114 @@ pub(crate) struct SortKey {
 /// elements (indices `i < j`), in execution order. Exposed so cost estimators can
 /// price sorting networks they never physically execute.
 ///
-/// Cost note: materialising the schedule is `O(n log² n)` host time and memory; when
-/// only the comparator *count* is needed (join cost models, the adaptive planner),
-/// use [`batcher_pair_count`], which computes the same number without allocating.
+/// Cost note: materialising the schedule is `O(n log² n)` host time and memory; the
+/// hot sort paths iterate [`batcher_pairs_iter`] instead, and when only the
+/// comparator *count* is needed (join cost models, the adaptive planner), use
+/// [`batcher_pair_count`], which computes the same number without allocating.
 pub fn batcher_pairs(n: usize) -> Vec<(usize, usize)> {
-    let mut pairs = Vec::new();
+    batcher_pairs_iter(n).collect()
+}
+
+/// Streaming enumeration of the compare-exchange pairs of the pruned Batcher network
+/// for `n` elements, in the same execution order as [`batcher_pairs`] but without
+/// materialising the `O(n log² n)` schedule. This is what the physical sorts walk.
+pub fn batcher_pairs_iter(n: usize) -> BatcherPairs {
     if n < 2 {
-        return pairs;
+        return BatcherPairs {
+            n,
+            padded: 1,
+            p: 1,
+            k: 0,
+            j: 0,
+            i: 0,
+            i_end: 0,
+        };
     }
-    let mut p = 1usize;
     let padded = n.next_power_of_two();
-    while p < padded {
-        let mut k = p;
-        while k >= 1 {
-            let mut j = k % p;
-            while j + k < padded {
-                for i in 0..k.min(padded - j - k) {
-                    let lo = i + j;
-                    let hi = i + j + k;
-                    if (lo / (p * 2)) == (hi / (p * 2)) && hi < n {
-                        pairs.push((lo, hi));
-                    }
-                }
-                j += 2 * k;
-            }
-            k /= 2;
-        }
-        p *= 2;
+    BatcherPairs {
+        n,
+        padded,
+        p: 1,
+        k: 1,
+        j: 0,
+        i: 0,
+        i_end: 1.min(padded - 1),
     }
-    pairs
+}
+
+/// Iterator over Batcher compare-exchange pairs; see [`batcher_pairs_iter`].
+///
+/// Replicates the nested `(p, k, j, i)` loop of the materialising generator as
+/// explicit state, skipping candidates pruned by the padding rule.
+#[derive(Debug, Clone)]
+pub struct BatcherPairs {
+    n: usize,
+    padded: usize,
+    p: usize,
+    k: usize,
+    j: usize,
+    i: usize,
+    i_end: usize,
+}
+
+impl Iterator for BatcherPairs {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        loop {
+            if self.p >= self.padded {
+                return None;
+            }
+            if self.i < self.i_end {
+                let lo = self.i + self.j;
+                let hi = lo + self.k;
+                self.i += 1;
+                // Keep the comparator when both ends fall in the same 2p-block and
+                // the high end is not conceptual +∞ padding.
+                if (lo / (self.p * 2)) == (hi / (self.p * 2)) && hi < self.n {
+                    return Some((lo, hi));
+                }
+                continue;
+            }
+            // Advance the j offset; j < p and k <= p keep j + k < padded valid.
+            self.j += 2 * self.k;
+            if self.j + self.k < self.padded {
+                self.i = 0;
+                self.i_end = self.k.min(self.padded - self.j - self.k);
+                continue;
+            }
+            // Advance the k stride.
+            self.k /= 2;
+            if self.k >= 1 {
+                self.j = self.k % self.p;
+                self.i = 0;
+                self.i_end = self.k.min(self.padded - self.j - self.k);
+                continue;
+            }
+            // Advance the p phase.
+            self.p *= 2;
+            if self.p >= self.padded {
+                return None;
+            }
+            self.k = self.p;
+            self.j = 0;
+            self.i = 0;
+            self.i_end = self.k.min(self.padded - self.k);
+        }
+    }
 }
 
 /// Exact number of compare-exchange gates in the pruned Batcher odd-even merge
 /// network for `n` elements — always equal to `batcher_pairs(n).len()`, but computed
-/// arithmetically in `O(n log n)` loop iterations with no allocation.
+/// arithmetically in `O(log² n)` time with no allocation: one O(1) closed form per
+/// `(p, k)` network level.
 ///
 /// This is the primitive every join cost model in this crate is built on: the
 /// comparator count is a *public* function of the (public) input length, so pricing a
 /// network — or letting the adaptive planner compare two candidate networks — leaks
-/// nothing beyond what the array sizes already reveal.
+/// nothing beyond what the array sizes already reveal. Cost-model callers invoke it
+/// several times per Transform flush with arguments as large as the padded emission
+/// (`bound · n`), so it must never pay a near-linear walk.
 #[must_use]
 pub fn batcher_pair_count(n: usize) -> u64 {
     if n < 2 {
@@ -89,20 +175,66 @@ pub fn batcher_pair_count(n: usize) -> u64 {
     while p < padded {
         let mut k = p;
         while k >= 1 {
-            let mut j = k % p;
-            while j + k < padded {
-                // The materialising loop visits i ∈ [0, min(k, padded − j − k)) and
-                // keeps (lo, hi) = (i + j, i + j + k) when hi < n and both endpoints
-                // fall in the same 2p-block, i.e. (i + j) mod 2p < 2p − k.
-                let m = k.min(padded - j - k).min(n.saturating_sub(j + k));
-                count += count_mod_below(j, m, 2 * p, 2 * p - k);
-                j += 2 * k;
-            }
+            count += pruned_level_pair_count(n, padded, p, k);
             k /= 2;
         }
         p *= 2;
     }
     count
+}
+
+/// Comparator count of one `(p, k)` level of the pruned Batcher network: the sum of
+/// `count_mod_below(j, m, 2p, 2p − k)` over block origins `j ∈ {k mod p, +2k, …}`
+/// with `j + k < padded` and `m = min(k, padded − j − k, n − j − k)` — exactly what
+/// the materialising iterator visits — collapsed to O(1) instead of `O(padded / k)`
+/// loop iterations.
+fn pruned_level_pair_count(n: usize, padded: usize, p: usize, k: usize) -> u64 {
+    if k == p {
+        // First merge level: j ∈ {0, 2p, 4p, …} starts every block on a 2p
+        // boundary, so all m counted values satisfy `v mod 2p < p` and a block
+        // contributes m = min(p, n − j − p) outright (the padding bound
+        // `padded − j − p` is ≥ p for every visited j and never clips).
+        if n < 2 * p {
+            return n.saturating_sub(p) as u64;
+        }
+        // Blocks with the full m = p run while j ≤ n − 2p; their loop bound
+        // `j + p < padded` holds a fortiori because n ≤ padded.
+        let full = (n - 2 * p) / (2 * p) + 1;
+        let mut total = (full as u64) * (p as u64);
+        let j = full * 2 * p;
+        if j + p < padded && n > j + p {
+            total += (n - j - p) as u64;
+        }
+        return total;
+    }
+    // Later levels (k < p): j ∈ {k, 3k, 5k, …}; the largest visited origin is
+    // padded − 3k, so `padded − j − k ≥ 2k` and the padding bound never clips m.
+    // A full block (m = k) spans [j, j + k) mod 2p with j an odd multiple of k;
+    // the window is pruned to zero exactly when j ≡ 2p − k (mod 2p) — it then
+    // coincides with the dropped zone [2p − k, 2p) — and contributes k otherwise.
+    // Those zero residues recur once every r = p/k blocks, starting at block r − 1.
+    let r = p / k;
+    let full = match n.checked_sub(2 * k) {
+        Some(by_n) => {
+            let last = by_n.min(padded - 3 * k);
+            if last >= k {
+                (last - k) / (2 * k) + 1
+            } else {
+                0
+            }
+        }
+        None => 0,
+    };
+    let zeroed = if full >= r { (full - r) / r + 1 } else { 0 };
+    let mut total = ((full - zeroed) as u64) * (k as u64);
+    // At most one partial block (0 < m < k) follows the full ones; everything
+    // after it has m = 0.
+    let j = k * (2 * full + 1);
+    if j + k < padded {
+        let m = k.min(n.saturating_sub(j + k));
+        total += count_mod_below(j, m, 2 * p, 2 * p - k);
+    }
+    total
 }
 
 /// Number of `v ∈ [start, start + len)` with `(v mod modulus) < limit`.
@@ -120,6 +252,69 @@ fn count_mod_below(start: usize, len: usize, modulus: usize, limit: usize) -> u6
     } else {
         count += limit.saturating_sub(s.min(limit)) as u64;
         count += limit.min(e - modulus) as u64;
+    }
+    count
+}
+
+/// Analytic comparator bound `p·k·(k+1)/4` for the Batcher network padded to
+/// `p = 2^k ≥ n`, saturating at `u64::MAX`. This is the paper-faithful upper bound
+/// the non-materialized baseline in `incshrink-core` prices secure joins with (its
+/// analysis uses the closed form, never the pruned schedule); it dominates
+/// [`batcher_pair_count`] for every `n`. Kept next to the exact count so the two
+/// Batcher formulas live in one crate.
+#[must_use]
+pub fn batcher_padded_pair_count(n: u64) -> u64 {
+    let p = u128::from(n).next_power_of_two();
+    let k = u128::from(p.trailing_zeros());
+    u64::try_from(p * k * (k + 1) / 4).unwrap_or(u64::MAX)
+}
+
+/// Compare-exchange pairs (indices `lo < hi`, in execution order) of the bitonic
+/// merge network for `n` elements in **valley form**: the array must hold a
+/// descending run followed by an ascending run (any split point, including empty
+/// runs). The network is the standard bitonic cleaner — stages of stride
+/// `k = p/2, p/4, …, 1` over the array padded to `p = 2^⌈log n⌉` with `+∞` keys at
+/// the tail, comparing `(l, l+k)` whenever `l mod 2k < k`, with comparators that
+/// touch the padding dropped (they are no-ops: `+∞` never moves down).
+///
+/// To merge two *ascending* runs `A ‖ B`, first reverse `A` in place — a fixed,
+/// data-independent permutation of `⌊|A|/2⌋` swaps with no comparators — which puts
+/// the array in valley form; the cleaner then yields the fully ascending merge.
+/// This replaces a full `O(n log² n)`-comparator Batcher re-sort of a nearly-sorted
+/// union with `O(n log n)` comparators.
+pub fn bitonic_merge_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    if n < 2 {
+        return pairs;
+    }
+    let padded = n.next_power_of_two();
+    let mut k = padded / 2;
+    while k >= 1 {
+        for l in 0..n - k {
+            if l % (2 * k) < k {
+                pairs.push((l, l + k));
+            }
+        }
+        k /= 2;
+    }
+    pairs
+}
+
+/// Exact comparator count of [`bitonic_merge_pairs`]`(n)`, computed in `O(log n)`
+/// arithmetic without materialising the schedule. Depends only on the total length
+/// `n`, never on where the valley sits — the count is a public function of the
+/// public size, exactly like [`batcher_pair_count`].
+#[must_use]
+pub fn bitonic_merge_pair_count(n: usize) -> u64 {
+    if n < 2 {
+        return 0;
+    }
+    let padded = n.next_power_of_two();
+    let mut count = 0u64;
+    let mut k = padded / 2;
+    while k >= 1 {
+        count += count_mod_below(0, n - k, 2 * k, k);
+        k /= 2;
     }
     count
 }
@@ -152,7 +347,7 @@ pub(crate) fn oblivious_sort_by_key<F>(
     meter: &mut CostMeter,
     key_fn: F,
 ) where
-    F: Fn(&incshrink_secretshare::tuple::PlainRecord) -> SortKey,
+    F: Fn(&PlainRecord) -> SortKey,
 {
     let n = array.len();
     if n < 2 {
@@ -160,20 +355,53 @@ pub(crate) fn oblivious_sort_by_key<F>(
     }
     let width = array.arity().unwrap_or(1) as u64 + 1;
     charge_sort_network(n, width, meter);
-    let pairs = batcher_pairs(n);
 
-    let entries = array.entries_mut();
-    for (lo, hi) in pairs {
-        let key_lo = key_fn(&entries[lo].recover());
-        let key_hi = key_fn(&entries[hi].recover());
-        let out_of_order = match order {
-            SortOrder::Ascending => key_lo > key_hi,
-            SortOrder::Descending => key_lo < key_hi,
-        };
-        if out_of_order {
-            entries.swap(lo, hi);
-        }
+    // SoA kernel: reconstruct each record once into a reused scratch row to extract
+    // its key (n reconstructions instead of one per comparator), run the network
+    // branch-free over three contiguous u64 lanes, then gather the record shares
+    // through the index lane in one pass. The comparisons see exactly the keys the
+    // record-at-a-time loop saw, and the keys travel with their indices, so the
+    // final arrangement is identical.
+    let mut primary = Vec::with_capacity(n);
+    let mut tie = Vec::with_capacity(n);
+    let mut scratch = PlainRecord {
+        fields: Vec::new(),
+        is_view: false,
+    };
+    for entry in array.entries() {
+        entry.recover_into(&mut scratch);
+        let key = key_fn(&scratch);
+        primary.push(key.primary);
+        tie.push(key.tie);
     }
+    let mut idx: Vec<u64> = (0..n as u64).collect();
+    let ascending = matches!(order, SortOrder::Ascending);
+
+    for (lo, hi) in batcher_pairs_iter(n) {
+        let (pa, pb) = (primary[lo], primary[hi]);
+        let (ta, tb) = (tie[lo], tie[hi]);
+        // Strictly out of order for the requested direction, lexicographically on
+        // (primary, tie) — computed with borrow arithmetic, not jumps.
+        let (x, y, tx, ty) = if ascending {
+            (pa, pb, ta, tb)
+        } else {
+            (pb, pa, tb, ta)
+        };
+        let out_of_order = lt_word(y, x) | (eq_word(x, y) & lt_word(ty, tx));
+        let mask = out_of_order.wrapping_neg();
+        let dp = (pa ^ pb) & mask;
+        primary[lo] = pa ^ dp;
+        primary[hi] = pb ^ dp;
+        let dt = (ta ^ tb) & mask;
+        tie[lo] = ta ^ dt;
+        tie[hi] = tb ^ dt;
+        let di = (idx[lo] ^ idx[hi]) & mask;
+        idx[lo] ^= di;
+        idx[hi] ^= di;
+    }
+
+    let perm: Vec<usize> = idx.into_iter().map(|i| i as usize).collect();
+    array.permute_gather(&perm);
 }
 
 /// Oblivious sort by a single attribute column (ascending or descending). Dummy
@@ -265,6 +493,182 @@ mod tests {
         }
     }
 
+    /// The pre-closed-form count: per-block `count_mod_below` over every block
+    /// origin the materialising iterator visits. Kept as the test oracle for the
+    /// O(1)-per-level collapse in [`pruned_level_pair_count`].
+    fn block_walk_pair_count(n: usize) -> u64 {
+        if n < 2 {
+            return 0;
+        }
+        let padded = n.next_power_of_two();
+        let mut count: u64 = 0;
+        let mut p = 1usize;
+        while p < padded {
+            let mut k = p;
+            while k >= 1 {
+                let mut j = k % p;
+                while j + k < padded {
+                    let m = k.min(padded - j - k).min(n.saturating_sub(j + k));
+                    count += count_mod_below(j, m, 2 * p, 2 * p - k);
+                    j += 2 * k;
+                }
+                k /= 2;
+            }
+            p *= 2;
+        }
+        count
+    }
+
+    #[test]
+    fn closed_form_pair_count_matches_block_walk() {
+        for n in 0..=5000usize {
+            assert_eq!(batcher_pair_count(n), block_walk_pair_count(n), "n={n}");
+        }
+        // Straddle every power-of-two boundary up to 2^20.
+        for shift in 11..=20u32 {
+            let p = 1usize << shift;
+            for n in [p - 3, p - 1, p, p + 1, p + 7, p + p / 2] {
+                assert_eq!(batcher_pair_count(n), block_walk_pair_count(n), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_iter_matches_materialized_network() {
+        for n in 0..=400usize {
+            let from_iter: Vec<(usize, usize)> = batcher_pairs_iter(n).collect();
+            assert_eq!(from_iter, batcher_pairs(n), "n={n}");
+        }
+        for n in [1000usize, 4096, 5000] {
+            assert_eq!(
+                batcher_pairs_iter(n).count() as u64,
+                batcher_pair_count(n),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn padded_count_dominates_exact_count_and_saturates() {
+        for n in 0..=4096u64 {
+            assert!(
+                batcher_padded_pair_count(n) >= batcher_pair_count(n as usize),
+                "n={n}"
+            );
+        }
+        // The analytic formula saturates rather than overflowing for huge n.
+        assert_eq!(batcher_padded_pair_count(u64::MAX), u64::MAX);
+        assert_eq!(batcher_padded_pair_count(0), 0);
+        assert_eq!(batcher_padded_pair_count(1), 0);
+    }
+
+    /// Reverse the first `a` elements (valley form), apply the bitonic cleaner.
+    fn bitonic_merge_runs(mut data: Vec<u32>, a: usize) -> Vec<u32> {
+        data[..a].reverse();
+        for (lo, hi) in bitonic_merge_pairs(data.len()) {
+            if data[lo] > data[hi] {
+                data.swap(lo, hi);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn bitonic_merge_sorts_all_01_run_pairs() {
+        // Exhaustive over 0-1 inputs: an ascending 0-1 run of length m is determined
+        // by its number of zeros, so (a+1)(b+1) inputs cover every 0-1 run pair. By
+        // the 0-1 principle (restricted to the monotone-closed class of two-run
+        // inputs), sorting all of these proves the network merges arbitrary runs of
+        // these lengths.
+        for n in 0..=33usize {
+            for a in 0..=n {
+                let b = n - a;
+                for za in 0..=a {
+                    for zb in 0..=b {
+                        let mut input = vec![0u32; za];
+                        input.extend(std::iter::repeat(1).take(a - za));
+                        input.extend(std::iter::repeat(0).take(zb));
+                        input.extend(std::iter::repeat(1).take(b - zb));
+                        let merged = bitonic_merge_runs(input.clone(), a);
+                        let mut expect = input;
+                        expect.sort_unstable();
+                        assert_eq!(merged, expect, "n={n} a={a} za={za} zb={zb}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitonic_count_matches_pairs_and_is_cheaper_than_batcher() {
+        for n in 0..=400usize {
+            assert_eq!(
+                bitonic_merge_pair_count(n),
+                bitonic_merge_pairs(n).len() as u64,
+                "n={n}"
+            );
+        }
+        // The merge must beat the full re-sort once the union is non-trivial.
+        for n in [8usize, 64, 1000, 4096] {
+            assert!(bitonic_merge_pair_count(n) < batcher_pair_count(n), "n={n}");
+        }
+    }
+
+    /// The pre-SoA record-at-a-time sort loop, kept as a reference implementation for
+    /// the extensional-equality proptests below.
+    fn reference_aos_sort(array: &mut SharedArrayPair, order: SortOrder, meter: &mut CostMeter) {
+        let n = array.len();
+        if n < 2 {
+            return;
+        }
+        let width = array.arity().unwrap_or(1) as u64 + 1;
+        charge_sort_network(n, width, meter);
+        let key = |rec: &PlainRecord| {
+            let dummy_rank = u64::from(!rec.is_view);
+            let value = rec.fields.first().copied().unwrap_or(u32::MAX);
+            SortKey {
+                primary: match order {
+                    SortOrder::Ascending => (dummy_rank << 32) | u64::from(value),
+                    SortOrder::Descending => {
+                        if rec.is_view {
+                            u64::from(value)
+                        } else {
+                            0
+                        }
+                    }
+                },
+                tie: 0,
+            }
+        };
+        let entries = array.entries_mut();
+        for (lo, hi) in batcher_pairs(n) {
+            let key_lo = key(&entries[lo].recover());
+            let key_hi = key(&entries[hi].recover());
+            let out_of_order = match order {
+                SortOrder::Ascending => key_lo > key_hi,
+                SortOrder::Descending => key_lo < key_hi,
+            };
+            if out_of_order {
+                entries.swap(lo, hi);
+            }
+        }
+    }
+
+    #[test]
+    fn soa_sort_equals_aos_sort_on_edges() {
+        for (values, dummies) in [(vec![], 0usize), (vec![7], 0), (vec![], 1), (vec![3, 3], 2)] {
+            for order in [SortOrder::Ascending, SortOrder::Descending] {
+                let mut soa = share_values(&values, dummies);
+                let mut aos = soa.clone();
+                let (mut m_soa, mut m_aos) = (CostMeter::new(), CostMeter::new());
+                oblivious_sort_by_field(&mut soa, 0, order, &mut m_soa);
+                reference_aos_sort(&mut aos, order, &mut m_aos);
+                assert_eq!(soa, aos);
+                assert_eq!(m_soa.report(), m_aos.report());
+            }
+        }
+    }
+
     #[test]
     fn sort_by_field_ascending_and_descending() {
         let mut meter = CostMeter::new();
@@ -350,6 +754,49 @@ mod tests {
             let mut expect = values.clone();
             expect.sort_unstable();
             prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn prop_soa_sort_extensionally_equals_aos_sort(
+            values in proptest::collection::vec(any::<u32>(), 0..48),
+            dummies in 0usize..6,
+            descending: bool,
+        ) {
+            // Same share words out (not just same plaintext), same meter deltas.
+            // Neither implementation draws randomness, so rng consumption is
+            // trivially identical as well.
+            let order = if descending { SortOrder::Descending } else { SortOrder::Ascending };
+            let mut soa = share_values(&values, dummies);
+            let mut aos = soa.clone();
+            let (mut m_soa, mut m_aos) = (CostMeter::new(), CostMeter::new());
+            oblivious_sort_by_field(&mut soa, 0, order, &mut m_soa);
+            reference_aos_sort(&mut aos, order, &mut m_aos);
+            prop_assert_eq!(soa, aos);
+            prop_assert_eq!(m_soa.report(), m_aos.report());
+        }
+
+        #[test]
+        fn prop_bitonic_merge_equals_batcher_sort(
+            run_a in proptest::collection::vec(any::<u32>(), 0..40),
+            run_b in proptest::collection::vec(any::<u32>(), 0..40),
+        ) {
+            let mut a = run_a;
+            let mut b = run_b;
+            a.sort_unstable();
+            b.sort_unstable();
+            let split = a.len();
+            let mut input = a;
+            input.extend_from_slice(&b);
+
+            let merged = bitonic_merge_runs(input.clone(), split);
+
+            let mut batcher = input;
+            for (lo, hi) in batcher_pairs(batcher.len()) {
+                if batcher[lo] > batcher[hi] {
+                    batcher.swap(lo, hi);
+                }
+            }
+            prop_assert_eq!(merged, batcher);
         }
 
         #[test]

@@ -31,9 +31,16 @@ impl SharedArray {
     }
 
     /// Total size in bytes of this party's shares (communication accounting).
+    ///
+    /// Constant time: every record in an array has the same arity (the pair container
+    /// enforces this at append time), so the total is `first.byte_len() * len`. This
+    /// accessor sits on the share-traffic accounting hot path and must not walk the
+    /// records.
     #[must_use]
     pub fn byte_len(&self) -> usize {
-        self.records.iter().map(SharedRecord::byte_len).sum()
+        self.records
+            .first()
+            .map_or(0, |r| r.byte_len() * self.records.len())
     }
 }
 
@@ -162,6 +169,29 @@ impl SharedArrayPair {
         self.entries.clear();
     }
 
+    /// Rearrange entries so position `j` holds the entry previously at `perm[j]`.
+    /// Host-side gather used by the lane-based oblivious sort: the comparator network
+    /// permutes lightweight index lanes, then this applies the resulting permutation
+    /// to the heavyweight record shares in one pass without cloning any share words.
+    ///
+    /// # Panics
+    /// Panics when `perm` is not a permutation of `0..len`.
+    pub fn permute_gather(&mut self, perm: &[usize]) {
+        assert_eq!(
+            perm.len(),
+            self.entries.len(),
+            "permutation length mismatch"
+        );
+        let mut slots: Vec<Option<SharedRecordPair>> = std::mem::take(&mut self.entries)
+            .into_iter()
+            .map(Some)
+            .collect();
+        self.entries = perm
+            .iter()
+            .map(|&src| slots[src].take().expect("perm must be a permutation"))
+            .collect();
+    }
+
     /// Keep only the entries whose `(index, entry)` the predicate accepts, preserving
     /// order. This is the eviction primitive of the Transform delta-share cache: when
     /// a record's contribution budget expires, its cached share encoding is dropped in
@@ -282,6 +312,38 @@ mod tests {
         assert_eq!(v0.len(), v1.len());
         assert_eq!(v0.byte_len(), v1.byte_len());
         assert!(!v0.is_empty());
+    }
+
+    #[test]
+    fn byte_len_matches_per_record_sum() {
+        for (n_real, n_dummy, arity) in [(0, 0, 0), (3, 2, 4), (1, 0, 1), (0, 5, 7)] {
+            let view = sample_array(n_real, n_dummy, arity).for_party(PartyId::S0);
+            let walked: usize = view.records.iter().map(SharedRecord::byte_len).sum();
+            assert_eq!(view.byte_len(), walked);
+        }
+        assert_eq!(SharedArray::default().byte_len(), 0);
+    }
+
+    #[test]
+    fn permute_gather_rearranges_entries() {
+        let mut arr = sample_array(5, 0, 2);
+        let before = arr.recover_all();
+        arr.permute_gather(&[3, 0, 4, 1, 2]);
+        let after = arr.recover_all();
+        for (j, &src) in [3usize, 0, 4, 1, 2].iter().enumerate() {
+            assert_eq!(after[j], before[src]);
+        }
+        // Identity permutation on an empty array is fine too.
+        let mut empty = SharedArrayPair::new();
+        empty.permute_gather(&[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation length mismatch")]
+    fn permute_gather_rejects_wrong_length() {
+        let mut arr = sample_array(3, 0, 1);
+        arr.permute_gather(&[0, 1]);
     }
 
     #[test]

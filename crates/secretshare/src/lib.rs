@@ -14,11 +14,13 @@
 #![forbid(unsafe_code)]
 
 pub mod arrays;
+pub mod columns;
 pub mod multi;
 pub mod tuple;
 pub mod value;
 
 pub use arrays::{SharedArray, SharedArrayPair};
+pub use columns::{SharedColumns, SharedColumnsPair};
 pub use multi::{recover_multi, share_multi, MultiShares};
 pub use tuple::{SharedRecord, SharedRecordPair, PLAIN_DUMMY_MARKER};
 pub use value::{PartyId, Share, SharePair};

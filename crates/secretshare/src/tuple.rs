@@ -86,13 +86,29 @@ pub struct SharedRecordPair {
 impl SharedRecordPair {
     /// Share a plaintext record.
     pub fn share<R: Rng + ?Sized>(record: &PlainRecord, rng: &mut R) -> Self {
+        Self::share_row(&record.fields, record.is_view, rng)
+    }
+
+    /// Share a row given directly as a field slice plus flag, without materialising a
+    /// [`PlainRecord`]. Mask words are drawn in exactly the order [`Self::share`]
+    /// draws them — one per field in field order, then one for `isView` — so the two
+    /// entry points are interchangeable under a fixed rng stream.
+    pub fn share_row<R: Rng + ?Sized>(fields: &[u32], is_view: bool, rng: &mut R) -> Self {
         Self {
-            fields: record
-                .fields
-                .iter()
-                .map(|&w| SharePair::share(w, rng))
+            fields: fields.iter().map(|&w| SharePair::share(w, rng)).collect(),
+            is_view: SharePair::share(u32::from(is_view), rng),
+        }
+    }
+
+    /// Share a dummy record of the given arity (every field carries
+    /// [`PLAIN_DUMMY_MARKER`]) without allocating the plaintext marker vector.
+    /// Draws exactly the masks `share(&PlainRecord::dummy(arity), rng)` would.
+    pub fn share_dummy<R: Rng + ?Sized>(arity: usize, rng: &mut R) -> Self {
+        Self {
+            fields: (0..arity)
+                .map(|_| SharePair::share(PLAIN_DUMMY_MARKER, rng))
                 .collect(),
-            is_view: SharePair::share(u32::from(record.is_view), rng),
+            is_view: SharePair::share(0, rng),
         }
     }
 
@@ -103,6 +119,15 @@ impl SharedRecordPair {
             fields: self.fields.iter().map(|p| p.recover()).collect(),
             is_view: self.is_view.recover() != 0,
         }
+    }
+
+    /// Recover into a caller-provided buffer, reusing its field allocation. Hot loops
+    /// (the sort key-extraction pass, lane scans) call this with one scratch record
+    /// instead of allocating a fresh `Vec` per entry via [`Self::recover`].
+    pub fn recover_into(&self, out: &mut PlainRecord) {
+        out.fields.clear();
+        out.fields.extend(self.fields.iter().map(|p| p.recover()));
+        out.is_view = self.is_view.recover() != 0;
     }
 
     /// The record share held by `party`.

@@ -186,7 +186,7 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     }
 }
 
-impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+impl<K: Serialize, V: Serialize, S: ::std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
     fn serialize(&self) -> Value {
         let mut entries: Vec<(String, Value)> = self
             .iter()

@@ -1,9 +1,12 @@
-//! JSON rendering over the offline serde shim's [`serde::Value`] data model.
+//! JSON rendering and parsing over the offline serde shim's [`serde::Value`]
+//! data model.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use serde::{Serialize, Value};
+pub use serde::Value;
+
+use serde::Serialize;
 
 /// Error type for JSON serialization. The shim's renderer is total, so this is
 /// never actually produced; it exists so call sites keep serde_json's
@@ -120,6 +123,277 @@ fn render_float(f: f64) -> String {
     }
 }
 
+/// Error produced by [`from_str`] when the input is not valid JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    offset: usize,
+}
+
+impl ParseError {
+    /// Build a parse error with a human-readable message anchored at a byte offset
+    /// into the input. Public so typed loaders built on [`from_str`] can report
+    /// shape errors (wrong field type, missing object) through the same type.
+    #[must_use]
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        Self {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a JSON document into the shim's [`Value`] tree.
+///
+/// Supports the full JSON grammar: `null`, booleans, numbers (integers parse as
+/// [`Value::Int`]/[`Value::UInt`], anything fractional or exponential as
+/// [`Value::Float`]), strings with escapes (including `\uXXXX` and surrogate
+/// pairs), arrays and objects. Trailing non-whitespace input is an error.
+///
+/// # Errors
+/// Returns a [`ParseError`] describing the first offending byte.
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(ParseError::new(
+            "trailing characters after value",
+            parser.pos,
+        ));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(ParseError::new(format!("expected `{literal}`"), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            None => Err(ParseError::new("unexpected end of input", self.pos)),
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(ParseError::new(
+                format!("unexpected character `{}`", c as char),
+                self.pos,
+            )),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(ParseError::new("expected `,` or `]` in array", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseError> {
+        self.pos += 1; // consume '{'
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            if self.peek() != Some(b'"') {
+                return Err(ParseError::new("expected string object key", self.pos));
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(ParseError::new("expected `:` after object key", self.pos));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            entries.push((key, self.parse_value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(ParseError::new("expected `,` or `}` in object", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // consume opening '"'
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(ParseError::new("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| ParseError::new("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let first = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: must be followed by `\uXXXX` low.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    return Err(ParseError::new(
+                                        "unpaired high surrogate",
+                                        self.pos,
+                                    ));
+                                }
+                            } else {
+                                first
+                            };
+                            out.push(char::from_u32(code).ok_or_else(|| {
+                                ParseError::new("invalid unicode escape", self.pos)
+                            })?);
+                        }
+                        other => {
+                            return Err(ParseError::new(
+                                format!("invalid escape `\\{}`", other as char),
+                                self.pos - 1,
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim: the input is
+                    // a &str, so byte boundaries here are always char boundaries.
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input was a valid &str"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| ParseError::new("truncated unicode escape", self.pos))?;
+        let code = u32::from_str_radix(digits, 16)
+            .map_err(|_| ParseError::new("invalid unicode escape digits", self.pos))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("number span is ASCII");
+        if integral {
+            if text.starts_with('-') {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| ParseError::new(format!("invalid number `{text}`"), start))
+    }
+}
+
 fn render_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -172,5 +446,78 @@ mod tests {
         assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
         assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn parser_handles_every_value_kind() {
+        let v = from_str(
+            r#"{"a": 1, "b": -2, "c": 2.5, "d": 3e-8, "e": [true, false, null],
+               "f": "s\"\\\nA", "g": {}, "h": []}"#,
+        )
+        .unwrap();
+        let Value::Object(entries) = v else {
+            panic!("expected object")
+        };
+        let get = |k: &str| entries.iter().find(|(key, _)| key == k).unwrap().1.clone();
+        assert_eq!(get("a"), Value::UInt(1));
+        assert_eq!(get("b"), Value::Int(-2));
+        assert_eq!(get("c"), Value::Float(2.5));
+        assert_eq!(get("d"), Value::Float(3e-8));
+        assert_eq!(
+            get("e"),
+            Value::Array(vec![Value::Bool(true), Value::Bool(false), Value::Null])
+        );
+        assert_eq!(get("f"), Value::String("s\"\\\nA".into()));
+        assert_eq!(get("g"), Value::Object(vec![]));
+        assert_eq!(get("h"), Value::Array(vec![]));
+    }
+
+    #[test]
+    fn parser_roundtrips_rendered_values() {
+        let v = Value::Object(vec![
+            ("count".into(), Value::UInt(7)),
+            ("delta".into(), Value::Int(-3)),
+            ("rate".into(), Value::Float(0.125)),
+            ("name".into(), Value::String("kernel √2 ✓".into())),
+            (
+                "runs".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null, Value::Float(1.5)]),
+            ),
+        ]);
+        assert_eq!(from_str(&to_string(&v).unwrap()).unwrap(), v);
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_decodes_surrogate_pairs() {
+        // U+1F980 as an escaped surrogate pair, and as raw multi-byte UTF-8.
+        assert_eq!(
+            from_str(r#""\ud83e\udd80""#).unwrap(),
+            Value::String("\u{1F980}".into())
+        );
+        assert_eq!(
+            from_str("\"\u{1F980}\"").unwrap(),
+            Value::String("\u{1F980}".into())
+        );
+        assert!(from_str(r#""\ud83e""#).is_err(), "unpaired high surrogate");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "nul",
+            "{",
+            "[1,",
+            r#"{"a" 1}"#,
+            r#"{"a": 1} extra"#,
+            r#""unterminated"#,
+            r#""\q""#,
+            "1e",
+            "--5",
+            r#"{1: 2}"#,
+        ] {
+            assert!(from_str(bad).is_err(), "should reject: {bad}");
+        }
     }
 }
