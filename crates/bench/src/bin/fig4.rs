@@ -12,6 +12,7 @@ use incshrink_bench::{
 };
 
 fn main() {
+    let _telemetry = incshrink_bench::init();
     let steps = default_steps();
     let mut points = Vec::new();
     let mut rows = Vec::new();

@@ -11,6 +11,7 @@ use incshrink_bench::experiments::default_config;
 use incshrink_bench::{build_dataset, default_steps, print_csv, write_json, ExperimentPoint};
 
 fn main() {
+    let _telemetry = incshrink_bench::init();
     let steps = default_steps();
     let epsilons = [0.01, 0.05, 0.1, 0.5, 1.0, 1.5, 5.0, 10.0, 50.0];
     let mut points = Vec::new();

@@ -10,6 +10,7 @@ use incshrink_bench::experiments::default_config;
 use incshrink_bench::{build_dataset, default_steps, print_csv, write_json, ExperimentPoint};
 
 fn main() {
+    let _telemetry = incshrink_bench::init();
     let steps = default_steps();
     let mut rows = Vec::new();
     let mut points = Vec::new();

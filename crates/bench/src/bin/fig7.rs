@@ -11,6 +11,7 @@ use incshrink_bench::experiments::default_config;
 use incshrink_bench::{build_dataset, default_steps, print_csv, write_json, ExperimentPoint};
 
 fn main() {
+    let _telemetry = incshrink_bench::init();
     let steps = default_steps();
     let intervals = [1u64, 2, 5, 10, 20, 50, 100];
     let epsilons = [0.1, 1.0, 10.0];

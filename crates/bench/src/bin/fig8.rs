@@ -11,6 +11,7 @@ use incshrink_bench::experiments::default_config;
 use incshrink_bench::{build_dataset, default_steps, print_csv, write_json, ExperimentPoint};
 
 fn main() {
+    let _telemetry = incshrink_bench::init();
     let steps = default_steps();
     let dataset = build_dataset(DatasetKind::Cpdb, steps, 0xF188);
     let omegas = [2u64, 4, 8, 12, 16, 24, 32];

@@ -11,6 +11,7 @@ use incshrink_bench::experiments::default_config;
 use incshrink_bench::{build_dataset, default_steps, print_csv, write_json, ExperimentPoint};
 
 fn main() {
+    let _telemetry = incshrink_bench::init();
     let steps = default_steps();
     let scales: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
     let mut rows = Vec::new();

@@ -61,23 +61,24 @@ fn load_calibration() -> Option<Calibration> {
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(e) => {
-            eprintln!("warning: could not read calibration {path}: {e}");
+            incshrink_telemetry::log_error!("warning: could not read calibration {path}: {e}");
             return None;
         }
     };
     match Calibration::from_json_str(&text) {
         Ok(cal) => {
-            println!("loaded planner calibration from {path}");
+            incshrink_telemetry::log_info!("loaded planner calibration from {path}");
             Some(cal)
         }
         Err(e) => {
-            eprintln!("warning: could not parse calibration {path}: {e}");
+            incshrink_telemetry::log_error!("warning: could not parse calibration {path}: {e}");
             None
         }
     }
 }
 
 fn main() {
+    let _telemetry = incshrink_bench::init();
     let steps = default_steps();
     let ks = sweep_ks();
     let calibration = load_calibration();

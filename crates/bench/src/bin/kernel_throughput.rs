@@ -211,6 +211,7 @@ fn measure_soa(kernel: &str, arr: &SharedArrayPair, reps: usize) -> f64 {
 }
 
 fn main() {
+    let _telemetry = incshrink_bench::init();
     let sizes = sizes();
     assert!(!sizes.is_empty(), "INCSHRINK_KERNEL_N produced no sizes");
     let mut rows: Vec<KernelRow> = Vec::new();

@@ -56,6 +56,7 @@ fn query_mix(steps: u64) -> Vec<Query> {
 }
 
 fn main() {
+    let _telemetry = incshrink_bench::init();
     let steps = default_steps();
     let shard_counts = [1usize, 2, 4, 8];
     let model = CostModel::default();

@@ -140,6 +140,7 @@ fn scenarios(steps: u64) -> Vec<Scenario> {
 }
 
 fn main() {
+    let _telemetry = incshrink_bench::init();
     let steps = default_steps();
     let shard_counts = [1usize, 2, 4, 8];
     let mut all_rows: Vec<ScaleoutRow> = Vec::new();

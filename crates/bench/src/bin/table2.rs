@@ -15,6 +15,7 @@ use incshrink_bench::{
 };
 
 fn main() {
+    let _telemetry = incshrink_bench::init();
     let steps = default_steps();
     let query_interval = 5;
     let mut all_rows: Vec<ComparisonRow> = Vec::new();

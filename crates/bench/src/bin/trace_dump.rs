@@ -1,0 +1,103 @@
+//! Inspect a recorded telemetry trace: validate every JSONL line, render the
+//! phase profile and per-step host timings, summarize the ε-ledger, and run the
+//! config-free structural leakage audit.
+//!
+//! ```text
+//! INCSHRINK_TRACE=trace.jsonl cargo run -p incshrink-bench --bin fig4
+//! cargo run -p incshrink-bench --bin trace_dump trace.jsonl
+//! ```
+//!
+//! The trace path comes from the first CLI argument, falling back to
+//! `INCSHRINK_TRACE`. Exits non-zero when any line fails to parse or the
+//! structural audit ([`incshrink_telemetry::audit::check_trace`] with no
+//! config-derived expectations) finds a violation — which is what lets CI treat
+//! a smoke trace as a machine-checked artifact rather than an opaque log.
+
+use incshrink_telemetry::audit::{check_trace, Expectations, LedgerSummary};
+use incshrink_telemetry::{per_step_host_secs, Event, PhaseProfile};
+
+fn trace_path() -> Option<String> {
+    std::env::args().nth(1).or_else(|| {
+        std::env::var("INCSHRINK_TRACE")
+            .ok()
+            .map(|p| p.trim().to_string())
+            .filter(|p| !p.is_empty())
+    })
+}
+
+fn main() {
+    let Some(path) = trace_path() else {
+        eprintln!("usage: trace_dump <trace.jsonl>   (or set INCSHRINK_TRACE)");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("FAIL: could not read trace {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut events = Vec::new();
+    let mut bad_lines = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::from_json_line(line) {
+            Ok(event) => events.push(event),
+            Err(e) => {
+                bad_lines += 1;
+                eprintln!("FAIL: line {} does not parse: {e}", lineno + 1);
+            }
+        }
+    }
+    println!("trace {path}: {} events", events.len());
+    if bad_lines > 0 {
+        eprintln!("FAIL: {bad_lines} unparseable line(s)");
+        std::process::exit(1);
+    }
+
+    let profile = PhaseProfile::from_events(&events);
+    println!("\n{}", profile.render());
+
+    let per_step = per_step_host_secs(&events);
+    if !per_step.is_empty() {
+        println!("per-step host time (top 10 by total):");
+        let mut totals: Vec<(u64, f64)> = per_step
+            .iter()
+            .map(|(step, phases)| (*step, phases.iter().map(|(_, s)| s).sum()))
+            .collect();
+        totals.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (step, secs) in totals.iter().take(10) {
+            if *step == u64::MAX {
+                println!("  (unstamped)  {secs:.6}s");
+            } else {
+                println!("  step {step:>6}  {secs:.6}s");
+            }
+        }
+    }
+
+    let ledger = LedgerSummary::from_events(&events);
+    println!(
+        "\nε-ledger: {} entries, max ε {}",
+        ledger.entries, ledger.max_epsilon
+    );
+    for m in &ledger.mechanisms {
+        println!(
+            "  {:<16} {:>6} invocations, Σε {:.6}, max ε {:.6}",
+            m.mechanism, m.invocations, m.total_epsilon, m.max_epsilon
+        );
+    }
+
+    match check_trace(&events, &Expectations::default()) {
+        Ok(report) => println!(
+            "\nleakage audit passed: {} observable(s), {} ledger entr(ies), {} span(s)",
+            report.observes_checked, report.ledger_entries, report.spans_seen
+        ),
+        Err(e) => {
+            eprintln!("\nFAIL: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -38,21 +38,47 @@ pub fn print_csv(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Serialize a result object as JSON under `results/<name>.json` (best effort: errors
-/// are reported to stderr but do not abort the experiment).
+/// Wrap a binary's result rows in the shared report envelope every experiment
+/// binary writes: the binary name, a schema version, run metadata (the sorted
+/// `INCSHRINK_*` environment knobs that shaped the run), and the payload under a
+/// `"rows"` key. One envelope shape across all binaries means downstream tooling
+/// (and `incshrink_oblivious::planner::Calibration::from_json_str`) parses every
+/// `results/*.json` the same way.
+#[must_use]
+pub fn envelope<T: Serialize + ?Sized>(bin: &str, rows: &T) -> serde_json::Value {
+    use serde::Value;
+    let mut meta: Vec<(String, Value)> = std::env::vars()
+        .filter(|(key, _)| key.starts_with("INCSHRINK_"))
+        .map(|(key, value)| (key, Value::String(value)))
+        .collect();
+    meta.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Object(vec![
+        ("bin".to_string(), Value::String(bin.to_string())),
+        ("schema_version".to_string(), Value::UInt(1)),
+        ("meta".to_string(), Value::Object(meta)),
+        ("rows".to_string(), rows.serialize()),
+    ])
+}
+
+/// Serialize a result object as JSON under `results/<name>.json`, wrapped in the
+/// shared [`envelope`] (best effort: errors are reported to stderr but do not
+/// abort the experiment).
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let dir = Path::new("results");
     if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: could not create results directory: {e}");
+        incshrink_telemetry::log_error!("warning: could not create results directory: {e}");
         return;
     }
     let path = dir.join(format!("{name}.json"));
+    let wrapped = envelope(name, value);
     match std::fs::File::create(&path).and_then(|mut f| {
-        let text = serde_json::to_string_pretty(value).unwrap_or_else(|_| "{}".into());
+        let text = serde_json::to_string_pretty(&wrapped).unwrap_or_else(|_| "{}".into());
         f.write_all(text.as_bytes())
     }) {
-        Ok(()) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        Ok(()) => incshrink_telemetry::log_info!("wrote {}", path.display()),
+        Err(e) => {
+            incshrink_telemetry::log_error!("warning: could not write {}: {e}", path.display());
+        }
     }
 }
 
@@ -93,6 +119,23 @@ mod tests {
         assert_eq!(fmt_improvement(100.0, 1.0), "100x");
         assert_eq!(fmt_improvement(100.0, 0.0), "N/A");
         assert_eq!(fmt_improvement(0.0, 1.0), "N/A");
+    }
+
+    #[test]
+    fn envelope_nests_rows_under_a_stable_shape() {
+        let rows = vec![1u64, 2, 3];
+        let value = envelope("fig4", &rows);
+        let serde::Value::Object(entries) = value else {
+            panic!("envelope must be an object");
+        };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["bin", "schema_version", "meta", "rows"]);
+        assert!(matches!(&entries[0].1, serde::Value::String(s) if s == "fig4"));
+        assert!(matches!(entries[1].1, serde::Value::UInt(1)));
+        assert!(matches!(&entries[3].1, serde::Value::Array(a) if a.len() == 3));
+        // The envelope itself must survive a serialize → parse round trip.
+        let text = serde_json::to_string(&envelope("fig4", &rows)).unwrap();
+        assert!(serde_json::from_str(&text).is_ok());
     }
 
     #[test]

@@ -100,6 +100,7 @@ impl<'v> ScatterGatherExecutor<'v> {
             !partials.is_empty(),
             "merge needs at least one shard outcome"
         );
+        let mut merge_span = incshrink_telemetry::span!("query.merge");
         let mut value = partials[0].value.clone();
         for partial in &partials[1..] {
             value.accumulate(&partial.value);
@@ -121,6 +122,8 @@ impl<'v> ScatterGatherExecutor<'v> {
                 qet: p.qet,
             })
             .collect();
+        merge_span.record_sim_secs(aggregation_qet.as_secs_f64());
+        merge_span.record_cost(aggregation.into());
         QueryOutcome {
             value,
             qet: max_shard_qet + aggregation_qet,

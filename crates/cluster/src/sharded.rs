@@ -392,12 +392,21 @@ impl ShardedSimulation {
         let mut max_shard_qet_sum = 0.0;
         let mut aggregation_sum = 0.0;
         let mut queries = 0u64;
+        let mut host_query_secs = 0.0;
+        let mut host_shuffle_secs = 0.0;
 
         for t in 1..=steps {
             // Step every shard pipeline; the pairs run in parallel, so the cluster's
             // per-phase wall-clock is the slowest shard.
             let outcomes: Vec<_> = match &mut shuffled_path {
-                None => pipelines.iter_mut().map(|p| p.advance(t)).collect(),
+                None => pipelines
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        let _shard_scope = incshrink_telemetry::shard_scope(i as u64);
+                        p.advance(t)
+                    })
+                    .collect(),
                 Some((arrival_parts, arrival_rngs, shuffler)) => {
                     let batches_for = |relation: Relation,
                                        rngs: &mut [StdRng],
@@ -432,6 +441,7 @@ impl ShardedSimulation {
                     // since each arrival pair shuffles them sequentially), which is
                     // where the report's shuffle timing comes from.
                     let left_batches = batches_for(Relation::Left, arrival_rngs, arrival_parts);
+                    let shuffle_started = std::time::Instant::now();
                     let (left_routed, _) = shuffler.route_step(
                         t,
                         Relation::Left,
@@ -439,11 +449,13 @@ impl ShardedSimulation {
                         &left_batches,
                         left_ingest,
                     );
+                    host_shuffle_secs += shuffle_started.elapsed().as_secs_f64();
                     let right_routed = if dataset.right_is_public {
                         None
                     } else {
                         let right_batches =
                             batches_for(Relation::Right, arrival_rngs, arrival_parts);
+                        let shuffle_started = std::time::Instant::now();
                         let (routed, _) = shuffler.route_step(
                             t,
                             Relation::Right,
@@ -451,13 +463,16 @@ impl ShardedSimulation {
                             &right_batches,
                             right_ingest,
                         );
+                        host_shuffle_secs += shuffle_started.elapsed().as_secs_f64();
                         Some(routed)
                     };
                     let mut rights = right_routed.map(Vec::into_iter);
                     pipelines
                         .iter_mut()
                         .zip(left_routed)
-                        .map(|(p, left)| {
+                        .enumerate()
+                        .map(|(i, (p, left))| {
+                            let _shard_scope = incshrink_telemetry::shard_scope(i as u64);
                             let right = rights
                                 .as_mut()
                                 .map(|it| it.next().expect("one routed right batch per shard"));
@@ -493,6 +508,9 @@ impl ShardedSimulation {
             let mut l1 = 0.0;
             let mut qet = SimDuration::ZERO;
             if t % config.query_interval == 0 {
+                let _query_step_scope = incshrink_telemetry::step_scope(t);
+                let mut query_span = incshrink_telemetry::span!("query", step = t);
+                let query_started = std::time::Instant::now();
                 let gathered = match config.strategy {
                     UpdateStrategy::NonMaterialized => {
                         // NM recomputes the oblivious join per shard; merge the
@@ -508,6 +526,10 @@ impl ShardedSimulation {
                         ScatterGatherExecutor::over(cost_model, views).execute(&counting_query)
                     }
                 };
+                host_query_secs += query_started.elapsed().as_secs_f64();
+                query_span.record_sim_secs(gathered.qet.as_secs_f64());
+                query_span.record_cost(gathered.report.into());
+                drop(query_span);
                 let gathered_answer = gathered.value.expect_scalar();
                 let breakdown = gathered.shards.expect("scatter-gather breakdown");
                 answer = Some(gathered_answer);
@@ -546,6 +568,8 @@ impl ShardedSimulation {
                 .map(ShardPipeline::host_transform_secs)
                 .sum(),
         );
+        builder.record_host_query_secs(host_query_secs);
+        builder.record_host_shuffle_secs(host_shuffle_secs);
         let shard_reports: Vec<ShardReport> = pipelines
             .iter()
             .enumerate()

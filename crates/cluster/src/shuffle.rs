@@ -159,6 +159,7 @@ impl ClusterShuffler {
             self.shards,
             "one arrival batch per shard"
         );
+        let mut route_span = incshrink_telemetry::span!("shuffle.route", step = time);
 
         // Phase 1 — per arrival pair (parallel): oblivious shuffle + bucket route.
         let mut dest_records: Vec<SharedArrayPair> =
@@ -167,6 +168,19 @@ impl ClusterShuffler {
         let mut max_shuffle = SimDuration::ZERO;
         for batch in arrival_batches {
             let bucket_size = batch.len().div_ceil(self.shards) + self.bucket_cushion;
+            // What the wire carries to each destination pair is the padded bucket
+            // size — a pure function of public parameters, recorded per destination
+            // so the leakage auditor can check routing symmetry.
+            if incshrink_telemetry::installed() {
+                for dest in 0..self.shards {
+                    let _dest_scope = incshrink_telemetry::shard_scope(dest as u64);
+                    incshrink_telemetry::observe(
+                        incshrink_telemetry::ObserveKind::ShuffleBucket,
+                        time,
+                        bucket_size as u64,
+                    );
+                }
+            }
             let mut meter = CostMeter::new();
             let routed = shuffle_route(
                 &batch.records,
@@ -177,7 +191,9 @@ impl ClusterShuffler {
                 &mut self.rng,
             );
             self.stats.overflow_events += routed.overflows;
-            max_shuffle = max_shuffle.max(self.cost_model.simulate(&meter.report()));
+            let shuffle_report = meter.report();
+            route_span.record_cost(shuffle_report.into());
+            max_shuffle = max_shuffle.max(self.cost_model.simulate(&shuffle_report));
             for (dest, (bucket, sources)) in
                 routed.buckets.into_iter().zip(routed.sources).enumerate()
             {
@@ -195,7 +211,9 @@ impl ClusterShuffler {
         for (records, ids) in dest_records.into_iter().zip(dest_ids) {
             let mut meter = CostMeter::new();
             let (records, ids) = self.compact_and_cut(records, ids, ingest_size, &mut meter);
-            max_compact = max_compact.max(self.cost_model.simulate(&meter.report()));
+            let compact_report = meter.report();
+            route_span.record_cost(compact_report.into());
+            max_compact = max_compact.max(self.cost_model.simulate(&compact_report));
             out.push(UploadBatch {
                 relation,
                 time,
@@ -207,6 +225,7 @@ impl ClusterShuffler {
         let duration = max_shuffle + max_compact;
         self.stats.total_secs += duration.as_secs_f64();
         self.stats.steps += 1;
+        route_span.record_sim_secs(duration.as_secs_f64());
         (out, duration)
     }
 

@@ -390,6 +390,10 @@ impl ShardPipeline {
     /// `advance_with_uploads(t, self.upload_batches(t))`, so co-partitioned
     /// trajectories are unchanged by the refactor.
     pub fn advance_with_uploads(&mut self, t: u64, uploads: StepUploads) -> PipelineStepOutcome {
+        // Telemetry is read-only with respect to the simulated state: the scope
+        // stamps emitted events with `t`, the span measures host time only.
+        let _step_scope = incshrink_telemetry::step_scope(t);
+        let _step_span = incshrink_telemetry::span!("pipeline.step");
         let mut outcome = PipelineStepOutcome::default();
 
         // --- Owner uploads (fixed-size padded batches every step).
@@ -426,9 +430,13 @@ impl ShardPipeline {
                 full_left_len,
             });
             if self.transform_flush_due(t) {
+                let mut transform_span = incshrink_telemetry::span!("transform");
                 let started = std::time::Instant::now();
                 let transform_outcome = self.transform.invoke_batched(&mut self.ctx, &self.pending);
                 self.host_transform_secs += started.elapsed().as_secs_f64();
+                transform_span.record_sim_secs(transform_outcome.duration.as_secs_f64());
+                transform_span.record_cost(transform_outcome.report.into());
+                drop(transform_span);
                 self.pending.clear();
                 outcome.transform_duration = Some(transform_outcome.duration);
                 outcome.transform_report = Some(transform_outcome.report);
@@ -447,9 +455,13 @@ impl ShardPipeline {
 
         // --- Shrink (DP strategies only).
         if self.config.strategy.uses_shrink() {
+            let mut shrink_span = incshrink_telemetry::span!("shrink");
             let shrink_outcome =
                 self.shrink
                     .step(&mut self.ctx, &mut self.cache, &mut self.view, t);
+            shrink_span.record_sim_secs(shrink_outcome.duration.as_secs_f64());
+            shrink_span.record_cost(shrink_outcome.report.into());
+            drop(shrink_span);
             outcome.shrink_duration = Some(shrink_outcome.duration);
             outcome.shrink_did_work = shrink_outcome.updated || shrink_outcome.flushed;
             outcome.synced = shrink_outcome.updated;
@@ -521,6 +533,7 @@ impl Simulation {
 
         let mut builder = SummaryBuilder::new();
         let mut trace = Vec::with_capacity(steps as usize);
+        let mut host_query_secs = 0.0;
 
         for t in 1..=steps {
             let outcome = pipeline.advance(t);
@@ -540,6 +553,9 @@ impl Simulation {
             let mut l1 = 0.0;
             let mut qet = SimDuration::ZERO;
             if t % config.query_interval == 0 {
+                let _step_scope = incshrink_telemetry::step_scope(t);
+                let mut query_span = incshrink_telemetry::span!("query");
+                let started = std::time::Instant::now();
                 // The counting query goes through the typed engine layer: the NM
                 // baseline recomputes (and exactly answers) the full join, every
                 // other strategy scans its materialized view.
@@ -549,6 +565,10 @@ impl Simulation {
                     }
                     _ => pipeline.execute_query(&Query::count()),
                 };
+                host_query_secs += started.elapsed().as_secs_f64();
+                query_span.record_sim_secs(outcome.qet.as_secs_f64());
+                query_span.record_cost(outcome.report.into());
+                drop(query_span);
                 let (ans, duration) = (outcome.value.expect_scalar(), outcome.qet);
                 answer = Some(ans);
                 l1 = ans.abs_diff(true_count) as f64;
@@ -578,6 +598,7 @@ impl Simulation {
 
         builder.record_totals(pipeline.view().sync_count(), pipeline.truncation_losses());
         builder.record_host_transform_secs(pipeline.host_transform_secs());
+        builder.record_host_query_secs(host_query_secs);
         RunReport {
             dataset: kind,
             config,

@@ -49,6 +49,14 @@ pub struct Summary {
     /// *real* measurement (unlike the simulated columns), the quantity the SoA
     /// kernel work optimizes (summed across shards for cluster runs).
     pub host_transform_secs: f64,
+    /// Host wall-clock seconds spent executing queries (scatter-gather included;
+    /// summed across shards for cluster runs). Excluded from `PartialEq` like
+    /// [`Self::host_transform_secs`].
+    pub host_query_secs: f64,
+    /// Host wall-clock seconds spent routing upload batches through the cluster
+    /// shuffle phase (0 for single-pair and co-located runs). Excluded from
+    /// `PartialEq` like [`Self::host_transform_secs`].
+    pub host_shuffle_secs: f64,
 }
 
 impl PartialEq for Summary {
@@ -87,6 +95,8 @@ pub struct SummaryBuilder {
     truncation_losses: u64,
     transform_compares: u64,
     host_transform_secs: f64,
+    host_query_secs: f64,
+    host_shuffle_secs: f64,
 }
 
 impl SummaryBuilder {
@@ -119,6 +129,17 @@ impl SummaryBuilder {
     /// so cluster drivers can accumulate it per shard).
     pub fn record_host_transform_secs(&mut self, secs: f64) {
         self.host_transform_secs += secs;
+    }
+
+    /// Record host wall-clock seconds spent executing queries (additive per shard).
+    pub fn record_host_query_secs(&mut self, secs: f64) {
+        self.host_query_secs += secs;
+    }
+
+    /// Record host wall-clock seconds spent in the cluster shuffle phase (additive
+    /// per step).
+    pub fn record_host_shuffle_secs(&mut self, secs: f64) {
+        self.host_shuffle_secs += secs;
     }
 
     /// Record one Shrink step (only steps that did DP work are counted so the average
@@ -162,6 +183,8 @@ impl SummaryBuilder {
             queries_issued: self.queries,
             transform_secure_compares: self.transform_compares,
             host_transform_secs: self.host_transform_secs,
+            host_query_secs: self.host_query_secs,
+            host_shuffle_secs: self.host_shuffle_secs,
         }
     }
 }
@@ -201,6 +224,9 @@ mod tests {
         b.record_transform_compares(23);
         b.record_host_transform_secs(0.25);
         b.record_host_transform_secs(0.5);
+        b.record_host_query_secs(0.125);
+        b.record_host_query_secs(0.125);
+        b.record_host_shuffle_secs(0.0625);
 
         let s = b.build();
         assert!((s.avg_l1_error - 5.0).abs() < 1e-12);
@@ -217,6 +243,21 @@ mod tests {
         assert_eq!(s.queries_issued, 2);
         assert_eq!(s.transform_secure_compares, 123);
         assert!((s.host_transform_secs - 0.75).abs() < 1e-12);
+        assert!((s.host_query_secs - 0.25).abs() < 1e-12);
+        assert!((s.host_shuffle_secs - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_time_fields_are_excluded_from_equality() {
+        let mut a = SummaryBuilder::new();
+        a.record_query(1.0, 0.1, SimDuration::from_secs_f64(0.01));
+        let mut b = a.clone();
+        a.record_host_transform_secs(1.0);
+        a.record_host_query_secs(2.0);
+        a.record_host_shuffle_secs(3.0);
+        assert_eq!(a.build(), b.build());
+        b.record_query(1.0, 0.1, SimDuration::from_secs_f64(0.01));
+        assert_ne!(a.build(), b.build());
     }
 
     #[test]

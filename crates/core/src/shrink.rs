@@ -84,6 +84,7 @@ impl ShrinkProtocol {
     fn refresh_ant_threshold(&mut self, ctx: &mut TwoPartyContext, theta: f64) {
         // Algorithm 3 line 2/11: θ̃ ← JointNoise(S0, S1, b, ε1/2, θ) with ε1 = ε/2.
         let epsilon1 = self.epsilon / 2.0;
+        let _mech = incshrink_telemetry::mechanism_scope("ant.threshold");
         let noisy = joint_laplace_noise(ctx, self.contribution_bound as f64, epsilon1 / 2.0, theta);
         self.store_noisy_threshold(ctx, noisy);
     }
@@ -161,6 +162,7 @@ impl ShrinkProtocol {
         match self.strategy {
             UpdateStrategy::DpTimer { interval } if time > 0 && time % interval == 0 => {
                 // Algorithm 2: sz ← c + Lap(b/ε).
+                let _mech = incshrink_telemetry::mechanism_scope("timer.sync");
                 outcome.read_size = self.synchronize(ctx, cache, view, self.epsilon, time);
                 outcome.updated = true;
             }
@@ -174,14 +176,18 @@ impl ShrinkProtocol {
                 // Algorithm 3 lines 5-7: compare the noised counter with the noised
                 // threshold.
                 let counter = ctx.recover_named(CARDINALITY_SHARE).unwrap_or(0);
-                let noisy_counter = joint_laplace_noise(
-                    ctx,
-                    self.contribution_bound as f64,
-                    epsilon1 / 4.0,
-                    f64::from(counter),
-                );
+                let noisy_counter = {
+                    let _mech = incshrink_telemetry::mechanism_scope("ant.counter");
+                    joint_laplace_noise(
+                        ctx,
+                        self.contribution_bound as f64,
+                        epsilon1 / 4.0,
+                        f64::from(counter),
+                    )
+                };
                 let noisy_threshold = self.load_noisy_threshold(ctx);
                 if noisy_counter >= noisy_threshold {
+                    let _mech = incshrink_telemetry::mechanism_scope("ant.sync");
                     outcome.read_size = self.synchronize(ctx, cache, view, epsilon2, time);
                     outcome.updated = true;
                     // Lines 11-12: refresh the noisy threshold with fresh randomness.

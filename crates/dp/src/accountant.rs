@@ -181,6 +181,60 @@ impl PrivacyAccountant {
         lifetime_stability as f64 * max_eps
     }
 
+    /// The recorded applications, in order.
+    #[must_use]
+    pub fn applications(&self) -> &[MechanismApplication] {
+        &self.applications
+    }
+
+    /// Largest per-invocation mechanism ε recorded (0 when empty).
+    #[must_use]
+    pub fn max_mechanism_epsilon(&self) -> f64 {
+        self.applications
+            .iter()
+            .map(|a| a.mechanism_epsilon)
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Rebuild an accountant from a replayed telemetry ε-ledger: each
+    /// [`LedgerEntry`](incshrink_telemetry::LedgerEntry) is one mechanism
+    /// invocation at its per-invocation ε, recorded as a 1-stable sequential
+    /// application (stability amplification is already reflected in the
+    /// entry's sensitivity, not its ε).
+    #[must_use]
+    pub fn replay_ledger(entries: &[incshrink_telemetry::LedgerEntry]) -> Self {
+        let mut accountant = Self::new();
+        for entry in entries {
+            accountant.record(MechanismApplication {
+                mechanism_epsilon: entry.epsilon,
+                stability: 1,
+                disjoint: false,
+            });
+        }
+        accountant
+    }
+
+    /// Reconcile this accountant's claimed budget with a replayed ε-ledger
+    /// under the Theorem-3 bound: the ledger must be non-empty whenever the
+    /// accountant recorded applications, and no single spend in the ledger may
+    /// push the replayed `b · max ε` bound above the claimed one.
+    #[must_use]
+    pub fn reconciles_with_ledger(
+        &self,
+        entries: &[incshrink_telemetry::LedgerEntry],
+        lifetime_stability: u64,
+    ) -> bool {
+        if self.is_empty() {
+            return entries.is_empty();
+        }
+        if entries.is_empty() {
+            return false;
+        }
+        let replayed = Self::replay_ledger(entries);
+        replayed.budgeted_epsilon(lifetime_stability)
+            <= self.budgeted_epsilon(lifetime_stability) + 1e-9
+    }
+
     /// Naive sequential-composition bound (no contribution constraint): the sum of
     /// `q_i · ε_i` over all non-disjoint applications plus the max over disjoint ones.
     /// This is the quantity that *grows without bound* when contributions are not
@@ -280,6 +334,38 @@ mod tests {
         // Parallel composition over disjoint data: only the max term counts.
         assert!((acc.unbudgeted_epsilon() - 1.0).abs() < 1e-9);
         assert!((acc.budgeted_epsilon(4) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_replay_reconciles_with_the_claimed_budget() {
+        let entry = |epsilon: f64| incshrink_telemetry::LedgerEntry {
+            mechanism: "timer.sync".to_string(),
+            epsilon,
+            sensitivity: 10.0,
+            step: Some(1),
+            shard: None,
+        };
+        let mut claimed = PrivacyAccountant::new();
+        claimed.record(MechanismApplication {
+            mechanism_epsilon: 0.15,
+            stability: 1,
+            disjoint: false,
+        });
+        // Any number of spends at (or below) the claimed per-invocation ε
+        // reconciles; a single overspend does not.
+        let within: Vec<_> = (0..40).map(|_| entry(0.15)).collect();
+        assert!(claimed.reconciles_with_ledger(&within, 10));
+        assert!((claimed.max_mechanism_epsilon() - 0.15).abs() < 1e-12);
+        let mut overspent = within.clone();
+        overspent.push(entry(0.2));
+        assert!(!claimed.reconciles_with_ledger(&overspent, 10));
+        // An empty ledger against recorded applications means emission is
+        // broken; an empty accountant expects an empty ledger.
+        assert!(!claimed.reconciles_with_ledger(&[], 10));
+        assert!(PrivacyAccountant::new().reconciles_with_ledger(&[], 10));
+        assert!(!PrivacyAccountant::new().reconciles_with_ledger(&within, 10));
+        assert_eq!(PrivacyAccountant::replay_ledger(&within).len(), 40);
+        assert_eq!(claimed.applications().len(), 1);
     }
 
     proptest! {

@@ -21,6 +21,11 @@ pub fn joint_laplace_noise(
 ) -> f64 {
     assert!(sensitivity > 0.0, "sensitivity must be positive");
     assert!(epsilon > 0.0, "epsilon must be positive");
+    // Every joint mechanism invocation flows through here, so this is where the
+    // ε-ledger is written. The emission is a pure read of (ε, Δ) plus the
+    // ambient telemetry scopes — it never touches the context, so traced and
+    // untraced runs consume identical randomness and meter charges.
+    incshrink_telemetry::epsilon_spent(epsilon, sensitivity);
     let rnd = ctx.joint_randomness();
     // Converting the joint seed and evaluating ln / multiplication inside a garbled
     // circuit costs a small fixed number of secure additions; charge a constant.

@@ -135,6 +135,19 @@ impl CostReport {
     }
 }
 
+impl From<CostReport> for incshrink_telemetry::CostDelta {
+    fn from(report: CostReport) -> Self {
+        incshrink_telemetry::CostDelta {
+            compares: report.secure_compares,
+            swaps: report.secure_swaps,
+            ands: report.secure_ands,
+            adds: report.secure_adds,
+            bytes: report.bytes_communicated,
+            rounds: report.rounds,
+        }
+    }
+}
+
 impl Add for CostReport {
     type Output = CostReport;
     fn add(self, rhs: Self) -> Self::Output {

@@ -156,8 +156,28 @@ impl ServerPair {
     }
 
     /// Record the same observation on both servers (events both can see, e.g. the
-    /// padded size of an upload batch).
+    /// padded size of an upload batch). This is the single choke point through
+    /// which every server-observable size flows, so it also mirrors the event
+    /// to any installed telemetry collector (a pure read of the event — the
+    /// leakage auditor's raw material).
     pub fn observe_both(&mut self, event: ObservedEvent) {
+        if incshrink_telemetry::installed() {
+            let (kind, time, count) = match event {
+                ObservedEvent::UploadBatch { time, count } => {
+                    (incshrink_telemetry::ObserveKind::UploadBatch, time, count)
+                }
+                ObservedEvent::CacheAppend { time, count } => {
+                    (incshrink_telemetry::ObserveKind::CacheAppend, time, count)
+                }
+                ObservedEvent::ViewSync { time, count } => {
+                    (incshrink_telemetry::ObserveKind::ViewSync, time, count)
+                }
+                ObservedEvent::CacheFlush { time, count } => {
+                    (incshrink_telemetry::ObserveKind::CacheFlush, time, count)
+                }
+            };
+            incshrink_telemetry::observe(kind, time, count as u64);
+        }
         self.s0.observe(event.clone());
         self.s1.observe(event);
     }

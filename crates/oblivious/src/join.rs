@@ -520,17 +520,15 @@ pub fn truncated_nested_loop_join<R: Rng + ?Sized>(
     if bound == 0 {
         return out;
     }
+    let mut join_span = incshrink_telemetry::span!("join.nested_loop");
     let outer_plain: Vec<PlainRecord> = outer.entries().iter().map(|e| e.recover()).collect();
     let inner_plain: Vec<PlainRecord> = inner.entries().iter().map(|e| e.recover()).collect();
 
     // Cost accounting: |outer|·|inner| secure comparisons and budget checks, plus an
     // oblivious sort of each per-outer buffer of |inner| slots, plus the output write.
-    meter.record(nested_loop_join_cost(
-        outer_plain.len(),
-        inner_plain.len(),
-        bound,
-        out_arity,
-    ));
+    let cost = nested_loop_join_cost(outer_plain.len(), inner_plain.len(), bound, out_arity);
+    join_span.record_cost(cost.into());
+    meter.record(cost);
 
     for produced in truncated_match(&outer_plain, &inner_plain, spec, bound) {
         push_padded(&mut out, produced, bound, out_arity, rng);
@@ -574,14 +572,11 @@ pub fn truncated_sort_merge_delta_join<R: Rng + ?Sized>(
     if bound == 0 {
         return out;
     }
+    let mut join_span = incshrink_telemetry::span!("join.sort_merge");
     let merged_arity = outer.arity().unwrap_or(0).max(inner.arity().unwrap_or(0)) + 2;
-    meter.record(delta_sort_merge_join_cost(
-        outer.len(),
-        inner.len(),
-        bound,
-        out_arity,
-        merged_arity,
-    ));
+    let cost = delta_sort_merge_join_cost(outer.len(), inner.len(), bound, out_arity, merged_arity);
+    join_span.record_cost(cost.into());
+    meter.record(cost);
 
     let outer_plain: Vec<PlainRecord> = outer.entries().iter().map(|e| e.recover()).collect();
     let inner_plain: Vec<PlainRecord> = inner.entries().iter().map(|e| e.recover()).collect();

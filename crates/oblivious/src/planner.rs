@@ -148,10 +148,12 @@ impl Calibration {
             && self.secs_per_add == 0.0
     }
 
-    /// Parse a calibration from JSON. Accepts either a bare object
-    /// (`{"secs_per_compare": ..., ...}`) or the full `kernel_throughput` report,
-    /// whose calibration lives under a top-level `"calibration"` key. Unknown keys
-    /// are ignored; absent fields keep their [`Default`] values.
+    /// Parse a calibration from JSON. Accepts a bare object
+    /// (`{"secs_per_compare": ..., ...}`), the `kernel_throughput` report whose
+    /// calibration lives under a top-level `"calibration"` key, or the bench
+    /// envelope (`incshrink_bench::report::write_json`) that nests that report
+    /// under a `"rows"` key. Unknown keys are ignored; absent fields keep their
+    /// [`Default`] values.
     ///
     /// # Errors
     /// Returns a [`serde_json::ParseError`] when the input is not valid JSON, the
@@ -165,6 +167,17 @@ impl Calibration {
                 0,
             ));
         };
+        // The bench envelope nests the whole kernel_throughput payload under a
+        // `"rows"` object key; descend through it first (the payload's own
+        // `"rows"` field is an array, so a raw report is never double-unwrapped).
+        if let Some(idx) = entries
+            .iter()
+            .position(|(k, v)| k == "rows" && matches!(v, serde_json::Value::Object(_)))
+        {
+            if let serde_json::Value::Object(inner) = entries.swap_remove(idx).1 {
+                entries = inner;
+            }
+        }
         if let Some(idx) = entries.iter().position(|(k, _)| k == "calibration") {
             let serde_json::Value::Object(inner) = entries.swap_remove(idx).1 else {
                 return Err(serde_json::ParseError::new(
@@ -560,6 +573,26 @@ mod tests {
 
         assert!(Calibration::from_json_str("not json").is_err());
         assert!(Calibration::from_json_str(r#"{"secs_per_compare": "fast"}"#).is_err());
+    }
+
+    #[test]
+    fn calibration_parses_the_bench_envelope() {
+        // The bench envelope nests the kernel_throughput payload (whose own
+        // "rows" field is an array) under a top-level "rows" object key.
+        let enveloped = Calibration::from_json_str(
+            r#"{"bin": "kernel_throughput", "schema_version": 1, "meta": {},
+                "rows": {"rows": [{"n": 4096}],
+                         "calibration": {"secs_per_compare": 3e-8, "secs_per_add": 6e-9}}}"#,
+        )
+        .unwrap();
+        assert!((enveloped.secs_per_compare - 3e-8).abs() < 1e-20);
+        assert!((enveloped.secs_per_add - 6e-9).abs() < 1e-20);
+        // A raw report whose "rows" is an array is not double-unwrapped.
+        let raw = Calibration::from_json_str(
+            r#"{"rows": [{"n": 4096}], "calibration": {"secs_per_compare": 3e-8}}"#,
+        )
+        .unwrap();
+        assert!((raw.secs_per_compare - 3e-8).abs() < 1e-20);
     }
 
     #[test]

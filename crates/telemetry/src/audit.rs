@@ -1,0 +1,568 @@
+//! The leakage auditor: machine-checks of the paper's leakage claims against a
+//! recorded trace.
+//!
+//! DP-Sync's trace-leakage definition (arXiv 2103.15942) says the *only* thing
+//! the two untrusted servers may learn is the update pattern — and that
+//! pattern must be simulatable from public parameters plus the outputs of the
+//! DP mechanisms. Concretely, in this codebase:
+//!
+//! * **Noise-free observables** — upload batch sizes, padded Transform delta
+//!   sizes, shuffle bucket sizes, and flush times — are functions of public
+//!   parameters alone and must be *identical* across runs that share a
+//!   configuration, whatever the data says.
+//! * **DP-protected observables** — view-sync *sizes* (always) and view-sync
+//!   *times* (for `sDPANT`, whose firing decision reads a noised counter) —
+//!   may vary with the data, but only through the DP mechanism's output.
+//!
+//! [`LeakageProfile`] extracts exactly the noise-free portion of a trace so a
+//! property test can assert it is data-independent; [`check_trace`] runs
+//! single-trace structural checks (padding sizes, cadences, ε bounds) that
+//! need no second run; [`LedgerSummary`] aggregates the ε-ledger so the
+//! accountant's claimed budget can be reconciled with the ε actually spent.
+
+use crate::event::{Event, ObserveKind, ObserveRecord};
+
+/// Whether view-sync *times* are public (timer cadence) or themselves the
+/// output of a DP mechanism (ANT's noised counter-vs-threshold comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncTiming {
+    /// `sDPTimer`: syncs fire at a public cadence; their times belong in the
+    /// data-independent profile.
+    Public,
+    /// `sDPANT`: syncs fire when a DP-noised counter crosses a DP-noised
+    /// threshold; their times are DP-protected and excluded from the profile.
+    DpProtected,
+}
+
+/// One entry of the noise-free observable profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileEntry {
+    /// A sized observation whose count is a function of public parameters.
+    Sized(ObserveRecord),
+    /// A timing-only observation (the size is DP-noised, the time is public).
+    TimedOnly {
+        /// What was observed.
+        kind: ObserveKind,
+        /// Simulation step of the observation.
+        step: u64,
+        /// Shard index, if any.
+        shard: Option<u64>,
+    },
+}
+
+/// The noise-free portion of a trace's server-observable events: everything
+/// that must be bit-identical across same-config runs regardless of the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakageProfile {
+    entries: Vec<ProfileEntry>,
+}
+
+impl LeakageProfile {
+    /// Extract the noise-free observable profile from a trace.
+    ///
+    /// Upload batches, cache appends and shuffle buckets keep their sizes;
+    /// cache flushes keep only their times (the flushed count depends on the
+    /// residual cache size, which earlier noised reads make data-dependent);
+    /// view syncs keep their times under [`SyncTiming::Public`] and are
+    /// dropped entirely under [`SyncTiming::DpProtected`].
+    #[must_use]
+    pub fn from_events(events: &[Event], sync_timing: SyncTiming) -> Self {
+        let mut entries = Vec::new();
+        for event in events {
+            let Event::Observe(o) = event else {
+                continue;
+            };
+            match o.kind {
+                ObserveKind::UploadBatch
+                | ObserveKind::CacheAppend
+                | ObserveKind::ShuffleBucket => {
+                    entries.push(ProfileEntry::Sized(*o));
+                }
+                ObserveKind::CacheFlush => entries.push(ProfileEntry::TimedOnly {
+                    kind: o.kind,
+                    step: o.step,
+                    shard: o.shard,
+                }),
+                ObserveKind::ViewSync => {
+                    if sync_timing == SyncTiming::Public {
+                        entries.push(ProfileEntry::TimedOnly {
+                            kind: o.kind,
+                            step: o.step,
+                            shard: o.shard,
+                        });
+                    }
+                }
+            }
+        }
+        Self { entries }
+    }
+
+    /// The profile entries, in trace order.
+    #[must_use]
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+}
+
+/// Aggregated ε spends for one mechanism label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismStat {
+    /// Mechanism label (e.g. `"timer.sync"`).
+    pub mechanism: String,
+    /// Number of ledger entries with this label.
+    pub invocations: u64,
+    /// Sum of ε across those entries.
+    pub total_epsilon: f64,
+    /// Largest single-invocation ε.
+    pub max_epsilon: f64,
+    /// Distinct per-invocation ε values, ascending.
+    pub epsilons: Vec<f64>,
+}
+
+/// The replayable ε-ledger of a trace, aggregated per mechanism.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LedgerSummary {
+    /// Total number of ledger entries in the trace.
+    pub entries: usize,
+    /// Largest single-invocation ε anywhere in the ledger.
+    pub max_epsilon: f64,
+    /// Per-mechanism aggregates, in first-seen order.
+    pub mechanisms: Vec<MechanismStat>,
+}
+
+impl LedgerSummary {
+    /// Aggregate every [`Event::Epsilon`] entry in a trace.
+    #[must_use]
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut summary = LedgerSummary::default();
+        for event in events {
+            let Event::Epsilon(e) = event else {
+                continue;
+            };
+            summary.entries += 1;
+            summary.max_epsilon = summary.max_epsilon.max(e.epsilon);
+            let stat = match summary
+                .mechanisms
+                .iter_mut()
+                .find(|m| m.mechanism == e.mechanism)
+            {
+                Some(stat) => stat,
+                None => {
+                    summary.mechanisms.push(MechanismStat {
+                        mechanism: e.mechanism.clone(),
+                        invocations: 0,
+                        total_epsilon: 0.0,
+                        max_epsilon: 0.0,
+                        epsilons: Vec::new(),
+                    });
+                    summary.mechanisms.last_mut().expect("just pushed")
+                }
+            };
+            stat.invocations += 1;
+            stat.total_epsilon += e.epsilon;
+            stat.max_epsilon = stat.max_epsilon.max(e.epsilon);
+            if !stat.epsilons.iter().any(|&x| (x - e.epsilon).abs() < 1e-12) {
+                stat.epsilons.push(e.epsilon);
+                stat.epsilons.sort_by(f64::total_cmp);
+            }
+        }
+        summary
+    }
+
+    /// The aggregate for `mechanism`, if the ledger contains it.
+    #[must_use]
+    pub fn mechanism(&self, mechanism: &str) -> Option<&MechanismStat> {
+        self.mechanisms.iter().find(|m| m.mechanism == mechanism)
+    }
+}
+
+/// Config-derived expectations for [`check_trace`]. Every field is optional;
+/// `None` skips the corresponding exact check (the generic structural checks
+/// always run).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Expectations {
+    /// Exact padded size of every Transform delta (CacheAppend count).
+    pub delta_batch: Option<u64>,
+    /// Cache flushes must land on multiples of this interval.
+    pub flush_interval: Option<u64>,
+    /// View syncs must land on multiples of this interval (`sDPTimer` only).
+    pub timer_interval: Option<u64>,
+    /// Exact padded size of every shuffle routing bucket.
+    pub bucket_size: Option<u64>,
+    /// No single ledger entry may spend more than this ε.
+    pub max_epsilon: Option<f64>,
+}
+
+/// A passed audit: what was checked.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Number of observable-size events inspected.
+    pub observes_checked: usize,
+    /// Number of ε-ledger entries inspected.
+    pub ledger_entries: usize,
+    /// Number of spans seen (not themselves audited, reported for context).
+    pub spans_seen: usize,
+}
+
+/// A failed audit: every violated claim, in trace order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditError {
+    /// Human-readable description of each violation.
+    pub violations: Vec<String>,
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "leakage audit failed with {} violation(s):",
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Machine-check a single trace's structural leakage claims.
+///
+/// Generic checks (always on):
+/// * every Transform delta appended to a shard's cache has the same padded
+///   size as that shard's other deltas — the cache-growth pattern leaks
+///   nothing but the public schedule;
+/// * within one step, every destination shard receives the same sequence of
+///   shuffle-bucket sizes — routing leaks nothing about which shard owns the
+///   hot keys (left and right relations route separately within a step, so
+///   sizes may differ *across* routing phases but never *across*
+///   destinations);
+/// * every ε-ledger entry has positive ε and positive sensitivity.
+///
+/// Traces that sweep several configurations through one process (every bench
+/// binary does) are segmented at step-counter resets: observable steps within
+/// one simulation only ever advance, so an observable whose step is *smaller*
+/// than its predecessor's marks the start of a new run, and the structural
+/// checks restart with it.
+///
+/// Exact checks run for each `Some` field of [`Expectations`].
+///
+/// # Errors
+/// Returns an [`AuditError`] listing every violated claim.
+pub fn check_trace(events: &[Event], expect: &Expectations) -> Result<AuditReport, AuditError> {
+    let mut report = AuditReport::default();
+    let mut violations = Vec::new();
+    // Run segmentation: a step decrease between consecutive observables marks
+    // the start of a new simulation run within the same trace.
+    let mut run = 0u64;
+    let mut last_step: Option<u64> = None;
+    // Per-(run, shard) first-seen CacheAppend size (shard `None` keyed
+    // separately).
+    let mut append_sizes: Vec<((u64, Option<u64>), u64)> = Vec::new();
+    // Per-(run, step), per-destination ShuffleBucket size sequences (trace
+    // order).
+    type BucketLanes = Vec<(Option<u64>, Vec<u64>)>;
+    let mut bucket_lanes: Vec<((u64, u64), BucketLanes)> = Vec::new();
+
+    for event in events {
+        match event {
+            Event::Span(_) => report.spans_seen += 1,
+            Event::Observe(o) => {
+                report.observes_checked += 1;
+                if last_step.is_some_and(|last| o.step < last) {
+                    run += 1;
+                }
+                last_step = Some(o.step);
+                match o.kind {
+                    ObserveKind::CacheAppend => {
+                        match append_sizes.iter().find(|(key, _)| *key == (run, o.shard)) {
+                            Some(&(_, first)) if first != o.count => violations.push(format!(
+                                "cache append at step {} (shard {:?}) has size {}, expected the shard's padded delta size {}",
+                                o.step, o.shard, o.count, first
+                            )),
+                            Some(_) => {}
+                            None => append_sizes.push(((run, o.shard), o.count)),
+                        }
+                        if let Some(expected) = expect.delta_batch {
+                            if o.count != expected {
+                                violations.push(format!(
+                                    "cache append at step {} (shard {:?}) has size {}, expected configured padded size {}",
+                                    o.step, o.shard, o.count, expected
+                                ));
+                            }
+                        }
+                    }
+                    ObserveKind::ShuffleBucket => {
+                        let lanes = match bucket_lanes
+                            .iter_mut()
+                            .find(|(key, _)| *key == (run, o.step))
+                        {
+                            Some((_, lanes)) => lanes,
+                            None => {
+                                bucket_lanes.push(((run, o.step), Vec::new()));
+                                &mut bucket_lanes.last_mut().expect("just pushed").1
+                            }
+                        };
+                        match lanes.iter_mut().find(|(shard, _)| *shard == o.shard) {
+                            Some((_, counts)) => counts.push(o.count),
+                            None => lanes.push((o.shard, vec![o.count])),
+                        }
+                        if let Some(expected) = expect.bucket_size {
+                            if o.count != expected {
+                                violations.push(format!(
+                                    "shuffle bucket at step {} has size {}, expected configured size {}",
+                                    o.step, o.count, expected
+                                ));
+                            }
+                        }
+                    }
+                    ObserveKind::CacheFlush => {
+                        if let Some(interval) = expect.flush_interval {
+                            if interval == 0 || o.step == 0 || o.step % interval != 0 {
+                                violations.push(format!(
+                                    "cache flush at step {} is off the public flush cadence {}",
+                                    o.step, interval
+                                ));
+                            }
+                        }
+                    }
+                    ObserveKind::ViewSync => {
+                        if let Some(interval) = expect.timer_interval {
+                            if interval == 0 || o.step == 0 || o.step % interval != 0 {
+                                violations.push(format!(
+                                    "view sync at step {} is off the public timer cadence {}",
+                                    o.step, interval
+                                ));
+                            }
+                        }
+                    }
+                    ObserveKind::UploadBatch => {}
+                }
+            }
+            Event::Epsilon(e) => {
+                report.ledger_entries += 1;
+                if e.epsilon.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    violations.push(format!(
+                        "ledger entry `{}` at step {:?} has non-positive ε {}",
+                        e.mechanism, e.step, e.epsilon
+                    ));
+                }
+                if e.sensitivity.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    violations.push(format!(
+                        "ledger entry `{}` at step {:?} has non-positive sensitivity {}",
+                        e.mechanism, e.step, e.sensitivity
+                    ));
+                }
+                if let Some(max) = expect.max_epsilon {
+                    if e.epsilon > max + 1e-12 {
+                        violations.push(format!(
+                            "ledger entry `{}` at step {:?} spends ε {} above the per-invocation bound {}",
+                            e.mechanism, e.step, e.epsilon, max
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Routing symmetry: within one step, every destination shard must have
+    // received the same sequence of bucket sizes (emission order is
+    // deterministic, so ordered equality is the right comparison).
+    for ((_, step), lanes) in &bucket_lanes {
+        let Some((first_shard, reference)) = lanes.first() else {
+            continue;
+        };
+        for (shard, counts) in &lanes[1..] {
+            if counts != reference {
+                violations.push(format!(
+                    "shuffle buckets at step {step} are asymmetric across destinations: \
+                     shard {shard:?} received sizes {counts:?} but shard {first_shard:?} \
+                     received {reference:?}"
+                ));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(report)
+    } else {
+        Err(AuditError { violations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{LedgerEntry, SpanRecord};
+
+    fn ob(kind: ObserveKind, step: u64, shard: Option<u64>, count: u64) -> Event {
+        Event::Observe(ObserveRecord {
+            kind,
+            step,
+            shard,
+            count,
+        })
+    }
+
+    fn eps(mechanism: &str, epsilon: f64) -> Event {
+        Event::Epsilon(LedgerEntry {
+            mechanism: mechanism.to_string(),
+            epsilon,
+            sensitivity: 1.0,
+            step: Some(1),
+            shard: None,
+        })
+    }
+
+    #[test]
+    fn profile_keeps_noise_free_observables_and_drops_noised_sizes() {
+        let events = vec![
+            ob(ObserveKind::UploadBatch, 1, None, 4),
+            ob(ObserveKind::CacheAppend, 1, None, 8),
+            ob(ObserveKind::ViewSync, 10, None, 13),
+            ob(ObserveKind::CacheFlush, 50, None, 5),
+        ];
+        let public = LeakageProfile::from_events(&events, SyncTiming::Public);
+        assert_eq!(public.entries().len(), 4);
+        assert!(matches!(
+            public.entries()[2],
+            ProfileEntry::TimedOnly {
+                kind: ObserveKind::ViewSync,
+                step: 10,
+                ..
+            }
+        ));
+        let protected = LeakageProfile::from_events(&events, SyncTiming::DpProtected);
+        assert_eq!(protected.entries().len(), 3);
+        // A differently-noised sync size must not change the public profile.
+        let mut renoised = events.clone();
+        renoised[2] = ob(ObserveKind::ViewSync, 10, None, 29);
+        assert_eq!(
+            LeakageProfile::from_events(&renoised, SyncTiming::Public),
+            public
+        );
+    }
+
+    #[test]
+    fn ledger_summary_aggregates_per_mechanism() {
+        let events = vec![
+            eps("timer.sync", 0.15),
+            eps("timer.sync", 0.15),
+            eps("ant.counter", 0.05),
+        ];
+        let summary = LedgerSummary::from_events(&events);
+        assert_eq!(summary.entries, 3);
+        assert!((summary.max_epsilon - 0.15).abs() < 1e-12);
+        let timer = summary.mechanism("timer.sync").expect("present");
+        assert_eq!(timer.invocations, 2);
+        assert!((timer.total_epsilon - 0.3).abs() < 1e-12);
+        assert_eq!(timer.epsilons.len(), 1);
+        assert!(summary.mechanism("missing").is_none());
+    }
+
+    #[test]
+    fn check_trace_accepts_a_clean_trace() {
+        let events = vec![
+            Event::Span(SpanRecord {
+                name: "transform".to_string(),
+                step: Some(1),
+                shard: None,
+                depth: 0,
+                host_nanos: 10,
+                sim_nanos: None,
+                cost: None,
+            }),
+            ob(ObserveKind::CacheAppend, 1, None, 8),
+            ob(ObserveKind::CacheAppend, 2, None, 8),
+            ob(ObserveKind::ViewSync, 10, None, 3),
+            ob(ObserveKind::CacheFlush, 50, None, 5),
+            ob(ObserveKind::ShuffleBucket, 1, Some(0), 6),
+            ob(ObserveKind::ShuffleBucket, 1, Some(1), 6),
+            eps("timer.sync", 0.15),
+        ];
+        let report = check_trace(
+            &events,
+            &Expectations {
+                delta_batch: Some(8),
+                flush_interval: Some(50),
+                timer_interval: Some(10),
+                bucket_size: Some(6),
+                max_epsilon: Some(0.15),
+            },
+        )
+        .expect("clean trace");
+        assert_eq!(report.observes_checked, 6);
+        assert_eq!(report.ledger_entries, 1);
+        assert_eq!(report.spans_seen, 1);
+    }
+
+    #[test]
+    fn step_resets_segment_a_multi_run_trace() {
+        // One bench process sweeping two configurations: the second run's
+        // different padded delta size is legitimate, not a violation.
+        let events = vec![
+            ob(ObserveKind::CacheAppend, 1, None, 13),
+            ob(ObserveKind::CacheAppend, 2, None, 13),
+            ob(ObserveKind::CacheAppend, 1, None, 80),
+            ob(ObserveKind::CacheAppend, 2, None, 80),
+        ];
+        check_trace(&events, &Expectations::default()).expect("segmented runs are clean");
+        // Within one run (steps only advancing), a size change still flags.
+        let events = vec![
+            ob(ObserveKind::CacheAppend, 1, None, 13),
+            ob(ObserveKind::CacheAppend, 2, None, 80),
+        ];
+        check_trace(&events, &Expectations::default()).expect_err("in-run size change");
+    }
+
+    #[test]
+    fn bucket_symmetry_allows_per_phase_sizes_but_not_destination_skew() {
+        // Left and right relations route separately within a step, so each
+        // destination sees the sequence [6, 4] — symmetric, hence clean.
+        let sym = vec![
+            ob(ObserveKind::ShuffleBucket, 1, Some(0), 6),
+            ob(ObserveKind::ShuffleBucket, 1, Some(1), 6),
+            ob(ObserveKind::ShuffleBucket, 1, Some(0), 4),
+            ob(ObserveKind::ShuffleBucket, 1, Some(1), 4),
+        ];
+        check_trace(&sym, &Expectations::default()).expect("per-phase sizes are symmetric");
+        // A destination receiving a differently-sized bucket leaks key skew.
+        let mut skew = sym;
+        skew[3] = ob(ObserveKind::ShuffleBucket, 1, Some(1), 5);
+        let err = check_trace(&skew, &Expectations::default()).expect_err("destination skew");
+        assert!(err.to_string().contains("asymmetric"));
+    }
+
+    #[test]
+    fn check_trace_flags_every_violation_class() {
+        let events = vec![
+            ob(ObserveKind::CacheAppend, 1, None, 8),
+            ob(ObserveKind::CacheAppend, 2, None, 9),
+            ob(ObserveKind::ViewSync, 7, None, 3),
+            ob(ObserveKind::CacheFlush, 49, None, 5),
+            ob(ObserveKind::ShuffleBucket, 1, Some(0), 6),
+            ob(ObserveKind::ShuffleBucket, 1, Some(1), 7),
+            eps("timer.sync", 0.5),
+            eps("broken", -1.0),
+        ];
+        let err = check_trace(
+            &events,
+            &Expectations {
+                delta_batch: None,
+                flush_interval: Some(50),
+                timer_interval: Some(10),
+                bucket_size: None,
+                max_epsilon: Some(0.15),
+            },
+        )
+        .expect_err("dirty trace");
+        assert!(err.violations.len() >= 5, "{err}");
+        let rendered = err.to_string();
+        assert!(rendered.contains("cache append"));
+        assert!(rendered.contains("shuffle bucket"));
+        assert!(rendered.contains("flush cadence"));
+        assert!(rendered.contains("timer cadence"));
+        assert!(rendered.contains("non-positive"));
+    }
+}

@@ -1,0 +1,185 @@
+//! The [`Collector`] trait and the thread-local collector stack.
+//!
+//! The stack is thread-local rather than process-global so that `cargo test`'s
+//! parallel test threads cannot observe each other's traces. Installation is
+//! scoped by an RAII guard; nesting installs fan events out to every collector
+//! on the stack.
+
+use crate::event::Event;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// A sink for telemetry events.
+///
+/// Implementations must not mutate any simulated state (meters, rngs,
+/// simulated clocks): the neutrality contract requires that installing a
+/// collector leaves trajectories bit-for-bit unchanged.
+pub trait Collector: Send + Sync {
+    /// Receive one event.
+    fn record(&self, event: Event);
+    /// Flush any buffered output. Called when an [`InstallGuard`] drops.
+    fn flush(&self) {}
+}
+
+struct TlState {
+    collectors: Vec<Arc<dyn Collector>>,
+    step: Option<u64>,
+    shard: Option<u64>,
+    mechanisms: Vec<&'static str>,
+    depth: u32,
+}
+
+thread_local! {
+    static STATE: RefCell<TlState> = const {
+        RefCell::new(TlState {
+            collectors: Vec::new(),
+            step: None,
+            shard: None,
+            mechanisms: Vec::new(),
+            depth: 0,
+        })
+    };
+}
+
+/// RAII guard returned by [`install`]; dropping it flushes and uninstalls the
+/// collector.
+#[must_use = "dropping the guard uninstalls the collector"]
+pub struct InstallGuard {
+    collector: Arc<dyn Collector>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        self.collector.flush();
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s
+                .collectors
+                .iter()
+                .rposition(|c| Arc::ptr_eq(c, &self.collector))
+            {
+                s.collectors.remove(pos);
+            }
+        });
+    }
+}
+
+/// Install a collector on the current thread's stack. Events are delivered to
+/// every installed collector until the returned guard drops.
+pub fn install(collector: Arc<dyn Collector>) -> InstallGuard {
+    STATE.with(|s| s.borrow_mut().collectors.push(collector.clone()));
+    InstallGuard { collector }
+}
+
+/// True when at least one collector is installed on this thread. All emission
+/// entry points early-return (no clock reads, no allocation) when this is
+/// false.
+#[must_use]
+pub fn installed() -> bool {
+    STATE.with(|s| !s.borrow().collectors.is_empty())
+}
+
+/// Deliver an event to every installed collector.
+pub(crate) fn emit(event: Event) {
+    STATE.with(|s| {
+        // Clone the stack out so a collector that itself emits (none do today)
+        // cannot deadlock on the RefCell.
+        let collectors = s.borrow().collectors.clone();
+        for c in &collectors {
+            c.record(event.clone());
+        }
+    });
+}
+
+pub(crate) fn with_state<R>(f: impl FnOnce(&mut StateView<'_>) -> R) -> R {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        f(&mut StateView { state: &mut s })
+    })
+}
+
+/// Mutable view over the thread-local scope coordinates, used by the scope and
+/// span modules.
+pub(crate) struct StateView<'a> {
+    state: &'a mut TlState,
+}
+
+impl StateView<'_> {
+    pub(crate) fn step(&self) -> Option<u64> {
+        self.state.step
+    }
+    pub(crate) fn set_step(&mut self, step: Option<u64>) -> Option<u64> {
+        std::mem::replace(&mut self.state.step, step)
+    }
+    pub(crate) fn shard(&self) -> Option<u64> {
+        self.state.shard
+    }
+    pub(crate) fn set_shard(&mut self, shard: Option<u64>) -> Option<u64> {
+        std::mem::replace(&mut self.state.shard, shard)
+    }
+    pub(crate) fn push_mechanism(&mut self, label: &'static str) {
+        self.state.mechanisms.push(label);
+    }
+    pub(crate) fn pop_mechanism(&mut self) {
+        self.state.mechanisms.pop();
+    }
+    pub(crate) fn mechanism(&self) -> Option<&'static str> {
+        self.state.mechanisms.last().copied()
+    }
+    pub(crate) fn enter_span(&mut self) -> u32 {
+        let depth = self.state.depth;
+        self.state.depth = depth.saturating_add(1);
+        depth
+    }
+    pub(crate) fn exit_span(&mut self) {
+        self.state.depth = self.state.depth.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::InMemory;
+    use crate::{LedgerEntry, ObserveKind, ObserveRecord};
+
+    #[test]
+    fn install_scopes_delivery_and_uninstalls_on_drop() {
+        assert!(!installed());
+        let sink = Arc::new(InMemory::default());
+        {
+            let _guard = install(sink.clone());
+            assert!(installed());
+            emit(Event::Observe(ObserveRecord {
+                kind: ObserveKind::UploadBatch,
+                step: 1,
+                shard: None,
+                count: 4,
+            }));
+        }
+        assert!(!installed());
+        emit(Event::Epsilon(LedgerEntry {
+            mechanism: "m".to_string(),
+            epsilon: 0.1,
+            sensitivity: 1.0,
+            step: None,
+            shard: None,
+        }));
+        assert_eq!(sink.events().len(), 1);
+    }
+
+    #[test]
+    fn nested_installs_fan_out() {
+        let a = Arc::new(InMemory::default());
+        let b = Arc::new(InMemory::default());
+        let _ga = install(a.clone());
+        let _gb = install(b.clone());
+        emit(Event::Observe(ObserveRecord {
+            kind: ObserveKind::CacheAppend,
+            step: 0,
+            shard: None,
+            count: 2,
+        }));
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! A minimal leveled narration filter (`INCSHRINK_LOG`).
+//!
+//! The workspace's scattered `eprintln!` narration goes through
+//! [`log_info!`](crate::log_info!) / [`log_error!`](crate::log_error!) so that
+//! `cargo test -q` output stays clean: the process default is [`Level::Off`],
+//! bench binaries raise it to [`Level::Info`] at startup, and the
+//! `INCSHRINK_LOG` environment variable (`off`, `error`, `info`, `debug`)
+//! overrides both.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Narration verbosity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing is printed.
+    Off = 0,
+    /// Only failures worth aborting over.
+    Error = 1,
+    /// Progress narration (where results were written, knob values, …).
+    Info = 2,
+    /// Extra detail.
+    Debug = 3,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        Some(match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Level::Off,
+            "error" | "1" => Level::Error,
+            "info" | "2" => Level::Info,
+            "debug" | "3" => Level::Debug,
+            _ => return None,
+        })
+    }
+}
+
+/// Process-wide default when `INCSHRINK_LOG` is unset. Tests inherit `Off`;
+/// bench binaries raise it to `Info` in their init.
+static DEFAULT_LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+
+fn env_level() -> Option<Level> {
+    static ENV: OnceLock<Option<Level>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("INCSHRINK_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+    })
+}
+
+/// Set the process default level (overridden by `INCSHRINK_LOG` when set).
+pub fn set_default_level(level: Level) {
+    DEFAULT_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The effective narration level: `INCSHRINK_LOG` when set and parseable,
+/// otherwise the process default.
+#[must_use]
+pub fn level() -> Level {
+    env_level().unwrap_or(match DEFAULT_LEVEL.load(Ordering::Relaxed) {
+        1 => Level::Error,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => Level::Off,
+    })
+}
+
+/// True when narration at `at` should be printed.
+#[must_use]
+pub fn enabled(at: Level) -> bool {
+    at != Level::Off && at <= level()
+}
+
+/// Print narration to stderr at [`Level::Info`], if enabled.
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Print narration to stderr at [`Level::Error`], if enabled.
+#[macro_export]
+macro_rules! log_error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_spellings() {
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("ERROR"), Some(Level::Error));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("3"), Some(Level::Debug));
+        assert_eq!(Level::parse("chatty"), None);
+    }
+
+    #[test]
+    fn default_is_off_and_raisable() {
+        // INCSHRINK_LOG is unset under `cargo test`, so the default governs.
+        set_default_level(Level::Off);
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Error));
+        set_default_level(Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Debug));
+        set_default_level(Level::Off);
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-phase host/simulated-time breakdowns aggregated from a trace.
+
+use crate::event::Event;
+
+/// Aggregated totals for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Span name ("phase").
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total measured host seconds across those spans.
+    pub host_secs: f64,
+    /// Total recorded simulated seconds across those spans (0 when none
+    /// recorded any).
+    pub sim_secs: f64,
+}
+
+/// A `Summary`-adjacent per-phase breakdown of where host time went, built
+/// from a trace rather than threaded through the simulator's result types.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseProfile {
+    stats: Vec<PhaseStat>,
+}
+
+impl PhaseProfile {
+    /// Aggregate every span in `events` by name, in first-seen order.
+    #[must_use]
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut stats: Vec<PhaseStat> = Vec::new();
+        for event in events {
+            let Event::Span(span) = event else {
+                continue;
+            };
+            let host_secs = span.host_nanos as f64 / 1e9;
+            let sim_secs = span.sim_nanos.unwrap_or(0) as f64 / 1e9;
+            match stats.iter_mut().find(|s| s.name == span.name) {
+                Some(stat) => {
+                    stat.count += 1;
+                    stat.host_secs += host_secs;
+                    stat.sim_secs += sim_secs;
+                }
+                None => stats.push(PhaseStat {
+                    name: span.name.clone(),
+                    count: 1,
+                    host_secs,
+                    sim_secs,
+                }),
+            }
+        }
+        Self { stats }
+    }
+
+    /// The aggregated per-phase stats, in first-seen order.
+    #[must_use]
+    pub fn stats(&self) -> &[PhaseStat] {
+        &self.stats
+    }
+
+    /// Total host seconds attributed to the phase `name` (0 when absent).
+    #[must_use]
+    pub fn host_secs(&self, name: &str) -> f64 {
+        self.stats
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(0.0, |s| s.host_secs)
+    }
+
+    /// Render the profile as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<24} {:>8} {:>14} {:>14}\n",
+            "phase", "spans", "host secs", "sim secs"
+        );
+        for stat in &self.stats {
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>14.6} {:>14.6}\n",
+                stat.name, stat.count, stat.host_secs, stat.sim_secs
+            ));
+        }
+        out
+    }
+}
+
+/// Per-step host seconds by phase, for step-resolution tables: returns
+/// `(step, [(phase, host_secs)..])` rows in ascending step order. Spans with
+/// no step stamp are grouped under step `u64::MAX`.
+#[must_use]
+pub fn per_step_host_secs(events: &[Event]) -> Vec<(u64, Vec<(String, f64)>)> {
+    let mut rows: Vec<(u64, Vec<(String, f64)>)> = Vec::new();
+    for event in events {
+        let Event::Span(span) = event else {
+            continue;
+        };
+        let step = span.step.unwrap_or(u64::MAX);
+        let host_secs = span.host_nanos as f64 / 1e9;
+        let row = match rows.iter_mut().find(|(s, _)| *s == step) {
+            Some((_, row)) => row,
+            None => {
+                rows.push((step, Vec::new()));
+                &mut rows.last_mut().expect("just pushed").1
+            }
+        };
+        match row.iter_mut().find(|(name, _)| *name == span.name) {
+            Some((_, secs)) => *secs += host_secs,
+            None => row.push((span.name.clone(), host_secs)),
+        }
+    }
+    rows.sort_by_key(|(step, _)| *step);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanRecord;
+
+    fn span(name: &str, step: Option<u64>, host_nanos: u64, sim_nanos: Option<u64>) -> Event {
+        Event::Span(SpanRecord {
+            name: name.to_string(),
+            step,
+            shard: None,
+            depth: 0,
+            host_nanos,
+            sim_nanos,
+            cost: None,
+        })
+    }
+
+    #[test]
+    fn profile_aggregates_by_name() {
+        let events = vec![
+            span("transform", Some(0), 1_000_000, Some(2_000_000_000)),
+            span("shrink", Some(0), 500_000, None),
+            span("transform", Some(1), 3_000_000, Some(1_000_000_000)),
+        ];
+        let profile = PhaseProfile::from_events(&events);
+        assert_eq!(profile.stats().len(), 2);
+        assert_eq!(profile.stats()[0].name, "transform");
+        assert_eq!(profile.stats()[0].count, 2);
+        assert!((profile.host_secs("transform") - 0.004).abs() < 1e-12);
+        assert!((profile.stats()[0].sim_secs - 3.0).abs() < 1e-12);
+        assert!((profile.host_secs("missing")).abs() < f64::EPSILON);
+        let rendered = profile.render();
+        assert!(rendered.contains("transform"));
+        assert!(rendered.contains("shrink"));
+    }
+
+    #[test]
+    fn per_step_rows_sort_and_group() {
+        let events = vec![
+            span("transform", Some(1), 1_000, None),
+            span("transform", Some(0), 2_000, None),
+            span("query", Some(1), 4_000, None),
+            span("transform", Some(1), 1_000, None),
+        ];
+        let rows = per_step_host_secs(&events);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 0);
+        assert_eq!(rows[1].0, 1);
+        let step1: &Vec<(String, f64)> = &rows[1].1;
+        assert_eq!(step1.len(), 2);
+        assert!((step1[0].1 - 2e-6).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,199 @@
+//! The span API: RAII phase timers emitting [`SpanRecord`]s on drop.
+
+use crate::collector::{emit, installed, with_state};
+use crate::event::{CostDelta, Event, SpanRecord};
+use std::time::Instant;
+
+struct ActiveSpan {
+    name: &'static str,
+    step: Option<u64>,
+    shard: Option<u64>,
+    depth: u32,
+    started: Instant,
+    sim_nanos: Option<u64>,
+    cost: Option<CostDelta>,
+}
+
+/// An in-flight phase span. Created with [`Span::enter`] or the
+/// [`span!`](crate::span!) macro; emits one [`SpanRecord`] when dropped.
+///
+/// When no collector is installed the span is fully inert: no clock is read,
+/// nothing is allocated, and every method is a no-op.
+#[must_use = "dropping the span records it"]
+pub struct Span {
+    inner: Option<Box<ActiveSpan>>,
+}
+
+impl Span {
+    /// Open a span named `name`, inheriting step and shard from the ambient
+    /// scopes (override with [`set_step`](Self::set_step) /
+    /// [`set_shard`](Self::set_shard)).
+    pub fn enter(name: &'static str) -> Span {
+        if !installed() {
+            return Span { inner: None };
+        }
+        let (step, shard, depth) = with_state(|s| (s.step(), s.shard(), s.enter_span()));
+        Span {
+            inner: Some(Box::new(ActiveSpan {
+                name,
+                step,
+                shard,
+                depth,
+                started: Instant::now(),
+                sim_nanos: None,
+                cost: None,
+            })),
+        }
+    }
+
+    /// Stamp the span with an explicit simulation step.
+    pub fn set_step(&mut self, step: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.step = Some(step);
+        }
+    }
+
+    /// Stamp the span with an explicit shard index.
+    pub fn set_shard(&mut self, shard: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.shard = Some(shard);
+        }
+    }
+
+    /// Attribute oblivious-operation counts to the span (accumulates across
+    /// calls).
+    pub fn record_cost(&mut self, delta: CostDelta) {
+        if let Some(inner) = &mut self.inner {
+            inner
+                .cost
+                .get_or_insert_with(CostDelta::default)
+                .accumulate(delta);
+        }
+    }
+
+    /// Attribute simulated time to the span (accumulates across calls).
+    pub fn record_sim_secs(&mut self, secs: f64) {
+        if let Some(inner) = &mut self.inner {
+            let nanos = if secs.is_finite() && secs > 0.0 {
+                (secs * 1e9) as u64
+            } else {
+                0
+            };
+            let total = inner.sim_nanos.unwrap_or(0).saturating_add(nanos);
+            inner.sim_nanos = Some(total);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let host_nanos = u64::try_from(inner.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        with_state(|s| s.exit_span());
+        emit(Event::Span(SpanRecord {
+            name: inner.name.to_string(),
+            step: inner.step,
+            shard: inner.shard,
+            depth: inner.depth,
+            host_nanos,
+            sim_nanos: inner.sim_nanos,
+            cost: inner.cost,
+        }));
+    }
+}
+
+/// Open a [`Span`], optionally stamping an explicit step and/or shard:
+///
+/// ```
+/// # use incshrink_telemetry::span;
+/// let _phase = span!("transform");
+/// let _stamped = span!("shrink", step = 40);
+/// let _sharded = span!("shuffle.route", step = 40, shard = 2);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name)
+    };
+    ($name:expr, step = $step:expr) => {{
+        let mut __span = $crate::Span::enter($name);
+        __span.set_step($step);
+        __span
+    }};
+    ($name:expr, shard = $shard:expr) => {{
+        let mut __span = $crate::Span::enter($name);
+        __span.set_shard($shard);
+        __span
+    }};
+    ($name:expr, step = $step:expr, shard = $shard:expr) => {{
+        let mut __span = $crate::Span::enter($name);
+        __span.set_step($step);
+        __span.set_shard($shard);
+        __span
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::InMemory;
+    use crate::{install, step_scope};
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_nest_record_depth_and_payloads() {
+        let sink = Arc::new(InMemory::default());
+        let _guard = install(sink.clone());
+        {
+            let _step = step_scope(11);
+            let mut outer = span!("outer");
+            outer.record_sim_secs(1.5);
+            {
+                let mut inner = span!("inner", shard = 4);
+                inner.record_cost(CostDelta {
+                    compares: 10,
+                    ..CostDelta::default()
+                });
+                inner.record_cost(CostDelta {
+                    compares: 5,
+                    bytes: 100,
+                    ..CostDelta::default()
+                });
+            }
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        // Inner drops (and is recorded) first.
+        let Event::Span(inner) = &events[0] else {
+            panic!("expected span");
+        };
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.step, Some(11));
+        assert_eq!(inner.shard, Some(4));
+        assert_eq!(
+            inner.cost,
+            Some(CostDelta {
+                compares: 15,
+                bytes: 100,
+                ..CostDelta::default()
+            })
+        );
+        let Event::Span(outer) = &events[1] else {
+            panic!("expected span");
+        };
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(outer.sim_nanos, Some(1_500_000_000));
+    }
+
+    #[test]
+    fn spans_are_inert_without_a_collector() {
+        let mut span = span!("idle", step = 1, shard = 2);
+        span.record_cost(CostDelta::default());
+        span.record_sim_secs(3.0);
+        drop(span);
+    }
+}
