@@ -46,11 +46,13 @@
 
 pub mod executor;
 pub mod router;
+pub mod runtime;
 pub mod sharded;
 pub mod shuffle;
 
 pub use executor::ScatterGatherExecutor;
 pub use router::{shard_of, ShardRouter};
+pub use runtime::{ParallelRunReport, ParallelShardedSimulation, RuntimeStats};
 pub use sharded::{
     shard_config, shard_pipelines, ClusterPrivacy, ClusterRunReport, ShardReport, ShardedSimulation,
 };

@@ -1,0 +1,837 @@
+//! The true parallel cluster runtime: shards as OS threads, uploads through a
+//! broker actor.
+//!
+//! [`crate::ShardedSimulation`] *models* cluster parallelism — it steps the
+//! shard pipelines sequentially and reports "slowest shard" timings from the
+//! cost model. [`ParallelShardedSimulation`] *executes* it: every
+//! `ShardPipeline` runs on its own OS thread behind a command/response channel
+//! (a shard actor message loop), and an upload **broker** thread accepts the
+//! owner streams, batches them per step, and routes/shuffles the resulting
+//! `StepUploads` to the shard threads with exactly
+//! `ClusterShuffler::route_step`'s semantics.
+//!
+//! ```text
+//!             driver (this thread)
+//!      ┌── commands ──▶ broker thread ── StepUploads ──▶ shard thread 0..S-1
+//!      │                  │  owner streams → per-step      │  ShardPipeline
+//!      │                  │  batches → shuffle route       │  Transform+Shrink
+//!      ◀── acks ──────────┘  (span broker.route)           │  (span runtime.step)
+//!      ◀───────────────── step replies / query partials ───┘
+//! ```
+//!
+//! # The replay contract
+//!
+//! The threaded runtime replays the sequential driver **bit for bit** — same
+//! analyst answers, same view share words (checked by fingerprint), same
+//! ε-ledger, same padded sizes — at every shard count, on both workloads, co-
+//! partitioned and shuffled. Three mechanisms make that work:
+//!
+//! * **Same randomness topology.** Each shard owns its pipeline (and its rngs)
+//!   wholesale; the broker owns the arrival rngs and the shuffler. No rng is
+//!   ever shared across threads, so no schedule can reorder draws.
+//! * **Lockstep steps.** The driver releases step `t+1` only after every shard
+//!   has replied for step `t`, mirroring the sequential loop's barrier. Within
+//!   a step the shards genuinely run concurrently — that concurrency is
+//!   invisible to the trajectory because shard states are disjoint.
+//! * **Deterministic aggregation order.** The driver collects replies and
+//!   query partials indexed by shard, so sums, maxima and the secure-add merge
+//!   see them in shard order no matter which thread finished first.
+//!
+//! Telemetry collectors installed on the driver thread are handed to every
+//! worker (`incshrink_telemetry::current_collectors`), so the ε-ledger and
+//! server-observable trace land in the same sinks as a sequential run. Events
+//! from different `(step, shard)` coordinates may interleave differently under
+//! different schedules; `incshrink_telemetry::audit::canonical_observable_trace`
+//! recovers the schedule-independent order the equivalence tests compare.
+//! `runtime.step` spans are stamped with the shard identity (one thread per
+//! shard); *measured* wall-clock lives in those spans and in
+//! [`RuntimeStats`], while simulated QET keeps coming from the cost model —
+//! the two may disagree (host scheduling, cache effects), the traces may not.
+//!
+//! # Failure semantics
+//!
+//! A worker thread that panics mid-step drops its channel endpoints; the
+//! driver notices the closed channel, tears the whole actor system down
+//! (drops every command sender so no thread can block forever), joins every
+//! thread, and re-raises the original panic payload via
+//! `std::panic::resume_unwind` — never a hang on a dead channel.
+
+use crate::executor::ScatterGatherExecutor;
+use crate::router::ShardRouter;
+use crate::sharded::{
+    assert_routable, build_pipelines, shard_config, ClusterPrivacy, ClusterRunReport, ShardReport,
+    SHARD_SEED_STRIDE,
+};
+use crate::shuffle::{ClusterShuffler, RoutingPolicy, ShuffleStats};
+use incshrink::framework::{PipelineStepOutcome, StepUploads};
+use incshrink::metrics::{relative_error, SummaryBuilder};
+use incshrink::query::{Query, QueryEngine, QueryOutcome};
+use incshrink::{IncShrinkConfig, ShardPipeline, StepRecord, UpdateStrategy};
+use incshrink_mpc::cost::{CostModel, SimDuration};
+use incshrink_storage::{Relation, UploadBatch};
+use incshrink_telemetry::Collector;
+use incshrink_workload::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Commands the driver (and broker) send to a shard thread.
+enum ShardCommand {
+    /// Run one upload epoch from the pipeline's own workload (co-partitioned).
+    Advance { t: u64 },
+    /// Run one upload epoch over broker-routed uploads (shuffled).
+    AdvanceWith { t: u64, uploads: Box<StepUploads> },
+    /// Execute the analyst query against this shard's view (or NM baseline)
+    /// and return the partial outcome for the driver's secure-add merge.
+    Query { query: Query, t: u64 },
+    /// Test hook: panic inside the shard thread (teardown regression tests).
+    Crash { message: String },
+    /// Report end-of-run statistics and exit the thread.
+    Finish,
+}
+
+/// What a shard thread reports back after one step.
+struct ShardStepReply {
+    outcome: PipelineStepOutcome,
+    true_count: u64,
+    view_len: usize,
+    view_real: usize,
+    cache_len: usize,
+    view_mb: f64,
+}
+
+/// End-of-run statistics from one shard thread.
+struct ShardFinal {
+    report: ShardReport,
+    host_transform_secs: f64,
+}
+
+enum ShardReply {
+    Step(ShardStepReply),
+    Query(Box<QueryOutcome>),
+    Final(Box<ShardFinal>),
+}
+
+/// One shard pipeline running as an actor on its own OS thread.
+struct ShardActor {
+    commands: Sender<ShardCommand>,
+    replies: Receiver<ShardReply>,
+    handle: JoinHandle<()>,
+}
+
+impl ShardActor {
+    fn spawn(shard: usize, pipeline: ShardPipeline, collectors: Vec<Arc<dyn Collector>>) -> Self {
+        let (commands, command_rx) = channel::<ShardCommand>();
+        let (reply_tx, replies) = channel::<ShardReply>();
+        let handle = std::thread::Builder::new()
+            .name(format!("incshrink-shard-{shard}"))
+            .spawn(move || shard_main(shard, pipeline, collectors, &command_rx, &reply_tx))
+            .expect("spawn shard thread");
+        Self {
+            commands,
+            replies,
+            handle,
+        }
+    }
+}
+
+/// The shard thread's message loop. Exits when told to [`ShardCommand::Finish`]
+/// or when every command sender is gone.
+fn shard_main(
+    shard: usize,
+    mut pipeline: ShardPipeline,
+    collectors: Vec<Arc<dyn Collector>>,
+    commands: &Receiver<ShardCommand>,
+    replies: &Sender<ShardReply>,
+) {
+    // Re-install the driver's collectors for this thread's lifetime: the
+    // telemetry stack is thread-local, and the ε-ledger entries and observable
+    // sizes this shard emits belong in the same trace as the driver's.
+    let _guards: Vec<_> = collectors
+        .into_iter()
+        .map(incshrink_telemetry::install)
+        .collect();
+    let step = |pipeline: &mut ShardPipeline, t: u64, uploads: Option<Box<StepUploads>>| {
+        // Scope exactly like the sequential driver wraps `p.advance(t)`; the
+        // extra `runtime.step` span carries this thread's measured wall-clock
+        // stamped with the shard identity (one thread per shard).
+        let _shard_scope = incshrink_telemetry::shard_scope(shard as u64);
+        let _span = incshrink_telemetry::span!("runtime.step", step = t, shard = shard as u64);
+        let outcome = match uploads {
+            None => pipeline.advance(t),
+            Some(uploads) => pipeline.advance_with_uploads(t, *uploads),
+        };
+        ShardStepReply {
+            outcome,
+            true_count: pipeline.true_count(t),
+            view_len: pipeline.view().len(),
+            view_real: pipeline.view().true_cardinality(),
+            cache_len: pipeline.cache_len(),
+            view_mb: pipeline.view().size_mb(),
+        }
+    };
+    while let Ok(command) = commands.recv() {
+        let reply = match command {
+            ShardCommand::Advance { t } => ShardReply::Step(step(&mut pipeline, t, None)),
+            ShardCommand::AdvanceWith { t, uploads } => {
+                ShardReply::Step(step(&mut pipeline, t, Some(uploads)))
+            }
+            ShardCommand::Query { query, t } => {
+                let partial = if pipeline.config().strategy == UpdateStrategy::NonMaterialized {
+                    pipeline.nm_engine(t).execute(&query)
+                } else {
+                    pipeline.execute_query(&query)
+                };
+                ShardReply::Query(Box::new(partial))
+            }
+            ShardCommand::Crash { message } => panic!("{message}"),
+            ShardCommand::Finish => {
+                let _ = replies.send(ShardReply::Final(Box::new(ShardFinal {
+                    report: ShardReport {
+                        shard,
+                        sync_count: pipeline.view().sync_count(),
+                        view_len: pipeline.view().len(),
+                        view_real: pipeline.view().true_cardinality(),
+                        cache_len: pipeline.cache_len(),
+                        truncation_losses: pipeline.truncation_losses(),
+                        mpc_secs: pipeline.elapsed().as_secs_f64(),
+                        view_fingerprint: pipeline.view().fingerprint(),
+                    },
+                    host_transform_secs: pipeline.host_transform_secs(),
+                })));
+                return;
+            }
+        };
+        if replies.send(reply).is_err() {
+            return; // Driver is gone; exit cleanly.
+        }
+    }
+}
+
+/// Commands the driver sends to the broker thread.
+enum BrokerCommand {
+    /// Batch this step's owner streams and route them to the shard threads.
+    Step { t: u64 },
+    /// Report cumulative shuffle statistics and exit the thread.
+    Finish,
+}
+
+enum BrokerReply {
+    /// All of step `t`'s uploads were dispatched to the shard threads.
+    Routed,
+    Final {
+        stats: ShuffleStats,
+        host_shuffle_secs: f64,
+    },
+}
+
+/// Owner-stream state the broker thread owns under [`RoutingPolicy::Shuffled`]:
+/// per-arrival-shard workload slices and upload rngs, plus the shuffler.
+struct ShuffleState {
+    arrival_parts: Vec<Dataset>,
+    arrival_rngs: Vec<StdRng>,
+    shuffler: ClusterShuffler,
+    left_ingest: usize,
+    right_ingest: usize,
+    /// When set, owner streams are consumed in randomly sized chunks before
+    /// each per-step batch is sealed — the soak test's proof that broker batch
+    /// boundaries cannot affect the trajectory.
+    chunk_rng: Option<StdRng>,
+}
+
+impl ShuffleState {
+    /// Build one arrival shard's padded batch for `relation` at step `t`,
+    /// staging the owner stream chunk by chunk when a chunk rng is installed.
+    /// The sealed batch is bit-identical either way: chunking only segments the
+    /// iteration over the arrivals, never their order or the rng draw sequence.
+    fn seal_batch(
+        part: &Dataset,
+        relation: Relation,
+        t: u64,
+        rng: &mut StdRng,
+        chunk_rng: &mut Option<StdRng>,
+    ) -> UploadBatch {
+        let (db, size) = match relation {
+            Relation::Left => (&part.left, part.left_batch_size),
+            Relation::Right => (&part.right, part.right_batch_size),
+        };
+        let arrivals = db.arrivals_at(t);
+        let mut staged = Vec::with_capacity(arrivals.len());
+        let mut rest = arrivals.as_slice();
+        while !rest.is_empty() {
+            let take = match chunk_rng {
+                Some(chunk_rng) => chunk_rng.gen_range(1..=rest.len()),
+                None => rest.len(),
+            };
+            let (chunk, tail) = rest.split_at(take);
+            staged.extend_from_slice(chunk);
+            rest = tail;
+        }
+        UploadBatch::from_updates(relation, t, &staged, db.schema.arity(), size, rng)
+    }
+
+    /// Batch every arrival shard's step-`t` stream for `relation` and shuffle-
+    /// route the batches to their join-key owners.
+    fn route(&mut self, t: u64, relation: Relation, dataset: &Dataset) -> Vec<UploadBatch> {
+        let batches: Vec<UploadBatch> = self
+            .arrival_parts
+            .iter()
+            .zip(self.arrival_rngs.iter_mut())
+            .map(|(part, rng)| Self::seal_batch(part, relation, t, rng, &mut self.chunk_rng))
+            .collect();
+        let (key_column, ingest) = match relation {
+            Relation::Left => (dataset.left.schema.key_column, self.left_ingest),
+            Relation::Right => (dataset.right.schema.key_column, self.right_ingest),
+        };
+        let (routed, _) = self
+            .shuffler
+            .route_step(t, relation, key_column, &batches, ingest);
+        routed
+    }
+}
+
+/// The broker thread's message loop: accept owner streams, batch per step,
+/// route to shard threads. Exits on [`BrokerCommand::Finish`], a closed command
+/// channel, or a dead shard (whose teardown the driver then drives).
+fn broker_main(
+    dataset: &Dataset,
+    mut shuffle: Option<ShuffleState>,
+    shard_commands: &[Sender<ShardCommand>],
+    collectors: Vec<Arc<dyn Collector>>,
+    commands: &Receiver<BrokerCommand>,
+    replies: &Sender<BrokerReply>,
+) {
+    let _guards: Vec<_> = collectors
+        .into_iter()
+        .map(incshrink_telemetry::install)
+        .collect();
+    let mut host_shuffle_secs = 0.0;
+    while let Ok(command) = commands.recv() {
+        match command {
+            BrokerCommand::Step { t } => {
+                let _span = incshrink_telemetry::span!("broker.route", step = t);
+                let dispatched = match &mut shuffle {
+                    // Co-partitioned: every pipeline owns its arrival shard's
+                    // workload and builds its own uploads (the bit-for-bit
+                    // historical path) — the broker just releases the step.
+                    None => shard_commands
+                        .iter()
+                        .all(|tx| tx.send(ShardCommand::Advance { t }).is_ok()),
+                    Some(state) => {
+                        let started = Instant::now();
+                        let left_routed = state.route(t, Relation::Left, dataset);
+                        let right_routed = (!dataset.right_is_public)
+                            .then(|| state.route(t, Relation::Right, dataset));
+                        host_shuffle_secs += started.elapsed().as_secs_f64();
+                        let mut rights = right_routed.map(Vec::into_iter);
+                        shard_commands.iter().zip(left_routed).all(|(tx, left)| {
+                            let right = rights
+                                .as_mut()
+                                .map(|it| it.next().expect("one routed right batch per shard"));
+                            tx.send(ShardCommand::AdvanceWith {
+                                t,
+                                uploads: Box::new(StepUploads { left, right }),
+                            })
+                            .is_ok()
+                        })
+                    }
+                };
+                // A dead shard (panicked thread) or a gone driver both mean the
+                // run is over; exit so the driver's teardown can join us.
+                if !dispatched || replies.send(BrokerReply::Routed).is_err() {
+                    return;
+                }
+            }
+            BrokerCommand::Finish => {
+                let stats = shuffle
+                    .as_ref()
+                    .map(|s| s.shuffler.stats())
+                    .unwrap_or_default();
+                let _ = replies.send(BrokerReply::Final {
+                    stats,
+                    host_shuffle_secs,
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// The live actor system: shard threads plus the broker thread, owned by the
+/// driver. Dropping the command senders (in [`ActorSystem::teardown`]) is what
+/// lets every worker's `recv` loop exit, so teardown can never deadlock.
+struct ActorSystem {
+    actors: Vec<ShardActor>,
+    broker_commands: Sender<BrokerCommand>,
+    broker_replies: Receiver<BrokerReply>,
+    broker_handle: JoinHandle<()>,
+}
+
+impl ActorSystem {
+    /// Drop every command sender, join every worker thread, and re-raise the
+    /// first worker panic (if any). Returns the number of threads joined.
+    fn teardown(self) -> usize {
+        let Self {
+            actors,
+            broker_commands,
+            broker_replies,
+            broker_handle,
+        } = self;
+        drop(broker_commands);
+        drop(broker_replies);
+        let mut handles = Vec::with_capacity(actors.len() + 1);
+        for actor in actors {
+            drop(actor.commands); // Unblock the shard's recv loop first...
+            handles.push(actor.handle); // ...then join below.
+        }
+        handles.push(broker_handle);
+        let mut joined = 0usize;
+        let mut panic_payload = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                panic_payload.get_or_insert(payload);
+            }
+            joined += 1;
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        joined
+    }
+
+    /// Teardown after a worker died unexpectedly: join everything, re-raise the
+    /// worker's panic — or fail loudly if it exited without one.
+    fn abort(self) -> ! {
+        let _ = self.teardown();
+        panic!("cluster worker exited unexpectedly mid-run");
+    }
+}
+
+/// Measured (host) timing of one threaded cluster run — the counterpart of the
+/// *modeled* QET/Transform/Shrink timings inside the [`ClusterRunReport`].
+#[derive(Debug, Clone)]
+pub struct RuntimeStats {
+    /// Number of shard threads.
+    pub shards: usize,
+    /// Worker threads joined at the end of the run (`shards + 1` broker) — the
+    /// soak test's no-leak witness.
+    pub threads_joined: usize,
+    /// Measured wall-clock per step (broker routing + concurrent shard
+    /// advances + query scatter-gather).
+    pub step_wall_secs: Vec<f64>,
+    /// Measured wall-clock of the whole run loop.
+    pub total_wall_secs: f64,
+}
+
+impl RuntimeStats {
+    /// Mean measured wall-clock per step.
+    #[must_use]
+    pub fn mean_step_wall_secs(&self) -> f64 {
+        if self.step_wall_secs.is_empty() {
+            0.0
+        } else {
+            self.total_wall_secs / self.step_wall_secs.len() as f64
+        }
+    }
+}
+
+/// Result of one threaded cluster run: the simulated trajectory (identical to
+/// the sequential driver's, by contract) plus measured runtime statistics.
+#[derive(Debug, Clone)]
+pub struct ParallelRunReport {
+    /// The simulated cluster trajectory — compares equal to the sequential
+    /// [`crate::ShardedSimulation`] run of the same configuration.
+    pub report: ClusterRunReport,
+    /// Measured wall-clock of the threaded execution.
+    pub runtime: RuntimeStats,
+}
+
+/// The threaded cluster driver: same constructor surface and replay contract as
+/// [`crate::ShardedSimulation`], executed over real OS threads.
+pub struct ParallelShardedSimulation {
+    dataset: Dataset,
+    config: IncShrinkConfig,
+    shards: usize,
+    seed: u64,
+    cost_model: CostModel,
+    routing: RoutingPolicy,
+    ingest_chunk_seed: Option<u64>,
+    injected_crash: Option<(usize, u64)>,
+}
+
+impl ParallelShardedSimulation {
+    /// Create a threaded cluster simulation over a workload.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero or the configuration fails
+    /// `IncShrinkConfig::validate` (before or after the ε/S split) — the same
+    /// rejections as the sequential driver.
+    #[must_use]
+    pub fn new(dataset: Dataset, config: IncShrinkConfig, shards: usize, seed: u64) -> Self {
+        assert!(shards > 0, "cluster needs at least one shard");
+        for cfg in [&config, &shard_config(&config, shards)] {
+            if let Some(problem) = cfg.validate() {
+                panic!("invalid IncShrink cluster configuration: {problem}");
+            }
+        }
+        Self {
+            dataset,
+            config,
+            shards,
+            seed,
+            cost_model: CostModel::default(),
+            routing: RoutingPolicy::CoPartitioned,
+            ingest_chunk_seed: None,
+            injected_crash: None,
+        }
+    }
+
+    /// Use a non-default cost model (e.g. WAN) for the simulated timings.
+    #[must_use]
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Select how uploads are routed to shard pipelines (see
+    /// [`crate::ShardedSimulation::with_routing_policy`]).
+    #[must_use]
+    pub fn with_routing_policy(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Feed the broker's owner streams in randomly sized chunks (seeded by
+    /// `seed`) instead of one slice per step. The trajectory is invariant in
+    /// the chunking — that invariance is what the soak test hammers.
+    #[must_use]
+    pub fn with_ingest_chunk_seed(mut self, seed: u64) -> Self {
+        self.ingest_chunk_seed = Some(seed);
+        self
+    }
+
+    /// Test hook: make shard `shard`'s thread panic at the start of step
+    /// `step`, to exercise the teardown/propagation path.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_injected_crash(mut self, shard: usize, step: u64) -> Self {
+        self.injected_crash = Some((shard, step));
+        self
+    }
+
+    /// Spawn the actor system for this run's configuration.
+    fn spawn_actors(
+        &self,
+        pipelines: Vec<ShardPipeline>,
+        shuffle_state: Option<ShuffleState>,
+    ) -> ActorSystem {
+        let collectors = incshrink_telemetry::current_collectors();
+        let actors: Vec<ShardActor> = pipelines
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| ShardActor::spawn(i, p, collectors.clone()))
+            .collect();
+        let shard_senders: Vec<Sender<ShardCommand>> =
+            actors.iter().map(|a| a.commands.clone()).collect();
+        let (broker_commands, broker_command_rx) = channel::<BrokerCommand>();
+        let (broker_reply_tx, broker_replies) = channel::<BrokerReply>();
+        let broker_dataset = self.dataset.clone();
+        let broker_handle = std::thread::Builder::new()
+            .name("incshrink-broker".to_string())
+            .spawn(move || {
+                broker_main(
+                    &broker_dataset,
+                    shuffle_state,
+                    &shard_senders,
+                    collectors,
+                    &broker_command_rx,
+                    &broker_reply_tx,
+                )
+            })
+            .expect("spawn broker thread");
+        ActorSystem {
+            actors,
+            broker_commands,
+            broker_replies,
+            broker_handle,
+        }
+    }
+
+    /// Run the threaded cluster simulation to completion.
+    ///
+    /// # Panics
+    /// Panics on the same non-routable workloads as the sequential driver, and
+    /// re-raises (via `std::panic::resume_unwind`) any panic from a worker
+    /// thread after tearing the actor system down.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn run(self) -> ParallelRunReport {
+        assert_routable(&self.dataset, self.shards, self.routing);
+        let config = self.config;
+        let shards = self.shards;
+        let seed = self.seed;
+        let cost_model = self.cost_model;
+        let routing = self.routing;
+        let steps = self.dataset.params.steps;
+        let kind = self.dataset.kind;
+        let per_shard_config = shard_config(&config, shards);
+        let router = ShardRouter::new(shards);
+
+        // Shard ownership mirrors the sequential driver exactly: co-partitioned
+        // pipelines own their arrival shard's workload; shuffled pipelines own
+        // the join-key partition while the broker owns the arrival streams.
+        let (pipelines, shuffle_state) = match routing {
+            RoutingPolicy::CoPartitioned => (
+                build_pipelines(
+                    router.partition(&self.dataset),
+                    per_shard_config,
+                    seed,
+                    cost_model,
+                ),
+                None,
+            ),
+            RoutingPolicy::Shuffled { bucket_cushion } => (
+                build_pipelines(
+                    router.partition_by_join_key(&self.dataset),
+                    per_shard_config,
+                    seed,
+                    cost_model,
+                ),
+                Some(ShuffleState {
+                    arrival_parts: router.partition(&self.dataset),
+                    arrival_rngs: (0..shards)
+                        .map(|i| {
+                            StdRng::seed_from_u64(
+                                seed ^ 0x0B17_A5E5 ^ (i as u64).wrapping_mul(SHARD_SEED_STRIDE),
+                            )
+                        })
+                        .collect(),
+                    shuffler: ClusterShuffler::new(shards, bucket_cushion, cost_model, seed),
+                    left_ingest: router.shard_batch_size(self.dataset.left_batch_size),
+                    right_ingest: router.shard_batch_size(self.dataset.right_batch_size),
+                    chunk_rng: self.ingest_chunk_seed.map(StdRng::seed_from_u64),
+                }),
+            ),
+        };
+        let injected_crash = self.injected_crash;
+        let system = self.spawn_actors(pipelines, shuffle_state);
+
+        let merger = ScatterGatherExecutor::new(cost_model);
+        let counting_query = Query::count();
+        let mut builder = SummaryBuilder::new();
+        let mut trace = Vec::with_capacity(steps as usize);
+        let mut max_shard_qet_sum = 0.0;
+        let mut aggregation_sum = 0.0;
+        let mut queries = 0u64;
+        let mut host_query_secs = 0.0;
+        let mut step_wall_secs = Vec::with_capacity(steps as usize);
+        let run_started = Instant::now();
+
+        for t in 1..=steps {
+            let step_started = Instant::now();
+            if let Some((crash_shard, crash_step)) = injected_crash {
+                if t == crash_step {
+                    let _ = system.actors[crash_shard]
+                        .commands
+                        .send(ShardCommand::Crash {
+                            message: format!("injected crash on shard {crash_shard} at step {t}"),
+                        });
+                }
+            }
+            // Release the step through the broker, then wait for its ack before
+            // reading shard replies: a broker that died mid-dispatch must be
+            // detected here, not by blocking on a shard that never got work.
+            let routed = system
+                .broker_commands
+                .send(BrokerCommand::Step { t })
+                .is_ok()
+                && matches!(system.broker_replies.recv(), Ok(BrokerReply::Routed));
+            if !routed {
+                system.abort();
+            }
+
+            // The shards are now advancing concurrently; collect their replies
+            // in shard order so every aggregate below is order-deterministic.
+            let collected: Result<Vec<ShardStepReply>, ()> = system
+                .actors
+                .iter()
+                .map(|actor| match actor.replies.recv() {
+                    Ok(ShardReply::Step(reply)) => Ok(reply),
+                    Ok(_) => panic!("protocol desync: expected Step reply"),
+                    Err(_) => Err(()),
+                })
+                .collect();
+            let step_replies = match collected {
+                Ok(replies) => replies,
+                Err(()) => system.abort(),
+            };
+
+            let outcomes: Vec<PipelineStepOutcome> =
+                step_replies.iter().map(|r| r.outcome).collect();
+            let transform_max = outcomes.iter().filter_map(|o| o.transform_duration).max();
+            let shrink_max = outcomes.iter().filter_map(|o| o.shrink_duration).max();
+            let shrink_did_work = outcomes.iter().any(|o| o.shrink_did_work);
+            let synced = outcomes.iter().any(|o| o.synced);
+            if let Some(duration) = transform_max {
+                builder.record_transform(duration);
+            }
+            for outcome in &outcomes {
+                if let Some(report) = outcome.transform_report {
+                    builder.record_transform_compares(report.secure_compares);
+                }
+            }
+            if let Some(duration) = shrink_max {
+                builder.record_shrink(duration, shrink_did_work);
+            }
+            let true_count: u64 = step_replies.iter().map(|r| r.true_count).sum();
+
+            // Scatter-gather query: partials on the shard threads (safe to send
+            // now — every shard already replied for step `t`, so the query
+            // command cannot race the step command), merge on the driver.
+            let mut answer = None;
+            let mut l1 = 0.0;
+            let mut qet = SimDuration::ZERO;
+            if t % config.query_interval == 0 {
+                let _query_step_scope = incshrink_telemetry::step_scope(t);
+                let mut query_span = incshrink_telemetry::span!("query", step = t);
+                let query_started = Instant::now();
+                let scattered = system.actors.iter().all(|actor| {
+                    actor
+                        .commands
+                        .send(ShardCommand::Query {
+                            query: counting_query.clone(),
+                            t,
+                        })
+                        .is_ok()
+                });
+                if !scattered {
+                    system.abort();
+                }
+                let collected: Result<Vec<QueryOutcome>, ()> = system
+                    .actors
+                    .iter()
+                    .map(|actor| match actor.replies.recv() {
+                        Ok(ShardReply::Query(partial)) => Ok(*partial),
+                        Ok(_) => panic!("protocol desync: expected Query reply"),
+                        Err(_) => Err(()),
+                    })
+                    .collect();
+                let partials = match collected {
+                    Ok(partials) => partials,
+                    Err(()) => system.abort(),
+                };
+                let gathered = merger.merge(&counting_query, &partials);
+                host_query_secs += query_started.elapsed().as_secs_f64();
+                query_span.record_sim_secs(gathered.qet.as_secs_f64());
+                query_span.record_cost(gathered.report.into());
+                drop(query_span);
+                let gathered_answer = gathered.value.expect_scalar();
+                let breakdown = gathered.shards.expect("scatter-gather breakdown");
+                answer = Some(gathered_answer);
+                l1 = gathered_answer.abs_diff(true_count) as f64;
+                qet = gathered.qet;
+                max_shard_qet_sum += breakdown.max_shard_qet.as_secs_f64();
+                aggregation_sum += breakdown.aggregation_qet.as_secs_f64();
+                queries += 1;
+                builder.record_query(l1, relative_error(gathered_answer, true_count), qet);
+            }
+
+            builder.record_view_size(step_replies.iter().map(|r| r.view_mb).sum());
+            trace.push(StepRecord {
+                time: t,
+                true_count,
+                answer,
+                l1_error: l1,
+                qet_secs: qet.as_secs_f64(),
+                transform_secs: transform_max.map_or(0.0, SimDuration::as_secs_f64),
+                shrink_secs: shrink_max.map_or(0.0, SimDuration::as_secs_f64),
+                view_len: step_replies.iter().map(|r| r.view_len).sum(),
+                view_real: step_replies.iter().map(|r| r.view_real).sum(),
+                cache_len: step_replies.iter().map(|r| r.cache_len).sum(),
+                synced,
+            });
+            step_wall_secs.push(step_started.elapsed().as_secs_f64());
+        }
+
+        // Collect end-of-run statistics, then retire the actor system.
+        let finished = system.broker_commands.send(BrokerCommand::Finish).is_ok();
+        if !finished {
+            system.abort();
+        }
+        let (shuffle_stats, host_shuffle_secs) = match system.broker_replies.recv() {
+            Ok(BrokerReply::Final {
+                stats,
+                host_shuffle_secs,
+            }) => (stats, host_shuffle_secs),
+            Ok(BrokerReply::Routed) => panic!("protocol desync: expected Final broker reply"),
+            Err(_) => system.abort(),
+        };
+        if !system
+            .actors
+            .iter()
+            .all(|actor| actor.commands.send(ShardCommand::Finish).is_ok())
+        {
+            system.abort();
+        }
+        let collected: Result<Vec<ShardFinal>, ()> = system
+            .actors
+            .iter()
+            .map(|actor| match actor.replies.recv() {
+                Ok(ShardReply::Final(f)) => Ok(*f),
+                Ok(_) => panic!("protocol desync: expected Final reply"),
+                Err(_) => Err(()),
+            })
+            .collect();
+        let finals = match collected {
+            Ok(finals) => finals,
+            Err(()) => system.abort(),
+        };
+        let threads_joined = system.teardown();
+        let total_wall_secs = run_started.elapsed().as_secs_f64();
+
+        builder.record_totals(
+            finals.iter().map(|f| f.report.sync_count).sum(),
+            finals.iter().map(|f| f.report.truncation_losses).sum(),
+        );
+        builder.record_host_transform_secs(finals.iter().map(|f| f.host_transform_secs).sum());
+        builder.record_host_query_secs(host_query_secs);
+        builder.record_host_shuffle_secs(host_shuffle_secs);
+
+        let div = |sum: f64| {
+            if queries == 0 {
+                0.0
+            } else {
+                sum / queries as f64
+            }
+        };
+        ParallelRunReport {
+            report: ClusterRunReport {
+                dataset: kind,
+                config,
+                shards,
+                routing,
+                steps: trace,
+                summary: builder.build(),
+                shard_reports: finals.into_iter().map(|f| f.report).collect(),
+                privacy: ClusterPrivacy::compose(&config, shards),
+                avg_max_shard_qet_secs: div(max_shard_qet_sum),
+                avg_aggregation_secs: div(aggregation_sum),
+                avg_shuffle_secs: if steps == 0 {
+                    0.0
+                } else {
+                    shuffle_stats.total_secs / steps as f64
+                },
+                shuffle: shuffle_stats,
+            },
+            runtime: RuntimeStats {
+                shards,
+                threads_joined,
+                step_wall_secs,
+                total_wall_secs,
+            },
+        }
+    }
+}

@@ -38,7 +38,7 @@ use serde::{Deserialize, Serialize};
 
 /// Per-shard seed stride (golden-ratio increment): shard 0 keeps the cluster seed, so
 /// a 1-shard cluster replays the single-pair simulation bit for bit.
-const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Cluster-level privacy bounds evaluated via `incshrink_dp::accountant`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -120,11 +120,21 @@ pub struct ShardReport {
     pub truncation_losses: u64,
     /// Total simulated MPC time on this shard's server pair.
     pub mpc_secs: f64,
+    /// Digest of the final view's exact share words
+    /// (`incshrink::MaterializedView::fingerprint`). Two drivers replayed the
+    /// same trajectory iff these agree shard for shard — the parallel runtime's
+    /// equivalence tests compare them instead of shipping views around.
+    pub view_fingerprint: u64,
 }
 
 /// Full result of one cluster run. Mirrors `incshrink::RunReport` (same
 /// [`StepRecord`] / [`Summary`] shapes) with shard-level detail on top.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Equality is *semantic* equality of the simulated trajectory: every field
+/// compares exactly except the summary's host-time fields (see `Summary`'s
+/// `PartialEq`), so `sequential_report == threaded_report` is precisely the
+/// parallel runtime's bit-for-bit replay contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterRunReport {
     /// Which dataset kind was replayed.
     pub dataset: DatasetKind,
@@ -203,10 +213,36 @@ pub fn shard_config(config: &IncShrinkConfig, shards: usize) -> IncShrinkConfig 
     cfg
 }
 
+/// Panic unless `routing` can maintain `dataset`'s view on `shards` shards
+/// without losing cross-shard join pairs. A single shard owns every key, so
+/// even a non-co-partitioned arrival cannot split a join pair — the guard only
+/// applies to real clusters. Shared by the sequential and threaded drivers so
+/// they reject exactly the same configurations with the same message.
+pub(crate) fn assert_routable(dataset: &Dataset, shards: usize, routing: RoutingPolicy) {
+    let offending: Vec<String> = [&dataset.left.schema, &dataset.right.schema]
+        .into_iter()
+        .filter(|s| !s.is_co_partitioned())
+        .map(|s| {
+            format!(
+                "'{}' (partition column {}, join key {})",
+                s.name, s.partition_column, s.key_column
+            )
+        })
+        .collect();
+    if shards > 1 && !offending.is_empty() && routing == RoutingPolicy::CoPartitioned {
+        panic!(
+            "workload arrives partitioned by a non-join attribute ({}): \
+             RoutingPolicy::CoPartitioned would lose cross-shard join pairs — \
+             use RoutingPolicy::Shuffled",
+            offending.join(", ")
+        );
+    }
+}
+
 /// Construct pre-partitioned shard datasets into pipelines on the cluster's
 /// per-shard seed schedule (shard 0 keeps `seed`, so one shard replays the
 /// single-pair simulation bit for bit).
-fn build_pipelines(
+pub(crate) fn build_pipelines(
     parts: Vec<Dataset>,
     per_shard_config: IncShrinkConfig,
     seed: u64,
@@ -326,26 +362,7 @@ impl ShardedSimulation {
             routing,
         } = self;
 
-        // A single shard owns every key, so even a non-co-partitioned arrival
-        // cannot split a join pair — the guard only applies to real clusters.
-        let offending: Vec<String> = [&dataset.left.schema, &dataset.right.schema]
-            .into_iter()
-            .filter(|s| !s.is_co_partitioned())
-            .map(|s| {
-                format!(
-                    "'{}' (partition column {}, join key {})",
-                    s.name, s.partition_column, s.key_column
-                )
-            })
-            .collect();
-        if shards > 1 && !offending.is_empty() && routing == RoutingPolicy::CoPartitioned {
-            panic!(
-                "workload arrives partitioned by a non-join attribute ({}): \
-                 RoutingPolicy::CoPartitioned would lose cross-shard join pairs — \
-                 use RoutingPolicy::Shuffled",
-                offending.join(", ")
-            );
-        }
+        assert_routable(&dataset, shards, routing);
 
         let steps = dataset.params.steps;
         let kind = dataset.kind;
@@ -581,6 +598,7 @@ impl ShardedSimulation {
                 cache_len: p.cache_len(),
                 truncation_losses: p.truncation_losses(),
                 mpc_secs: p.elapsed().as_secs_f64(),
+                view_fingerprint: p.view().fingerprint(),
             })
             .collect();
 

@@ -154,6 +154,34 @@ impl MaterializedView {
     pub fn size_mb(&self) -> f64 {
         self.size_bytes() as f64 / 1.0e6
     }
+
+    /// Order-sensitive digest of the exact share words materialized in the view
+    /// (both parties' field and `isView` shares, plus the sync counter).
+    ///
+    /// Two views are bit-for-bit identical iff their fingerprints agree (up to
+    /// hash collisions), which is how the parallel cluster runtime's equivalence
+    /// tests compare whole shard views without shipping them across threads.
+    /// The mix is a splitmix64-style avalanche over a running state, so entry
+    /// order, share assignment and dummy placement all matter.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(state: u64, word: u64) -> u64 {
+            let mut z = state ^ word.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut state = mix(0x1C5_811A_D0F1, self.syncs);
+        for entry in self.entries.entries() {
+            for pair in &entry.fields {
+                state = mix(state, u64::from(pair.s0));
+                state = mix(state, u64::from(pair.s1));
+            }
+            state = mix(state, u64::from(entry.is_view.s0));
+            state = mix(state, u64::from(entry.is_view.s1));
+        }
+        state
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,398 @@
+//! Message-passing party transport: the two servers as independent actors.
+//!
+//! [`TwoPartyContext`](crate::TwoPartyContext) executes both parties inside one
+//! struct — faithful accounting, but physically a single thread of control. This
+//! module splits the pair into two [`PartyEndpoint`]s connected by
+//! `std::sync::mpsc` channels, so each party can run on its own OS thread and
+//! every protocol round is an actual message exchange ([`PartyMessage`]).
+//!
+//! # Accounting parity
+//!
+//! The non-negotiable contract is that the *combined* cost of an endpoint pair
+//! equals the shared-context cost, operation for operation:
+//!
+//! * **Bytes** are metered as bytes *sent* per endpoint; the pair's total is the
+//!   sum ([`combined_report`]). `joint_randomness` sends a 4-byte word and an
+//!   8-byte word from each side → 24 bytes total, exactly the shared context's
+//!   `4 + 4 + 8 + 8`. A reshare sends one 4-byte mask per side → 8 bytes; a
+//!   one-word share exchange likewise.
+//! * **Rounds and gates** describe the *joint* protocol, so both endpoints meter
+//!   the same count and [`combined_report`] asserts they agree and keeps one
+//!   side's value (not the sum — two parties evaluating one gate is still one
+//!   gate).
+//! * **Compares and adds** charge the gate count only, with no explicit byte
+//!   traffic — the in-process kernels fold the garbled-circuit communication
+//!   into `secs_per_compare`/`secs_per_add`, and the endpoint path must not
+//!   double-charge it. The masked-wire messages exchanged here are the
+//!   simulated stand-in for labels that ride inside that per-gate cost.
+//! * **Randomness draws** happen on each party's own [`Server`] rng in the same
+//!   order as the shared context (`S0`'s word before `S1`'s), so the XOR-combined
+//!   outputs are bit-identical to `TwoPartyContext` with the same seed.
+//!
+//! # Failure semantics
+//!
+//! Every operation that touches the channel returns `Result<_, ChannelError>`:
+//! when the peer endpoint is dropped (its thread panicked or exited), `send`
+//! and `recv` both fail immediately with [`ChannelError::Disconnected`] instead
+//! of hanging — the regression tests assert a clean error, never a deadlock.
+
+use crate::cost::{CostMeter, CostReport};
+use crate::party::Server;
+use crate::runtime::JointRandomness;
+use incshrink_secretshare::{PartyId, Share, SharePair};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// One protocol message between the two party actors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartyMessage {
+    /// Joint-randomness contribution: each server's fresh uniform words.
+    RandContribution {
+        /// 32-bit contribution `z_i`.
+        word: u32,
+        /// 64-bit contribution for fixed-point seeds.
+        word64: u64,
+    },
+    /// A reshare round: the sender's fresh mask word `z_i`.
+    ReshareMask {
+        /// The mask contribution.
+        mask: u32,
+    },
+    /// A batch of share words (share exchange / named-value recovery). An empty
+    /// batch signals "value not present" during recovery.
+    ShareBatch {
+        /// The sender's share words, in position order.
+        words: Vec<u32>,
+    },
+    /// Masked compare wires: the sender's shares of both operands.
+    MaskedCompare {
+        /// Sender's share of the left operand.
+        a: u32,
+        /// Sender's share of the right operand.
+        b: u32,
+    },
+    /// Masked add wires: the sender's shares of both summands.
+    MaskedAdd {
+        /// Sender's share of the left summand.
+        a: u32,
+        /// Sender's share of the right summand.
+        b: u32,
+    },
+}
+
+/// Channel-transport failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The peer endpoint was dropped (its thread exited or panicked); the
+    /// protocol cannot make progress.
+    Disconnected,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Disconnected => write!(f, "peer party endpoint disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Result alias for channel-transport operations.
+pub type ChannelResult<T> = Result<T, ChannelError>;
+
+/// One party of a two-party protocol, running over a message channel.
+///
+/// Built in pairs by [`endpoint_pair`]; the two endpoints are symmetric and
+/// every operation must be called on *both*, from two threads of control (each
+/// side sends before it receives, so concurrent calls never deadlock — but a
+/// single thread driving both endpoints sequentially would block on the first
+/// `recv`, which is the point: these are real message-passing actors).
+#[derive(Debug)]
+pub struct PartyEndpoint {
+    server: Server,
+    peer: Sender<PartyMessage>,
+    inbox: Receiver<PartyMessage>,
+    meter: CostMeter,
+}
+
+/// Create a connected pair of party endpoints from a master seed.
+///
+/// Seeds follow `ServerPair::new(seed)` exactly (`S1` at
+/// `seed.wrapping_add(0x5151_5151)`), so an endpoint pair replays the rng
+/// streams of `TwoPartyContext::with_seed(seed)` bit for bit.
+#[must_use]
+pub fn endpoint_pair(seed: u64) -> (PartyEndpoint, PartyEndpoint) {
+    let (to_s1, from_s0) = channel();
+    let (to_s0, from_s1) = channel();
+    (
+        PartyEndpoint {
+            server: Server::new(PartyId::S0, seed),
+            peer: to_s1,
+            inbox: from_s1,
+            meter: CostMeter::new(),
+        },
+        PartyEndpoint {
+            server: Server::new(PartyId::S1, seed.wrapping_add(0x5151_5151)),
+            peer: to_s0,
+            inbox: from_s0,
+            meter: CostMeter::new(),
+        },
+    )
+}
+
+impl PartyEndpoint {
+    /// Which party this endpoint plays.
+    #[must_use]
+    pub fn id(&self) -> PartyId {
+        self.server.id
+    }
+
+    /// Read access to the underlying server (share store, transcript).
+    #[must_use]
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// This endpoint's accumulated cost (bytes are bytes *sent* by this side;
+    /// gates and rounds describe the joint protocol). Combine the two sides
+    /// with [`combined_report`].
+    #[must_use]
+    pub fn report(&self) -> CostReport {
+        self.meter.report()
+    }
+
+    fn send(&self, msg: PartyMessage) -> ChannelResult<()> {
+        self.peer.send(msg).map_err(|_| ChannelError::Disconnected)
+    }
+
+    fn recv(&self) -> ChannelResult<PartyMessage> {
+        self.inbox.recv().map_err(|_| ChannelError::Disconnected)
+    }
+
+    /// Jointly sample randomness: send this server's fresh uniform words,
+    /// receive the peer's, XOR-combine. Matches
+    /// `TwoPartyContext::joint_randomness` output and (combined) cost exactly.
+    ///
+    /// # Errors
+    /// [`ChannelError::Disconnected`] when the peer endpoint is gone.
+    pub fn joint_randomness(&mut self) -> ChannelResult<JointRandomness> {
+        let word = self.server.random_word();
+        let word64 = self.server.random_word64();
+        self.send(PartyMessage::RandContribution { word, word64 })?;
+        let PartyMessage::RandContribution {
+            word: peer_word,
+            word64: peer_word64,
+        } = self.recv()?
+        else {
+            panic!("protocol desync: expected RandContribution");
+        };
+        // 4 + 8 bytes sent by this side; the pair sums to the shared context's
+        // 24-byte charge. One joint round.
+        self.meter.bytes(4 + 8);
+        self.meter.round();
+        Ok(JointRandomness {
+            word: word ^ peer_word,
+            word64: word64 ^ peer_word64,
+        })
+    }
+
+    /// Re-share `value` inside the protocol with peer-exchanged masks and store
+    /// this party's resulting share under `name`. Matches
+    /// `TwoPartyContext::reshare_and_store` (same mask draws, same stored
+    /// words, combined 8 bytes + 1 round).
+    ///
+    /// # Errors
+    /// [`ChannelError::Disconnected`] when the peer endpoint is gone.
+    pub fn reshare_and_store(&mut self, name: &str, value: u32) -> ChannelResult<()> {
+        let own_mask = self.server.random_word();
+        self.send(PartyMessage::ReshareMask { mask: own_mask })?;
+        let PartyMessage::ReshareMask { mask: peer_mask } = self.recv()? else {
+            panic!("protocol desync: expected ReshareMask");
+        };
+        // `reshare_joint(value, z0, z1)` must see the masks in party order.
+        let (z0, z1) = match self.id() {
+            PartyId::S0 => (own_mask, peer_mask),
+            PartyId::S1 => (peer_mask, own_mask),
+        };
+        let pair = SharePair::reshare_joint(value, z0, z1);
+        self.server.store_share(name, pair.for_party(self.id()));
+        self.meter.bytes(4);
+        self.meter.round();
+        Ok(())
+    }
+
+    /// Recover a named shared value by exchanging the stored shares. Returns
+    /// `None` (charging nothing, like the shared context) when the value was
+    /// never stored.
+    ///
+    /// # Errors
+    /// [`ChannelError::Disconnected`] when the peer endpoint is gone.
+    ///
+    /// # Panics
+    /// Panics when exactly one side holds the share — the stores are updated in
+    /// protocol lockstep, so asymmetric presence is a driver bug, not a state
+    /// the protocol can continue from.
+    pub fn recover_named(&mut self, name: &str) -> ChannelResult<Option<u32>> {
+        let own = self.server.load_share(name);
+        self.send(PartyMessage::ShareBatch {
+            words: own.iter().map(|s| s.word).collect(),
+        })?;
+        let PartyMessage::ShareBatch { words: peer_words } = self.recv()? else {
+            panic!("protocol desync: expected ShareBatch");
+        };
+        match (own, peer_words.first()) {
+            (Some(own), Some(&peer_word)) => {
+                self.meter.bytes(4);
+                self.meter.round();
+                Ok(Some(own.word ^ peer_word))
+            }
+            (None, None) => Ok(None),
+            _ => panic!("share-store desync: '{name}' present on exactly one party"),
+        }
+    }
+
+    /// Exchange a batch of share words with the peer (one round, `4·len` bytes
+    /// each way), returning the peer's words.
+    ///
+    /// # Errors
+    /// [`ChannelError::Disconnected`] when the peer endpoint is gone.
+    pub fn exchange_shares(&mut self, words: &[u32]) -> ChannelResult<Vec<u32>> {
+        self.send(PartyMessage::ShareBatch {
+            words: words.to_vec(),
+        })?;
+        let PartyMessage::ShareBatch { words: peer_words } = self.recv()? else {
+            panic!("protocol desync: expected ShareBatch");
+        };
+        self.meter.bytes(4 * words.len() as u64);
+        self.meter.round();
+        Ok(peer_words)
+    }
+
+    /// Jointly evaluate `a < b` over one share of each operand. Charges one
+    /// secure compare and — like the in-process compare kernels — no explicit
+    /// bytes: the wire exchange rides inside the per-gate cost.
+    ///
+    /// # Errors
+    /// [`ChannelError::Disconnected`] when the peer endpoint is gone.
+    pub fn compare_lt(&mut self, a: Share, b: Share) -> ChannelResult<bool> {
+        debug_assert_eq!(a.holder, self.id(), "compare over this party's shares");
+        debug_assert_eq!(b.holder, self.id(), "compare over this party's shares");
+        self.send(PartyMessage::MaskedCompare {
+            a: a.word,
+            b: b.word,
+        })?;
+        let PartyMessage::MaskedCompare {
+            a: peer_a,
+            b: peer_b,
+        } = self.recv()?
+        else {
+            panic!("protocol desync: expected MaskedCompare");
+        };
+        self.meter.compares(1);
+        Ok((a.word ^ peer_a) < (b.word ^ peer_b))
+    }
+
+    /// Jointly evaluate `a + b` (wrapping) over one share of each summand,
+    /// revealing the sum inside the protocol. Charges one secure add and no
+    /// explicit bytes, mirroring the in-process add kernels.
+    ///
+    /// # Errors
+    /// [`ChannelError::Disconnected`] when the peer endpoint is gone.
+    pub fn add_reveal(&mut self, a: Share, b: Share) -> ChannelResult<u32> {
+        debug_assert_eq!(a.holder, self.id(), "add over this party's shares");
+        debug_assert_eq!(b.holder, self.id(), "add over this party's shares");
+        self.send(PartyMessage::MaskedAdd {
+            a: a.word,
+            b: b.word,
+        })?;
+        let PartyMessage::MaskedAdd {
+            a: peer_a,
+            b: peer_b,
+        } = self.recv()?
+        else {
+            panic!("protocol desync: expected MaskedAdd");
+        };
+        self.meter.adds(1);
+        Ok((a.word ^ peer_a).wrapping_add(b.word ^ peer_b))
+    }
+}
+
+/// Combine the two endpoints' cost reports into the joint protocol cost.
+///
+/// Bytes sum (each side metered what it sent); gate counts and rounds describe
+/// the joint protocol and must agree between the sides — the result carries the
+/// agreed value once, which is what makes an endpoint pair's combined report
+/// equal `TwoPartyContext`'s for the same operation sequence.
+///
+/// # Panics
+/// Panics when the two sides' gate or round counts disagree (a protocol desync).
+#[must_use]
+pub fn combined_report(a: &CostReport, b: &CostReport) -> CostReport {
+    assert_eq!(
+        (
+            a.secure_compares,
+            a.secure_swaps,
+            a.secure_ands,
+            a.secure_adds,
+            a.rounds
+        ),
+        (
+            b.secure_compares,
+            b.secure_swaps,
+            b.secure_ands,
+            b.secure_adds,
+            b.rounds
+        ),
+        "endpoint gate/round accounting desynced"
+    );
+    CostReport {
+        bytes_communicated: a.bytes_communicated + b.bytes_communicated,
+        ..*a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_randomness_matches_shared_context() {
+        let mut ctx = crate::TwoPartyContext::with_seed(1234);
+        let expected = ctx.joint_randomness();
+        let (mut e0, mut e1) = endpoint_pair(1234);
+        let party1 = std::thread::spawn(move || {
+            let r1 = e1.joint_randomness().unwrap();
+            (r1, e1.report())
+        });
+        let r0 = e0.joint_randomness().unwrap();
+        let (r1, report1) = party1.join().unwrap();
+        assert_eq!(r0, expected);
+        assert_eq!(r1, expected);
+        let (report, _) = ctx.charge();
+        assert_eq!(combined_report(&e0.report(), &report1), report);
+    }
+
+    #[test]
+    fn reshare_then_recover_round_trips() {
+        let (mut e0, mut e1) = endpoint_pair(7);
+        let party1 = std::thread::spawn(move || {
+            e1.reshare_and_store("c", 99).unwrap();
+            let present = e1.recover_named("c").unwrap();
+            let absent = e1.recover_named("absent").unwrap();
+            (present, absent)
+        });
+        e0.reshare_and_store("c", 99).unwrap();
+        assert_eq!(e0.recover_named("c").unwrap(), Some(99));
+        assert_eq!(e0.recover_named("absent").unwrap(), None);
+        let (present, absent) = party1.join().unwrap();
+        assert_eq!(present, Some(99));
+        assert_eq!(absent, None);
+    }
+
+    #[test]
+    fn disconnect_is_an_error_not_a_hang() {
+        let (mut e0, e1) = endpoint_pair(3);
+        drop(e1);
+        assert_eq!(e0.joint_randomness(), Err(ChannelError::Disconnected));
+    }
+}

@@ -17,6 +17,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod channel;
 pub mod cost;
 pub mod hash;
 pub mod multiserver;
@@ -24,6 +25,7 @@ pub mod network;
 pub mod party;
 pub mod runtime;
 
+pub use channel::{endpoint_pair, ChannelError, PartyEndpoint, PartyMessage};
 pub use cost::{CostModel, CostReport, SimDuration};
 pub use multiserver::MultiServerContext;
 pub use network::NetworkConfig;

@@ -22,6 +22,36 @@
 
 use crate::event::{Event, ObserveKind, ObserveRecord};
 
+/// Project a trace onto its *semantic* events — server observables and ε-ledger
+/// entries — in a canonical order, so traces recorded under different physical
+/// schedules can be compared for equality.
+///
+/// The parallel cluster runtime interleaves events from several threads into
+/// one collector; the interleaving across `(step, shard)` coordinates is
+/// scheduler-dependent, but the events *within* one coordinate all come from a
+/// single thread and arrive in program order. A stable sort by
+/// `(step, shard)` therefore recovers a schedule-independent trace: two runs
+/// are semantically identical iff their canonical traces are equal. Spans are
+/// dropped — they carry host wall-clock and may legitimately differ across
+/// schedules (and machines); observables and spent ε may not.
+#[must_use]
+pub fn canonical_observable_trace(events: &[Event]) -> Vec<Event> {
+    let mut trace: Vec<Event> = events
+        .iter()
+        .filter(|e| matches!(e, Event::Observe(_) | Event::Epsilon(_)))
+        .cloned()
+        .collect();
+    let key = |e: &Event| -> (u64, u64) {
+        match e {
+            Event::Observe(o) => (o.step, o.shard.unwrap_or(u64::MAX)),
+            Event::Epsilon(l) => (l.step.unwrap_or(u64::MAX), l.shard.unwrap_or(u64::MAX)),
+            Event::Span(_) => unreachable!("spans are filtered out"),
+        }
+    };
+    trace.sort_by_key(key);
+    trace
+}
+
 /// Whether view-sync *times* are public (timer cadence) or themselves the
 /// output of a DP mechanism (ANT's noised counter-vs-threshold comparison).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

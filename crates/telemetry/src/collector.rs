@@ -79,6 +79,19 @@ pub fn installed() -> bool {
     STATE.with(|s| !s.borrow().collectors.is_empty())
 }
 
+/// Snapshot of the collectors installed on the current thread, bottom of the
+/// stack first.
+///
+/// The stack is thread-local, so a driver that spawns worker threads (the
+/// parallel cluster runtime) must hand its collectors over explicitly: the
+/// worker calls [`install`] on each returned `Arc` for the duration of its
+/// work. Collectors are `Send + Sync`, so the same instance can safely receive
+/// events from several threads at once.
+#[must_use]
+pub fn current_collectors() -> Vec<Arc<dyn Collector>> {
+    STATE.with(|s| s.borrow().collectors.clone())
+}
+
 /// Deliver an event to every installed collector.
 pub(crate) fn emit(event: Event) {
     STATE.with(|s| {

@@ -45,7 +45,7 @@ mod scope;
 mod sink;
 mod span;
 
-pub use collector::{install, installed, Collector, InstallGuard};
+pub use collector::{current_collectors, install, installed, Collector, InstallGuard};
 pub use event::{
     CostDelta, Event, LedgerEntry, ObserveKind, ObserveRecord, SchemaError, SpanRecord,
 };
