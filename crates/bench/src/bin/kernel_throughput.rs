@@ -24,6 +24,7 @@
 
 use incshrink_bench::report::fmt;
 use incshrink_bench::{print_table, write_json};
+use incshrink_mpc::PartyMode;
 use incshrink_secretshare::columns::{add_lane, cswap_lane, lt_lane, mux_lane};
 use incshrink_secretshare::tuple::PlainRecord;
 use incshrink_secretshare::{SharedArrayPair, SharedColumnsPair};
@@ -46,6 +47,16 @@ struct KernelRow {
     speedup: f64,
 }
 
+/// One measured party-channel transport point: `payload_words` shares exchanged
+/// per protocol round (one `ShareBatch` each way) over the named transport.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ChannelRow {
+    transport: String,
+    payload_words: usize,
+    ns_per_round: f64,
+    ns_per_word: f64,
+}
+
 /// Measured SoA seconds-per-op, in the shape
 /// [`incshrink_oblivious::planner::Calibration`] loads.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -54,11 +65,13 @@ struct MeasuredCalibration {
     secs_per_swap: f64,
     secs_per_and: f64,
     secs_per_add: f64,
+    secs_per_channel_round: f64,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct KernelReport {
     rows: Vec<KernelRow>,
+    channel_rows: Vec<ChannelRow>,
     calibration: MeasuredCalibration,
 }
 
@@ -210,6 +223,53 @@ fn measure_soa(kernel: &str, arr: &SharedArrayPair, reps: usize) -> f64 {
     ns
 }
 
+/// Time `rounds` symmetric `exchange_shares` round trips of `payload_words`
+/// words over one of the pluggable party transports, peer endpoint on its own
+/// thread — the cost a plan's protocol round actually pays under the actor and
+/// TCP execution modes.
+fn measure_channel(transport: &str, payload_words: usize, rounds: usize) -> f64 {
+    let (mut near, mut far) = match transport {
+        "mpsc" => incshrink_mpc::endpoint_pair(0xC0DE),
+        "tcp" => incshrink_mpc::endpoint_pair_tcp(0xC0DE).expect("loopback socket pair"),
+        other => unreachable!("unknown transport {other}"),
+    };
+    let words: Vec<u32> = (0..payload_words as u32).collect();
+    let peer_words = words.clone();
+    let peer = std::thread::spawn(move || {
+        for _ in 0..=rounds {
+            let _ = far.exchange_shares(&peer_words).expect("peer exchange");
+        }
+    });
+    // One warm-up round absorbs thread start-up and socket buffer growth.
+    let _ = near.exchange_shares(&words).expect("warm-up exchange");
+    let started = Instant::now();
+    for _ in 0..rounds {
+        black_box(near.exchange_shares(&words).expect("exchange"));
+    }
+    let ns = started.elapsed().as_secs_f64() * 1e9 / rounds as f64;
+    peer.join().expect("peer endpoint thread");
+    ns
+}
+
+/// Sweep both transports, per-word vs batched payloads: the per-word row is the
+/// round-trip latency floor (what `Calibration::secs_per_channel_round` prices),
+/// the batched rows show how one `ShareBatch` per operator round amortizes it.
+fn measure_channels(rounds: usize) -> Vec<ChannelRow> {
+    let mut rows = Vec::new();
+    for transport in ["mpsc", "tcp"] {
+        for payload_words in [1usize, 64, 1024] {
+            let ns_per_round = measure_channel(transport, payload_words, rounds);
+            rows.push(ChannelRow {
+                transport: transport.to_string(),
+                payload_words,
+                ns_per_round,
+                ns_per_word: ns_per_round / payload_words as f64,
+            });
+        }
+    }
+    rows
+}
+
 fn main() {
     let _telemetry = incshrink_bench::init();
     let sizes = sizes();
@@ -250,6 +310,31 @@ fn main() {
         &table,
     );
 
+    // Party-channel transport: round-trip cost per protocol round, per-word vs
+    // batched, on both pluggable transports.
+    let channel_rounds = std::env::var("INCSHRINK_CHANNEL_ROUNDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(2000);
+    let channel_rows = measure_channels(channel_rounds);
+    let channel_table: Vec<Vec<String>> = channel_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.transport.clone(),
+                r.payload_words.to_string(),
+                fmt(r.ns_per_round),
+                fmt(r.ns_per_word),
+            ]
+        })
+        .collect();
+    println!("\n=== Party-channel round trips ({channel_rounds} rounds/point, exchange_shares both ways) ===\n");
+    print_table(
+        &["transport", "words/round", "ns/round", "ns/word"],
+        &channel_table,
+    );
+
     // Calibration: measured SoA seconds-per-op at the largest size (steady state).
     let largest = *sizes.iter().max().expect("non-empty");
     let at = |kernel: &str| -> f64 {
@@ -258,23 +343,42 @@ fn main() {
             .map(|r| r.soa_ns_per_op * 1e-9)
             .expect("kernel measured")
     };
+    // Transport pricing follows the selected execution mode: in-process party
+    // calls cross no channel (0.0 keeps the calibration gate-only); actor and
+    // TCP runs pay their measured single-word round trip per protocol round.
+    let party_mode = PartyMode::from_env();
+    let round_trip_for = |transport: &str| -> f64 {
+        channel_rows
+            .iter()
+            .find(|r| r.transport == transport && r.payload_words == 1)
+            .map(|r| r.ns_per_round * 1e-9)
+            .expect("transport measured")
+    };
+    let secs_per_channel_round = match party_mode {
+        PartyMode::InProcess => 0.0,
+        PartyMode::Actor => round_trip_for("mpsc"),
+        PartyMode::Tcp => round_trip_for("tcp"),
+    };
     let calibration = MeasuredCalibration {
         secs_per_compare: at("compare"),
         secs_per_swap: at("swap"),
         secs_per_and: at("mux"),
         secs_per_add: at("add"),
+        secs_per_channel_round,
     };
     println!(
-        "\ncalibration (SoA secs/op at n = {largest}): compare {:.3e}, swap {:.3e}, and {:.3e}, add {:.3e}",
+        "\ncalibration (SoA secs/op at n = {largest}, party mode {party_mode}): compare {:.3e}, swap {:.3e}, and {:.3e}, add {:.3e}, channel round {:.3e}",
         calibration.secs_per_compare,
         calibration.secs_per_swap,
         calibration.secs_per_and,
-        calibration.secs_per_add
+        calibration.secs_per_add,
+        calibration.secs_per_channel_round
     );
     write_json(
         "kernel_throughput",
         &KernelReport {
             rows: rows.clone(),
+            channel_rows,
             calibration,
         },
     );

@@ -2,23 +2,27 @@
 //! through `S` *real* shard threads, measured wall-clock next to modeled QET.
 //!
 //! For each (workload, routing) scenario and each `S ∈ {1, 2, 4, 8}` this
-//! binary runs the cluster twice: once through the sequential
-//! `ShardedSimulation` (the modeled reference) and once through the threaded
-//! `ParallelShardedSimulation` (shard pipelines on OS threads behind the upload
-//! broker), then **asserts the two reports are bit-for-bit equal** — same
-//! per-step trace, same Summary, same ε composition, same per-shard view
-//! fingerprints. What the threads add is *measured* host time: wall-clock per
-//! step and per run, reported next to the cost-model QET so the modeled and the
-//! actual parallelism can be compared at a glance. The two legitimately
-//! disagree (host scheduling, allocator contention, cache effects are real here
-//! and absent from the model); the trajectories may not.
+//! binary runs the sequential in-process `ShardedSimulation` once (the modeled
+//! reference), then the threaded `ParallelShardedSimulation` (shard pipelines
+//! on OS threads behind the upload broker) once **per party execution mode**
+//! — in-process struct calls, actor threads over mpsc, actor threads over
+//! loopback TCP — and **asserts every threaded report is bit-for-bit equal**
+//! to the reference: same per-step trace, same Summary, same ε composition,
+//! same per-shard view fingerprints. What the threads add is *measured* host
+//! time: wall-clock per step and per run, reported next to the cost-model QET
+//! (and, per mode, next to the in-process baseline) so the modeled and the
+//! actual parallelism — and the real price of transporting shares between
+//! party threads — can be compared at a glance. Measured times legitimately
+//! disagree with the model (host scheduling, allocator contention, cache
+//! effects are real here and absent from it); the trajectories may not.
 //!
 //! ```bash
 //! cargo run -p incshrink-bench --bin serve_sim --release
 //! INCSHRINK_BENCH_STEPS=2 cargo run -p incshrink-bench --bin serve_sim --release  # CI smoke
 //! INCSHRINK_SERVE_SIM_SHARDS=4 ...   # restrict the sweep to one shard count
+//! INCSHRINK_SERVE_SIM_MODES=inprocess,actor ...  # restrict the party-mode sweep
 //! INCSHRINK_SERVE_SIM_RATE=200 ...   # multiply the arrival rate (upload volume)
-//! INCSHRINK_TRACE=trace.jsonl ...    # JSONL spans incl. runtime.step / broker.route
+//! INCSHRINK_TRACE=trace.jsonl ...    # JSONL spans incl. runtime.step / party.send
 //! ```
 //!
 //! The headline configuration — millions of owner uploads through 8 real
@@ -32,15 +36,20 @@ use incshrink_bench::{build_dataset, default_steps, print_table, write_json};
 use incshrink_cluster::{
     ParallelShardedSimulation, RoutingPolicy, RuntimeStats, ShardedSimulation,
 };
+use incshrink_mpc::PartyMode;
 use incshrink_workload::to_store_partitioned;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
-/// One (workload, routing, shard count) measurement of the sweep.
+/// One (workload, routing, shard count, party mode) measurement of the sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ServeSimRow {
     dataset: String,
     routing: String,
     shards: usize,
+    /// How each shard's two MPC servers executed: `inprocess` struct calls,
+    /// `actor` threads over mpsc, or `tcp` actor threads over loopback sockets.
+    party_mode: String,
     /// Owner uploads pushed through the broker over the whole run.
     uploads: u64,
     steps: u64,
@@ -51,8 +60,13 @@ struct ServeSimRow {
     measured_step_ms: f64,
     /// Measured upload throughput (uploads per wall-clock second).
     uploads_per_sec: f64,
-    /// Measured speedup of this shard count over the S=1 threaded run.
+    /// Measured speedup of this shard count over the S=1 threaded run of the
+    /// same party mode.
     measured_speedup_vs_single: f64,
+    /// Measured wall-clock of this run over the in-process run of the same
+    /// (scenario, S) cell — the real price of actor threads / TCP framing for
+    /// an identical trajectory (1.0 for the in-process rows themselves).
+    overhead_vs_inprocess: f64,
     /// Modeled cluster QET per query (cost model, unchanged by threading).
     modeled_qet_secs: f64,
     /// Modeled slowest-shard scan per query.
@@ -149,6 +163,32 @@ fn scenarios(steps: u64) -> Vec<Scenario> {
     out
 }
 
+/// Party-mode sweep (`INCSHRINK_SERVE_SIM_MODES`, comma-separated labels,
+/// default all three): every mode replays the same sequential in-process
+/// reference, so the sweep's only degree of freedom is measured wall-clock.
+fn party_modes() -> Vec<PartyMode> {
+    match std::env::var("INCSHRINK_SERVE_SIM_MODES") {
+        Ok(s) => {
+            let modes: Vec<PartyMode> = s
+                .split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .map(|t| {
+                    PartyMode::parse(t).unwrap_or_else(|| {
+                        panic!("INCSHRINK_SERVE_SIM_MODES: unknown party mode '{t}'")
+                    })
+                })
+                .collect();
+            assert!(
+                !modes.is_empty(),
+                "INCSHRINK_SERVE_SIM_MODES produced no modes"
+            );
+            modes
+        }
+        Err(_) => PartyMode::ALL.to_vec(),
+    }
+}
+
 fn shard_counts() -> Vec<usize> {
     match std::env::var("INCSHRINK_SERVE_SIM_SHARDS") {
         Ok(s) => {
@@ -179,21 +219,22 @@ fn main() {
             scenario.routing.label(),
         );
 
-        let mut single_thread_secs = None;
-        let rows: Vec<ServeSimRow> = shard_counts()
-            .into_iter()
-            .map(|shards| {
-                // The modeled reference: the sequential driver of the same
-                // configuration and seed.
-                let sequential = ShardedSimulation::new(
-                    scenario.dataset.clone(),
-                    scenario.config,
-                    shards,
-                    0x7AB2,
-                )
-                .with_routing_policy(scenario.routing)
-                .run();
-                // The measured run: S real shard threads behind the broker.
+        let modes = party_modes();
+        let mut single_secs_by_mode: HashMap<&'static str, f64> = HashMap::new();
+        let mut rows: Vec<ServeSimRow> = Vec::new();
+        for shards in shard_counts() {
+            // The modeled reference: the sequential in-process driver of the
+            // same configuration and seed — one per (scenario, S) cell, which
+            // every party mode must replay bit for bit.
+            let sequential =
+                ShardedSimulation::new(scenario.dataset.clone(), scenario.config, shards, 0x7AB2)
+                    .with_routing_policy(scenario.routing)
+                    .with_party_mode(PartyMode::InProcess)
+                    .run();
+            let mut inprocess_secs = None;
+            for &mode in &modes {
+                // The measured run: S real shard threads behind the broker,
+                // each shard's server pair executing under `mode`.
                 let threaded = ParallelShardedSimulation::new(
                     scenario.dataset.clone(),
                     scenario.config,
@@ -201,21 +242,28 @@ fn main() {
                     0x7AB2,
                 )
                 .with_routing_policy(scenario.routing)
+                .with_party_mode(mode)
                 .run();
                 assert_eq!(
                     threaded.report,
                     sequential,
                     "threaded runtime diverged from the sequential replay \
-                     ({} · {} routing · S = {shards})",
+                     ({} · {} routing · S = {shards} · {mode})",
                     scenario.label,
                     scenario.routing.label(),
                 );
                 let runtime: &RuntimeStats = &threaded.runtime;
-                let base = *single_thread_secs.get_or_insert(runtime.total_wall_secs);
-                ServeSimRow {
+                if mode == PartyMode::InProcess {
+                    inprocess_secs = Some(runtime.total_wall_secs);
+                }
+                let single = *single_secs_by_mode
+                    .entry(mode.label())
+                    .or_insert(runtime.total_wall_secs);
+                rows.push(ServeSimRow {
                     dataset: scenario.label.clone(),
                     routing: scenario.routing.label().to_string(),
                     shards,
+                    party_mode: mode.label().to_string(),
                     uploads,
                     steps,
                     measured_total_secs: runtime.total_wall_secs,
@@ -226,29 +274,37 @@ fn main() {
                         0.0
                     },
                     measured_speedup_vs_single: if runtime.total_wall_secs > 0.0 {
-                        base / runtime.total_wall_secs
+                        single / runtime.total_wall_secs
                     } else {
                         0.0
+                    },
+                    // Falls back to this run itself (ratio 1.0) when the sweep
+                    // was restricted to exclude the in-process baseline.
+                    overhead_vs_inprocess: match inprocess_secs {
+                        Some(base) if base > 0.0 => runtime.total_wall_secs / base,
+                        _ => 1.0,
                     },
                     modeled_qet_secs: sequential.summary.avg_qet_secs,
                     modeled_max_shard_qet_secs: sequential.avg_max_shard_qet_secs,
                     modeled_total_mpc_secs: sequential.summary.total_mpc_secs,
                     threads_joined: runtime.threads_joined,
                     replays_sequential: true,
-                }
-            })
-            .collect();
+                });
+            }
+        }
 
         let table: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
                 vec![
                     r.shards.to_string(),
+                    r.party_mode.clone(),
                     format!("{}", r.uploads),
                     format!("{:.3}", r.measured_total_secs),
                     format!("{:.3}", r.measured_step_ms),
                     format!("{:.0}", r.uploads_per_sec),
                     format!("{:.2}x", r.measured_speedup_vs_single),
+                    format!("{:.2}x", r.overhead_vs_inprocess),
                     fmt(r.modeled_qet_secs),
                     fmt(r.modeled_max_shard_qet_secs),
                     fmt(r.modeled_total_mpc_secs),
@@ -260,11 +316,13 @@ fn main() {
         print_table(
             &[
                 "shards",
+                "mode",
                 "uploads",
                 "measured total(s)",
                 "measured/step(ms)",
                 "uploads/s",
                 "measured speedup",
+                "vs inprocess",
                 "modeled QET(s)",
                 "modeled max-shard(s)",
                 "modeled MPC(s)",
@@ -281,9 +339,11 @@ fn main() {
         "\nReading the table: 'measured' columns are host wall-clock of the threaded \
          runtime (S shard threads + upload broker); 'modeled' columns are the cost \
          model's simulated times, identical between the sequential and threaded runs \
-         because every row asserted bit-for-bit replay before printing. Measured \
-         speedup saturates once per-step work no longer dominates thread coordination; \
-         modeled QET keeps shrinking with the 1/S view scan — exactly the gap this \
-         binary exists to make visible."
+         because every row asserted bit-for-bit replay before printing. 'vs inprocess' \
+         is the same-cell wall-clock ratio against the in-process party mode — what \
+         actor message passing or TCP framing actually costs for an identical \
+         trajectory. Measured speedup saturates once per-step work no longer dominates \
+         thread coordination; modeled QET keeps shrinking with the 1/S view scan — \
+         exactly the gap this binary exists to make visible."
     );
 }

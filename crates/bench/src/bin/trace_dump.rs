@@ -13,7 +13,9 @@
 //! config-derived expectations) finds a violation — which is what lets CI treat
 //! a smoke trace as a machine-checked artifact rather than an opaque log.
 
-use incshrink_telemetry::audit::{check_trace, Expectations, LedgerSummary};
+use incshrink_telemetry::audit::{
+    canonical_trace_fingerprint, check_trace, Expectations, LedgerSummary,
+};
 use incshrink_telemetry::{per_step_host_secs, Event, PhaseProfile};
 
 fn trace_path() -> Option<String> {
@@ -77,6 +79,15 @@ fn main() {
             }
         }
     }
+
+    // One grep-able line per trace: runs that replayed the same semantic
+    // trajectory (same observables + ε-ledger, any schedule, any party
+    // execution mode) print the same fingerprint — CI compares these lines
+    // instead of diffing whole traces.
+    println!(
+        "canonical-trace-fingerprint: {:016x}",
+        canonical_trace_fingerprint(&events)
+    );
 
     let ledger = LedgerSummary::from_events(&events);
     println!(

@@ -55,6 +55,15 @@
 //! (drops every command sender so no thread can block forever), joins every
 //! thread, and re-raises the original panic payload via
 //! `std::panic::resume_unwind` — never a hang on a dead channel.
+//!
+//! Party-level failures take the same road: when a shard runs its server pair
+//! in [`PartyMode::Actor`]/[`PartyMode::Tcp`] and a party thread dies (its
+//! channel reports `ChannelError::Disconnected`, or the TCP peer drops with
+//! `UnexpectedEof`), the shard's next protocol round panics with
+//! [`incshrink_mpc::PARTY_CRASH_MESSAGE`] inside the shard thread, which then
+//! propagates through the exact teardown above.
+//! [`ParallelShardedSimulation::with_injected_party_crash`] exercises that
+//! path at a chosen step.
 
 use crate::executor::ScatterGatherExecutor;
 use crate::router::ShardRouter;
@@ -68,6 +77,7 @@ use incshrink::metrics::{relative_error, SummaryBuilder};
 use incshrink::query::{Query, QueryEngine, QueryOutcome};
 use incshrink::{IncShrinkConfig, ShardPipeline, StepRecord, UpdateStrategy};
 use incshrink_mpc::cost::{CostModel, SimDuration};
+use incshrink_mpc::PartyMode;
 use incshrink_storage::{Relation, UploadBatch};
 use incshrink_telemetry::Collector;
 use incshrink_workload::Dataset;
@@ -89,6 +99,12 @@ enum ShardCommand {
     Query { query: Query, t: u64 },
     /// Test hook: panic inside the shard thread (teardown regression tests).
     Crash { message: String },
+    /// Test hook: kill one of this shard's MPC party executors mid-run. Under
+    /// [`PartyMode::Actor`]/[`PartyMode::Tcp`] a party thread exits and the
+    /// next protocol round panics with `incshrink_mpc::PARTY_CRASH_MESSAGE`;
+    /// in-process mode panics immediately. Either way the panic rides the same
+    /// teardown/propagation path as a shard-thread panic.
+    PartyCrash,
     /// Report end-of-run statistics and exit the thread.
     Finish,
 }
@@ -188,6 +204,10 @@ fn shard_main(
                 ShardReply::Query(Box::new(partial))
             }
             ShardCommand::Crash { message } => panic!("{message}"),
+            ShardCommand::PartyCrash => {
+                pipeline.inject_party_crash();
+                continue; // Actor/Tcp: the *next* protocol round panics.
+            }
             ShardCommand::Finish => {
                 let _ = replies.send(ShardReply::Final(Box::new(ShardFinal {
                     report: ShardReport {
@@ -458,8 +478,10 @@ pub struct ParallelShardedSimulation {
     seed: u64,
     cost_model: CostModel,
     routing: RoutingPolicy,
+    party_mode: PartyMode,
     ingest_chunk_seed: Option<u64>,
     injected_crash: Option<(usize, u64)>,
+    injected_party_crash: Option<(usize, u64)>,
 }
 
 impl ParallelShardedSimulation {
@@ -484,8 +506,10 @@ impl ParallelShardedSimulation {
             seed,
             cost_model: CostModel::default(),
             routing: RoutingPolicy::CoPartitioned,
+            party_mode: PartyMode::from_env(),
             ingest_chunk_seed: None,
             injected_crash: None,
+            injected_party_crash: None,
         }
     }
 
@@ -513,12 +537,32 @@ impl ParallelShardedSimulation {
         self
     }
 
+    /// Select how each shard's two MPC servers execute (see
+    /// [`crate::ShardedSimulation::with_party_mode`]).
+    #[must_use]
+    pub fn with_party_mode(mut self, party_mode: PartyMode) -> Self {
+        self.party_mode = party_mode;
+        self
+    }
+
     /// Test hook: make shard `shard`'s thread panic at the start of step
     /// `step`, to exercise the teardown/propagation path.
     #[doc(hidden)]
     #[must_use]
     pub fn with_injected_crash(mut self, shard: usize, step: u64) -> Self {
         self.injected_crash = Some((shard, step));
+        self
+    }
+
+    /// Test hook: kill one of shard `shard`'s MPC party executors at the start
+    /// of step `step` ([`ShardCommand::PartyCrash`]). Exercises the contract
+    /// that a dead *party* — a disconnected channel or TCP peer, not just a
+    /// panicking shard thread — propagates to the driver through the same
+    /// teardown path as [`Self::with_injected_crash`].
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_injected_party_crash(mut self, shard: usize, step: u64) -> Self {
+        self.injected_party_crash = Some((shard, step));
         self
     }
 
@@ -590,6 +634,7 @@ impl ParallelShardedSimulation {
                     per_shard_config,
                     seed,
                     cost_model,
+                    self.party_mode,
                 ),
                 None,
             ),
@@ -599,6 +644,7 @@ impl ParallelShardedSimulation {
                     per_shard_config,
                     seed,
                     cost_model,
+                    self.party_mode,
                 ),
                 Some(ShuffleState {
                     arrival_parts: router.partition(&self.dataset),
@@ -617,6 +663,7 @@ impl ParallelShardedSimulation {
             ),
         };
         let injected_crash = self.injected_crash;
+        let injected_party_crash = self.injected_party_crash;
         let system = self.spawn_actors(pipelines, shuffle_state);
 
         let merger = ScatterGatherExecutor::new(cost_model);
@@ -639,6 +686,15 @@ impl ParallelShardedSimulation {
                         .send(ShardCommand::Crash {
                             message: format!("injected crash on shard {crash_shard} at step {t}"),
                         });
+                }
+            }
+            if let Some((crash_shard, crash_step)) = injected_party_crash {
+                if t == crash_step {
+                    // The command rides the same queue as the step release, so
+                    // the party dies just before the shard starts step `t`.
+                    let _ = system.actors[crash_shard]
+                        .commands
+                        .send(ShardCommand::PartyCrash);
                 }
             }
             // Release the step through the broker, then wait for its ack before

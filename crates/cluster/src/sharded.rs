@@ -30,6 +30,7 @@ use incshrink::query::{Query, QueryEngine, QueryOutcome};
 use incshrink::{IncShrinkConfig, ShardPipeline, StepRecord, Summary, UpdateStrategy};
 use incshrink_dp::accountant::{MechanismApplication, PrivacyAccountant};
 use incshrink_mpc::cost::{CostModel, SimDuration};
+use incshrink_mpc::PartyMode;
 use incshrink_storage::{Relation, UploadBatch};
 use incshrink_workload::{Dataset, DatasetKind};
 use rand::rngs::StdRng;
@@ -247,16 +248,18 @@ pub(crate) fn build_pipelines(
     per_shard_config: IncShrinkConfig,
     seed: u64,
     cost_model: CostModel,
+    party_mode: PartyMode,
 ) -> Vec<ShardPipeline> {
     parts
         .into_iter()
         .enumerate()
         .map(|(i, part)| {
-            ShardPipeline::new(
+            ShardPipeline::with_party_mode(
                 part,
                 per_shard_config,
                 seed.wrapping_add((i as u64).wrapping_mul(SHARD_SEED_STRIDE)),
                 cost_model,
+                party_mode,
             )
         })
         .collect()
@@ -286,6 +289,7 @@ pub fn shard_pipelines(
         shard_config(config, shards),
         seed,
         cost_model,
+        PartyMode::from_env(),
     )
 }
 
@@ -299,6 +303,7 @@ pub struct ShardedSimulation {
     seed: u64,
     cost_model: CostModel,
     routing: RoutingPolicy,
+    party_mode: PartyMode,
 }
 
 impl ShardedSimulation {
@@ -322,6 +327,7 @@ impl ShardedSimulation {
             seed,
             cost_model: CostModel::default(),
             routing: RoutingPolicy::CoPartitioned,
+            party_mode: PartyMode::from_env(),
         }
     }
 
@@ -329,6 +335,16 @@ impl ShardedSimulation {
     #[must_use]
     pub fn with_cost_model(mut self, model: CostModel) -> Self {
         self.cost_model = model;
+        self
+    }
+
+    /// Select how each shard's two MPC servers execute
+    /// ([`incshrink_mpc::PartyMode`]): in-process struct calls (the default),
+    /// actor threads over in-memory channels, or actor threads over a loopback
+    /// TCP socket. The simulated trajectory is mode-invariant by contract.
+    #[must_use]
+    pub fn with_party_mode(mut self, party_mode: PartyMode) -> Self {
+        self.party_mode = party_mode;
         self
     }
 
@@ -360,6 +376,7 @@ impl ShardedSimulation {
             seed,
             cost_model,
             routing,
+            party_mode,
         } = self;
 
         assert_routable(&dataset, shards, routing);
@@ -368,8 +385,9 @@ impl ShardedSimulation {
         let kind = dataset.kind;
         let per_shard_config = shard_config(&config, shards);
         let router = ShardRouter::new(shards);
-        let make_pipelines =
-            |parts: Vec<Dataset>| build_pipelines(parts, per_shard_config, seed, cost_model);
+        let make_pipelines = |parts: Vec<Dataset>| {
+            build_pipelines(parts, per_shard_config, seed, cost_model, party_mode)
+        };
 
         // Per-routing-policy upload paths. Co-partitioned: pipelines own their
         // arrival shard's workload and build their own uploads (the historical

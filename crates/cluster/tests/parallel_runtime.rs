@@ -18,6 +18,7 @@ use incshrink_cluster::{
     ShardedSimulation,
 };
 use incshrink_dp::accountant::{MechanismApplication, PrivacyAccountant};
+use incshrink_mpc::{PartyMode, PARTY_CRASH_MESSAGE};
 use incshrink_telemetry::audit::{canonical_observable_trace, LedgerSummary};
 use incshrink_telemetry::{install, Event, InMemory};
 use incshrink_workload::to_store_partitioned;
@@ -275,6 +276,83 @@ fn shard_thread_panic_propagates_to_the_driver() {
         assert!(
             message.contains("injected crash on shard 2 at step 7"),
             "driver panic must carry the shard thread's payload, got: {message:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Party-mode invariance: running each shard's two MPC servers as actor threads
+// (mpsc or loopback TCP) must replay the in-process cluster trajectory bit for
+// bit — same reports, same view fingerprints, same canonical observable trace —
+// at S ∈ {1, 4}, sequential and threaded drivers alike.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cluster_replays_are_party_mode_invariant() {
+    let dataset = tpcds(24, 26);
+    let config = timer_cfg();
+    for shards in [1usize, 4] {
+        let (reference, reference_events) = traced(|| {
+            ShardedSimulation::new(dataset.clone(), config, shards, 0x9A9A)
+                .with_party_mode(PartyMode::InProcess)
+                .run()
+        });
+        for mode in [PartyMode::Actor, PartyMode::Tcp] {
+            let (sequential, seq_events) = traced(|| {
+                ShardedSimulation::new(dataset.clone(), config, shards, 0x9A9A)
+                    .with_party_mode(mode)
+                    .run()
+            });
+            assert_eq!(
+                sequential, reference,
+                "{mode} sequential cluster run diverged from in-process (S={shards})"
+            );
+            assert_eq!(
+                canonical_observable_trace(&seq_events),
+                canonical_observable_trace(&reference_events),
+                "{mode} observable trace diverged (S={shards})"
+            );
+            let (threaded, thr_events) = traced(|| {
+                ParallelShardedSimulation::new(dataset.clone(), config, shards, 0x9A9A)
+                    .with_party_mode(mode)
+                    .run()
+            });
+            assert_bit_for_bit(
+                &(reference.clone(), reference_events.clone()),
+                &(threaded, thr_events),
+                shards,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Party-level failure semantics: a dead MPC party (actor thread gone, TCP peer
+// disconnected) must reach the driver as a panic carrying
+// `PARTY_CRASH_MESSAGE`, through the same teardown as a shard-thread panic.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn party_thread_death_propagates_like_a_shard_panic() {
+    let dataset = tpcds(20, 24);
+    let config = timer_cfg();
+    for mode in PartyMode::ALL {
+        let dataset = dataset.clone();
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ParallelShardedSimulation::new(dataset, config, 4, 0xBAD)
+                .with_party_mode(mode)
+                .with_injected_party_crash(2, 7)
+                .run()
+        }))
+        .expect_err("injected party crash must panic the driver");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(
+            message.contains(PARTY_CRASH_MESSAGE),
+            "{mode}: driver panic must carry the party-crash payload, got: {message:?}"
         );
     }
 }

@@ -24,7 +24,7 @@ use crate::transform::{StepInputs, TransformProtocol};
 use crate::view::{MaterializedView, ViewDefinition};
 use incshrink_mpc::cost::{CostModel, CostReport, SimDuration};
 use incshrink_mpc::party::ObservedEvent;
-use incshrink_mpc::runtime::TwoPartyContext;
+use incshrink_mpc::{PartyContext, PartyExec, PartyMode};
 use incshrink_oblivious::planner::Calibration;
 use incshrink_storage::{OutsourcedStore, Relation, SecureCache, UploadBatch};
 use incshrink_workload::{logical_join_counts_per_step, Dataset, DatasetKind};
@@ -61,7 +61,11 @@ pub struct StepRecord {
 }
 
 /// Full result of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Equality goes through [`Summary`]'s host-time-excluding `PartialEq`, so two
+/// reports compare equal exactly when they describe the same simulated
+/// trajectory — the comparison the cross-party-mode replay tests rely on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Which dataset kind was replayed.
     pub dataset: DatasetKind,
@@ -129,7 +133,7 @@ pub struct ShardPipeline {
     dataset: Dataset,
     config: IncShrinkConfig,
     cost_model: CostModel,
-    ctx: TwoPartyContext,
+    ctx: PartyContext,
     upload_rng: StdRng,
     store: OutsourcedStore,
     cache: SecureCache,
@@ -148,7 +152,8 @@ pub struct ShardPipeline {
 }
 
 impl ShardPipeline {
-    /// Build the pipeline for one (shard of a) workload.
+    /// Build the pipeline for one (shard of a) workload, running the MPC
+    /// parties in the mode `INCSHRINK_PARTY_MODE` selects (default: in-process).
     ///
     /// # Panics
     /// Panics when the configuration fails [`IncShrinkConfig::validate`].
@@ -158,6 +163,22 @@ impl ShardPipeline {
         config: IncShrinkConfig,
         seed: u64,
         cost_model: CostModel,
+    ) -> Self {
+        Self::with_party_mode(dataset, config, seed, cost_model, PartyMode::from_env())
+    }
+
+    /// Build the pipeline with an explicit party execution mode. Every mode
+    /// replays the others bit for bit; they differ only in measured host time.
+    ///
+    /// # Panics
+    /// Panics when the configuration fails [`IncShrinkConfig::validate`].
+    #[must_use]
+    pub fn with_party_mode(
+        dataset: Dataset,
+        config: IncShrinkConfig,
+        seed: u64,
+        cost_model: CostModel,
+        party_mode: PartyMode,
     ) -> Self {
         if let Some(problem) = config.validate() {
             panic!("invalid IncShrink configuration: {problem}");
@@ -188,7 +209,7 @@ impl ShardPipeline {
         let right_arity = dataset.right.schema.arity();
 
         Self {
-            ctx: TwoPartyContext::new(seed, cost_model),
+            ctx: PartyContext::new(party_mode, seed, cost_model),
             upload_rng: StdRng::seed_from_u64(seed ^ 0x0B17_A5E5),
             store: OutsourcedStore::new(),
             cache: SecureCache::new(),
@@ -256,6 +277,20 @@ impl ShardPipeline {
     #[must_use]
     pub fn elapsed(&self) -> SimDuration {
         self.ctx.elapsed()
+    }
+
+    /// Which party execution mode this pipeline runs.
+    #[must_use]
+    pub fn party_mode(&self) -> PartyMode {
+        self.ctx.mode()
+    }
+
+    /// Inject a party-level fault: one MPC party dies mid-protocol, surfacing
+    /// as a panic carrying [`incshrink_mpc::PARTY_CRASH_MESSAGE`] on the next
+    /// protocol round (immediately, in-process). Test hook for the cluster
+    /// crash-propagation path.
+    pub fn inject_party_crash(&mut self) {
+        self.ctx.inject_party_crash();
     }
 
     /// Ground-truth logical answer over this pipeline's (shard of the) data at step
@@ -398,7 +433,7 @@ impl ShardPipeline {
 
         // --- Owner uploads (fixed-size padded batches every step).
         let left_batch = uploads.left;
-        self.ctx.servers.observe_both(ObservedEvent::UploadBatch {
+        self.ctx.observe_both(ObservedEvent::UploadBatch {
             time: t,
             count: left_batch.len(),
         });
@@ -406,7 +441,7 @@ impl ShardPipeline {
 
         let right_batch = uploads.right;
         if let Some(batch) = &right_batch {
-            self.ctx.servers.observe_both(ObservedEvent::UploadBatch {
+            self.ctx.observe_both(ObservedEvent::UploadBatch {
                 time: t,
                 count: batch.len(),
             });
@@ -440,7 +475,7 @@ impl ShardPipeline {
                 self.pending.clear();
                 outcome.transform_duration = Some(transform_outcome.duration);
                 outcome.transform_report = Some(transform_outcome.report);
-                self.ctx.servers.observe_both(ObservedEvent::CacheAppend {
+                self.ctx.observe_both(ObservedEvent::CacheAppend {
                     time: t,
                     count: transform_outcome.delta.len(),
                 });
@@ -479,6 +514,7 @@ pub struct Simulation {
     seed: u64,
     cost_model: CostModel,
     calibration: Option<Calibration>,
+    party_mode: PartyMode,
 }
 
 impl Simulation {
@@ -497,6 +533,7 @@ impl Simulation {
             seed,
             cost_model: CostModel::default(),
             calibration: None,
+            party_mode: PartyMode::from_env(),
         }
     }
 
@@ -515,6 +552,14 @@ impl Simulation {
         self
     }
 
+    /// Run the MPC parties in an explicit [`PartyMode`] instead of the
+    /// `INCSHRINK_PARTY_MODE` default. Trajectories are mode-invariant.
+    #[must_use]
+    pub fn with_party_mode(mut self, party_mode: PartyMode) -> Self {
+        self.party_mode = party_mode;
+        self
+    }
+
     /// Run the simulation to completion.
     #[must_use]
     pub fn run(self) -> RunReport {
@@ -524,11 +569,13 @@ impl Simulation {
             seed,
             cost_model,
             calibration,
+            party_mode,
         } = self;
 
         let steps = dataset.params.steps;
         let kind = dataset.kind;
-        let mut pipeline = ShardPipeline::new(dataset, config, seed, cost_model);
+        let mut pipeline =
+            ShardPipeline::with_party_mode(dataset, config, seed, cost_model, party_mode);
         pipeline.set_calibration(calibration);
 
         let mut builder = SummaryBuilder::new();

@@ -21,7 +21,7 @@ use crate::extensions::{budget_alloc, OperatorKind, OperatorProfile};
 use crate::view::{MaterializedView, ViewDefinition};
 use incshrink_dp::joint::joint_noised_size;
 use incshrink_mpc::cost::{CostReport, SimDuration};
-use incshrink_mpc::runtime::TwoPartyContext;
+use incshrink_mpc::PartyExec;
 use incshrink_oblivious::filter::Predicate;
 use incshrink_oblivious::oblivious_filter;
 use incshrink_oblivious::planner::{charge_full_relation_gap, plan_join, JoinAlgorithm};
@@ -248,7 +248,7 @@ impl TwoLevelPipeline {
     /// DP-sized batch into the final view.
     pub fn step(
         &mut self,
-        ctx: &mut TwoPartyContext,
+        ctx: &mut impl PartyExec,
         new_left: &SharedArrayPair,
         time: u64,
     ) -> PipelineStepOutcome {
@@ -381,6 +381,7 @@ impl TwoLevelPipeline {
 mod tests {
     use super::*;
     use incshrink_mpc::cost::CostModel;
+    use incshrink_mpc::TwoPartyContext;
     use incshrink_oblivious::PlainTable;
 
     fn view_def() -> ViewDefinition {

@@ -15,7 +15,7 @@ use crate::view::MaterializedView;
 use incshrink_dp::joint::{joint_laplace_noise, joint_noised_size};
 use incshrink_mpc::cost::{CostReport, SimDuration};
 use incshrink_mpc::party::ObservedEvent;
-use incshrink_mpc::runtime::TwoPartyContext;
+use incshrink_mpc::PartyExec;
 use incshrink_storage::SecureCache;
 
 /// Name under which the (scaled) noisy threshold is secret-shared on both servers.
@@ -71,17 +71,17 @@ impl ShrinkProtocol {
         self.updates_issued
     }
 
-    fn store_noisy_threshold(&self, ctx: &mut TwoPartyContext, threshold: f64) {
+    fn store_noisy_threshold(&self, ctx: &mut impl PartyExec, threshold: f64) {
         let scaled = (threshold.max(0.0) * THRESHOLD_SCALE).round() as u32;
         ctx.reshare_and_store(NOISY_THRESHOLD_SHARE, scaled);
     }
 
-    fn load_noisy_threshold(&self, ctx: &mut TwoPartyContext) -> f64 {
+    fn load_noisy_threshold(&self, ctx: &mut impl PartyExec) -> f64 {
         ctx.recover_named(NOISY_THRESHOLD_SHARE)
             .map_or(0.0, |w| f64::from(w) / THRESHOLD_SCALE)
     }
 
-    fn refresh_ant_threshold(&mut self, ctx: &mut TwoPartyContext, theta: f64) {
+    fn refresh_ant_threshold(&mut self, ctx: &mut impl PartyExec, theta: f64) {
         // Algorithm 3 line 2/11: θ̃ ← JointNoise(S0, S1, b, ε1/2, θ) with ε1 = ε/2.
         let epsilon1 = self.epsilon / 2.0;
         let _mech = incshrink_telemetry::mechanism_scope("ant.threshold");
@@ -91,7 +91,7 @@ impl ShrinkProtocol {
 
     fn synchronize(
         &mut self,
-        ctx: &mut TwoPartyContext,
+        ctx: &mut impl PartyExec,
         cache: &mut SecureCache,
         view: &mut MaterializedView,
         noise_epsilon: f64,
@@ -110,7 +110,7 @@ impl ShrinkProtocol {
         view.append(fetched);
         // Both servers observe the synchronized (DP-noised) size — this is exactly the
         // leakage the SIM-CDP proof simulates.
-        ctx.servers.observe_both(ObservedEvent::ViewSync {
+        ctx.observe_both(ObservedEvent::ViewSync {
             time,
             count: fetched_len,
         });
@@ -127,7 +127,7 @@ impl ShrinkProtocol {
 
     fn maybe_flush(
         &mut self,
-        ctx: &mut TwoPartyContext,
+        ctx: &mut impl PartyExec,
         cache: &mut SecureCache,
         view: &mut MaterializedView,
         time: u64,
@@ -138,8 +138,7 @@ impl ShrinkProtocol {
         let fetched = cache.flush(self.flush_size, ctx.meter());
         let count = fetched.len();
         view.append(fetched);
-        ctx.servers
-            .observe_both(ObservedEvent::CacheFlush { time, count });
+        ctx.observe_both(ObservedEvent::CacheFlush { time, count });
         // The flush empties the cache entirely (the prefix is synchronized, the
         // remainder recycled), so no counted entries remain afterwards: reset the
         // counter to zero rather than decrementing by the synchronized prefix, which
@@ -153,7 +152,7 @@ impl ShrinkProtocol {
     /// Run one Shrink step at logical time `time`.
     pub fn step(
         &mut self,
-        ctx: &mut TwoPartyContext,
+        ctx: &mut impl PartyExec,
         cache: &mut SecureCache,
         view: &mut MaterializedView,
         time: u64,
@@ -210,6 +209,7 @@ impl ShrinkProtocol {
 mod tests {
     use super::*;
     use incshrink_mpc::cost::CostModel;
+    use incshrink_mpc::TwoPartyContext;
     use incshrink_secretshare::arrays::SharedArrayPair;
     use incshrink_secretshare::tuple::PlainRecord;
     use rand::rngs::StdRng;

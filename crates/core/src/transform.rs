@@ -40,7 +40,7 @@ use crate::config::JoinPlanMode;
 use crate::view::ViewDefinition;
 use incshrink_dp::accountant::ContributionLedger;
 use incshrink_mpc::cost::{CostReport, SimDuration};
-use incshrink_mpc::runtime::TwoPartyContext;
+use incshrink_mpc::PartyExec;
 use incshrink_oblivious::planner::{
     charge_planned_join, plan_join, plan_join_calibrated, Calibration, JoinAlgorithm,
 };
@@ -434,7 +434,7 @@ impl TransformProtocol {
     /// re-shared from scratch — share randomness, which nothing downstream observes.
     pub fn invoke(
         &mut self,
-        ctx: &mut TwoPartyContext,
+        ctx: &mut impl PartyExec,
         delta_left: &UploadBatch,
         delta_right: Option<&UploadBatch>,
         full_right_len: usize,
@@ -620,7 +620,7 @@ impl TransformProtocol {
     /// delegates to [`Self::invoke`], so `k = 1` runs are bit-for-bit unchanged.
     pub fn invoke_batched(
         &mut self,
-        ctx: &mut TwoPartyContext,
+        ctx: &mut impl PartyExec,
         steps: &[StepInputs],
     ) -> TransformOutcome {
         if steps.is_empty() {
@@ -846,6 +846,7 @@ fn batch_plain_records(batch: &UploadBatch) -> Vec<PlainRecord> {
 mod tests {
     use super::*;
     use incshrink_mpc::cost::CostModel;
+    use incshrink_mpc::TwoPartyContext;
     use incshrink_storage::{LogicalUpdate, Relation, UploadBatch};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

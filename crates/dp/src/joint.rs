@@ -9,12 +9,14 @@
 //! is exactly the non-colluding assumption — the noise is unpredictable to every party.
 
 use crate::laplace::laplace_from_unit;
-use incshrink_mpc::runtime::TwoPartyContext;
+use incshrink_mpc::PartyExec;
 
 /// Jointly sample `Lap(Δ/ε)` noise inside the two-party context and return
 /// `x + noise` as a real number. Charges the contribution exchange to the cost meter.
+/// Generic over the party execution mode — the joint draw is one protocol
+/// round regardless of who runs the servers.
 pub fn joint_laplace_noise(
-    ctx: &mut TwoPartyContext,
+    ctx: &mut impl PartyExec,
     sensitivity: f64,
     epsilon: f64,
     x: f64,
@@ -36,7 +38,7 @@ pub fn joint_laplace_noise(
 
 /// Jointly noise an integer cardinality and clamp the result to a usable read size.
 pub fn joint_noised_size(
-    ctx: &mut TwoPartyContext,
+    ctx: &mut impl PartyExec,
     sensitivity: f64,
     epsilon: f64,
     count: u64,
@@ -53,6 +55,7 @@ pub fn joint_noised_size(
 mod tests {
     use super::*;
     use incshrink_mpc::cost::CostModel;
+    use incshrink_mpc::TwoPartyContext;
 
     #[test]
     fn joint_noise_has_zero_mean_and_expected_spread() {

@@ -2,9 +2,27 @@
 //!
 //! [`TwoPartyContext`](crate::TwoPartyContext) executes both parties inside one
 //! struct — faithful accounting, but physically a single thread of control. This
-//! module splits the pair into two [`PartyEndpoint`]s connected by
-//! `std::sync::mpsc` channels, so each party can run on its own OS thread and
-//! every protocol round is an actual message exchange ([`PartyMessage`]).
+//! module splits the pair into two [`PartyEndpoint`]s connected by a pluggable
+//! [`PartyTransport`] — `std::sync::mpsc` channels ([`endpoint_pair`]) or a real
+//! loopback TCP socket ([`endpoint_pair_tcp`]) — so each party can run on its
+//! own OS thread and every protocol round is an actual message exchange
+//! ([`PartyMessage`]).
+//!
+//! # Wire format (TCP transport)
+//!
+//! Each message is framed as a 4-byte little-endian payload length followed by
+//! the payload: one tag byte plus the message body in little-endian words. The
+//! codec is laid out so that for every *metered* message kind the body size
+//! equals the metered byte charge exactly — a [`PartyMessage::RandContribution`]
+//! body is 12 bytes (the metered `4 + 8`), a [`PartyMessage::ReshareMask`] body
+//! is 4, a [`PartyMessage::ShareBatch`] body is `4·len` (the word count derives
+//! from the frame length; an empty batch is a legal 1-byte frame). That makes
+//! the bytes-on-the-wire vs [`CostReport`] reconciliation an exact identity:
+//! per endpoint, `wire_bytes_sent == 5·messages_sent + metered_bytes` over the
+//! hot-path operations (5 = frame header + tag). [`PartyMessage::MaskedCompare`]
+//! / [`PartyMessage::MaskedAdd`] ship 8-byte bodies that are deliberately *not*
+//! metered as bytes — their communication rides inside the per-gate cost, as
+//! documented under *Accounting parity* below.
 //!
 //! # Accounting parity
 //!
@@ -40,6 +58,8 @@ use crate::cost::{CostMeter, CostReport};
 use crate::party::Server;
 use crate::runtime::JointRandomness;
 use incshrink_secretshare::{PartyId, Share, SharePair};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// One protocol message between the two party actors.
@@ -100,6 +120,175 @@ impl std::error::Error for ChannelError {}
 /// Result alias for channel-transport operations.
 pub type ChannelResult<T> = Result<T, ChannelError>;
 
+/// Message tags of the length-prefixed TCP codec (one byte after the frame
+/// header). Kept in a tiny private namespace so encode/decode can't drift.
+mod tag {
+    pub const RAND: u8 = 0;
+    pub const RESHARE: u8 = 1;
+    pub const SHARE_BATCH: u8 = 2;
+    pub const COMPARE: u8 = 3;
+    pub const ADD: u8 = 4;
+}
+
+/// Bytes of the TCP frame header plus tag byte — the per-message wire overhead
+/// on top of the (metered) message body.
+pub const WIRE_FRAME_OVERHEAD: u64 = 5;
+
+fn encode_frame(msg: &PartyMessage) -> Vec<u8> {
+    let (tag, body): (u8, Vec<u8>) = match msg {
+        PartyMessage::RandContribution { word, word64 } => {
+            let mut b = Vec::with_capacity(12);
+            b.extend_from_slice(&word.to_le_bytes());
+            b.extend_from_slice(&word64.to_le_bytes());
+            (tag::RAND, b)
+        }
+        PartyMessage::ReshareMask { mask } => (tag::RESHARE, mask.to_le_bytes().to_vec()),
+        PartyMessage::ShareBatch { words } => {
+            let mut b = Vec::with_capacity(4 * words.len());
+            for w in words {
+                b.extend_from_slice(&w.to_le_bytes());
+            }
+            (tag::SHARE_BATCH, b)
+        }
+        PartyMessage::MaskedCompare { a, b } => {
+            let mut body = Vec::with_capacity(8);
+            body.extend_from_slice(&a.to_le_bytes());
+            body.extend_from_slice(&b.to_le_bytes());
+            (tag::COMPARE, body)
+        }
+        PartyMessage::MaskedAdd { a, b } => {
+            let mut body = Vec::with_capacity(8);
+            body.extend_from_slice(&a.to_le_bytes());
+            body.extend_from_slice(&b.to_le_bytes());
+            (tag::ADD, body)
+        }
+    };
+    let payload_len = (body.len() + 1) as u32;
+    let mut frame = Vec::with_capacity(4 + payload_len as usize);
+    frame.extend_from_slice(&payload_len.to_le_bytes());
+    frame.push(tag);
+    frame.extend_from_slice(&body);
+    frame
+}
+
+fn u32_at(body: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(body[offset..offset + 4].try_into().expect("4-byte slice"))
+}
+
+fn decode_frame(tag: u8, body: &[u8]) -> PartyMessage {
+    match tag {
+        tag::RAND => {
+            assert_eq!(body.len(), 12, "RandContribution body is 4 + 8 bytes");
+            PartyMessage::RandContribution {
+                word: u32_at(body, 0),
+                word64: u64::from_le_bytes(body[4..12].try_into().expect("8-byte slice")),
+            }
+        }
+        tag::RESHARE => {
+            assert_eq!(body.len(), 4, "ReshareMask body is one word");
+            PartyMessage::ReshareMask {
+                mask: u32_at(body, 0),
+            }
+        }
+        tag::SHARE_BATCH => {
+            assert_eq!(body.len() % 4, 0, "ShareBatch body is whole words");
+            PartyMessage::ShareBatch {
+                words: (0..body.len() / 4).map(|i| u32_at(body, 4 * i)).collect(),
+            }
+        }
+        tag::COMPARE => {
+            assert_eq!(body.len(), 8, "MaskedCompare body is two words");
+            PartyMessage::MaskedCompare {
+                a: u32_at(body, 0),
+                b: u32_at(body, 4),
+            }
+        }
+        tag::ADD => {
+            assert_eq!(body.len(), 8, "MaskedAdd body is two words");
+            PartyMessage::MaskedAdd {
+                a: u32_at(body, 0),
+                b: u32_at(body, 4),
+            }
+        }
+        other => panic!("protocol desync: unknown wire tag {other}"),
+    }
+}
+
+/// Map a socket error to the transport failure semantics: a peer that closed
+/// the connection (its thread exited or panicked) is [`ChannelError::Disconnected`],
+/// exactly like a dropped mpsc endpoint.
+fn io_to_channel(err: &std::io::Error) -> ChannelError {
+    match err.kind() {
+        std::io::ErrorKind::UnexpectedEof
+        | std::io::ErrorKind::BrokenPipe
+        | std::io::ErrorKind::ConnectionReset
+        | std::io::ErrorKind::ConnectionAborted => ChannelError::Disconnected,
+        other => panic!("party socket I/O failed unrecoverably: {other:?} ({err})"),
+    }
+}
+
+/// The physical link between two [`PartyEndpoint`]s: in-memory channels or a
+/// real loopback TCP socket speaking the length-prefixed [`PartyMessage`] codec.
+#[derive(Debug)]
+pub enum PartyTransport {
+    /// `std::sync::mpsc` pair — messages move as Rust values, no serialization.
+    Mpsc {
+        /// Sender towards the peer endpoint.
+        peer: Sender<PartyMessage>,
+        /// This endpoint's inbox.
+        inbox: Receiver<PartyMessage>,
+    },
+    /// A connected TCP stream (loopback in tests/benches, but nothing in the
+    /// codec assumes it): every message is serialized, framed and actually
+    /// written to the socket.
+    Tcp {
+        /// The connected stream (Nagle disabled — every round is latency-bound).
+        stream: TcpStream,
+    },
+}
+
+impl PartyTransport {
+    fn send(&mut self, msg: &PartyMessage) -> ChannelResult<u64> {
+        match self {
+            PartyTransport::Mpsc { peer, .. } => peer
+                .send(msg.clone())
+                .map(|()| 0)
+                .map_err(|_| ChannelError::Disconnected),
+            PartyTransport::Tcp { stream } => {
+                let frame = encode_frame(msg);
+                stream
+                    .write_all(&frame)
+                    .map_err(|e| io_to_channel(&e))
+                    .map(|()| frame.len() as u64)
+            }
+        }
+    }
+
+    fn recv(&mut self) -> ChannelResult<PartyMessage> {
+        match self {
+            PartyTransport::Mpsc { inbox, .. } => {
+                inbox.recv().map_err(|_| ChannelError::Disconnected)
+            }
+            PartyTransport::Tcp { stream } => {
+                let mut header = [0u8; 4];
+                stream
+                    .read_exact(&mut header)
+                    .map_err(|e| io_to_channel(&e))?;
+                let payload_len = u32::from_le_bytes(header) as usize;
+                assert!(
+                    (1..=(1 << 24)).contains(&payload_len),
+                    "protocol desync: implausible frame length {payload_len}"
+                );
+                let mut payload = vec![0u8; payload_len];
+                stream
+                    .read_exact(&mut payload)
+                    .map_err(|e| io_to_channel(&e))?;
+                Ok(decode_frame(payload[0], &payload[1..]))
+            }
+        }
+    }
+}
+
 /// One party of a two-party protocol, running over a message channel.
 ///
 /// Built in pairs by [`endpoint_pair`]; the two endpoints are symmetric and
@@ -110,12 +299,31 @@ pub type ChannelResult<T> = Result<T, ChannelError>;
 #[derive(Debug)]
 pub struct PartyEndpoint {
     server: Server,
-    peer: Sender<PartyMessage>,
-    inbox: Receiver<PartyMessage>,
+    transport: PartyTransport,
     meter: CostMeter,
+    /// Actual bytes written to the link by this endpoint (0 on mpsc, where
+    /// messages move as values; frame bytes on TCP).
+    wire_bytes_sent: u64,
+    /// Messages sent by this endpoint, transport-independent.
+    messages_sent: u64,
 }
 
-/// Create a connected pair of party endpoints from a master seed.
+fn endpoint_with(id: PartyId, seed: u64, transport: PartyTransport) -> PartyEndpoint {
+    let seed = match id {
+        PartyId::S0 => seed,
+        PartyId::S1 => seed.wrapping_add(0x5151_5151),
+    };
+    PartyEndpoint {
+        server: Server::new(id, seed),
+        transport,
+        meter: CostMeter::new(),
+        wire_bytes_sent: 0,
+        messages_sent: 0,
+    }
+}
+
+/// Create a connected pair of party endpoints from a master seed, linked by
+/// in-memory `std::sync::mpsc` channels.
 ///
 /// Seeds follow `ServerPair::new(seed)` exactly (`S1` at
 /// `seed.wrapping_add(0x5151_5151)`), so an endpoint pair replays the rng
@@ -125,19 +333,48 @@ pub fn endpoint_pair(seed: u64) -> (PartyEndpoint, PartyEndpoint) {
     let (to_s1, from_s0) = channel();
     let (to_s0, from_s1) = channel();
     (
-        PartyEndpoint {
-            server: Server::new(PartyId::S0, seed),
-            peer: to_s1,
-            inbox: from_s1,
-            meter: CostMeter::new(),
-        },
-        PartyEndpoint {
-            server: Server::new(PartyId::S1, seed.wrapping_add(0x5151_5151)),
-            peer: to_s0,
-            inbox: from_s0,
-            meter: CostMeter::new(),
-        },
+        endpoint_with(
+            PartyId::S0,
+            seed,
+            PartyTransport::Mpsc {
+                peer: to_s1,
+                inbox: from_s1,
+            },
+        ),
+        endpoint_with(
+            PartyId::S1,
+            seed,
+            PartyTransport::Mpsc {
+                peer: to_s0,
+                inbox: from_s0,
+            },
+        ),
     )
+}
+
+/// Create a connected pair of party endpoints linked by a real loopback TCP
+/// socket speaking the length-prefixed [`PartyMessage`] codec.
+///
+/// Identical rng seeding and accounting to [`endpoint_pair`] — the only
+/// difference is that every message is serialized and actually written to a
+/// socket, so [`PartyEndpoint::wire_bytes_sent`] counts real bytes that can be
+/// reconciled against the metered charge. Nagle's algorithm is disabled on both
+/// streams; every protocol round is latency-bound and must flush immediately.
+///
+/// # Errors
+/// Propagates socket setup failures (bind / connect / accept on `127.0.0.1:0`).
+pub fn endpoint_pair_tcp(seed: u64) -> std::io::Result<(PartyEndpoint, PartyEndpoint)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    // Single-threaded connect-then-accept is safe: the kernel's SYN queue holds
+    // the pending connection until `accept` picks it up.
+    let s0_stream = TcpStream::connect(listener.local_addr()?)?;
+    let (s1_stream, _) = listener.accept()?;
+    s0_stream.set_nodelay(true)?;
+    s1_stream.set_nodelay(true)?;
+    Ok((
+        endpoint_with(PartyId::S0, seed, PartyTransport::Tcp { stream: s0_stream }),
+        endpoint_with(PartyId::S1, seed, PartyTransport::Tcp { stream: s1_stream }),
+    ))
 }
 
 impl PartyEndpoint {
@@ -153,6 +390,12 @@ impl PartyEndpoint {
         &self.server
     }
 
+    /// Mutable access to the underlying server, for the party actor loop
+    /// (transcript appends, share-store maintenance).
+    pub fn server_mut(&mut self) -> &mut Server {
+        &mut self.server
+    }
+
     /// This endpoint's accumulated cost (bytes are bytes *sent* by this side;
     /// gates and rounds describe the joint protocol). Combine the two sides
     /// with [`combined_report`].
@@ -161,12 +404,42 @@ impl PartyEndpoint {
         self.meter.report()
     }
 
-    fn send(&self, msg: PartyMessage) -> ChannelResult<()> {
-        self.peer.send(msg).map_err(|_| ChannelError::Disconnected)
+    /// Drain this endpoint's meter, returning and resetting the accumulated
+    /// cost (the per-charge analogue of [`Self::report`]).
+    pub fn take_report(&mut self) -> CostReport {
+        self.meter.take()
     }
 
-    fn recv(&self) -> ChannelResult<PartyMessage> {
-        self.inbox.recv().map_err(|_| ChannelError::Disconnected)
+    /// Exclusive access to this endpoint's cost meter, for operators that run
+    /// on the party thread and charge gates directly.
+    pub fn meter(&mut self) -> &mut CostMeter {
+        &mut self.meter
+    }
+
+    /// Actual bytes this endpoint wrote to the link: 0 over mpsc (messages
+    /// move as Rust values), full frame bytes over TCP. On the hot-path
+    /// operations the TCP invariant is
+    /// `wire_bytes_sent == 5·messages_sent + metered_bytes`.
+    #[must_use]
+    pub fn wire_bytes_sent(&self) -> u64 {
+        self.wire_bytes_sent
+    }
+
+    /// Messages this endpoint sent, transport-independent.
+    #[must_use]
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    fn send(&mut self, msg: PartyMessage) -> ChannelResult<()> {
+        let wire = self.transport.send(&msg)?;
+        self.wire_bytes_sent += wire;
+        self.messages_sent += 1;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> ChannelResult<PartyMessage> {
+        self.transport.recv()
     }
 
     /// Jointly sample randomness: send this server's fresh uniform words,
@@ -392,6 +665,95 @@ mod tests {
     #[test]
     fn disconnect_is_an_error_not_a_hang() {
         let (mut e0, e1) = endpoint_pair(3);
+        drop(e1);
+        assert_eq!(e0.joint_randomness(), Err(ChannelError::Disconnected));
+    }
+
+    #[test]
+    fn codec_round_trips_every_message_kind() {
+        let messages = [
+            PartyMessage::RandContribution {
+                word: 0xDEAD_BEEF,
+                word64: 0x0123_4567_89AB_CDEF,
+            },
+            PartyMessage::ReshareMask { mask: 42 },
+            PartyMessage::ShareBatch { words: vec![] },
+            PartyMessage::ShareBatch {
+                words: vec![1, u32::MAX, 7],
+            },
+            PartyMessage::MaskedCompare { a: 3, b: 9 },
+            PartyMessage::MaskedAdd { a: u32::MAX, b: 1 },
+        ];
+        for msg in messages {
+            let frame = encode_frame(&msg);
+            let payload_len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+            assert_eq!(payload_len, frame.len() - 4, "header matches payload");
+            assert_eq!(decode_frame(frame[4], &frame[5..]), msg, "round trip");
+        }
+    }
+
+    /// Drive the same operation sequence over mpsc and TCP endpoints and the
+    /// shared context: outputs, stored shares and combined cost must be
+    /// bit-for-bit identical across all three.
+    #[test]
+    fn tcp_pair_replays_mpsc_pair_and_shared_context() {
+        fn drive(mut e: PartyEndpoint) -> (JointRandomness, Option<u32>, CostReport, u64, u64) {
+            let r = e.joint_randomness().unwrap();
+            e.reshare_and_store("c", 1234).unwrap();
+            let recovered = e.recover_named("c").unwrap();
+            let _peer = e.exchange_shares(&[5, 6, 7]).unwrap();
+            (
+                r,
+                recovered,
+                e.report(),
+                e.wire_bytes_sent(),
+                e.messages_sent(),
+            )
+        }
+        let mut ctx = crate::TwoPartyContext::with_seed(0xC0DE);
+        let expected_rand = ctx.joint_randomness();
+        ctx.reshare_and_store("c", 1234);
+        let expected_recovered = ctx.recover_named("c");
+        // The shared-context stand-in for `exchange_shares(&[_; 3])`: both
+        // sides send 3 words in one joint round.
+        ctx.meter().bytes(2 * 4 * 3);
+        ctx.meter().round();
+        let (expected_report, _) = ctx.charge();
+
+        for (label, (e0, e1)) in [
+            ("mpsc", endpoint_pair(0xC0DE)),
+            ("tcp", endpoint_pair_tcp(0xC0DE).unwrap()),
+        ] {
+            let party1 = std::thread::spawn(move || drive(e1));
+            let (r0, rec0, report0, wire0, msgs0) = drive(e0);
+            let (r1, rec1, report1, wire1, msgs1) = party1.join().unwrap();
+            assert_eq!(r0, expected_rand, "{label}: S0 randomness");
+            assert_eq!(r1, expected_rand, "{label}: S1 randomness");
+            assert_eq!(rec0, expected_recovered, "{label}: S0 recovery");
+            assert_eq!(rec1, expected_recovered, "{label}: S1 recovery");
+            assert_eq!(
+                combined_report(&report0, &report1),
+                expected_report,
+                "{label}: combined cost"
+            );
+            for (wire, msgs, report) in [(wire0, msgs0, &report0), (wire1, msgs1, &report1)] {
+                assert_eq!(msgs, 4, "{label}: one message per op per side");
+                if label == "mpsc" {
+                    assert_eq!(wire, 0, "mpsc moves values, not bytes");
+                } else {
+                    assert_eq!(
+                        wire,
+                        WIRE_FRAME_OVERHEAD * msgs + report.bytes_communicated,
+                        "tcp: wire bytes reconcile with metered bytes"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_disconnect_is_an_error_not_a_hang() {
+        let (mut e0, e1) = endpoint_pair_tcp(3).unwrap();
         drop(e1);
         assert_eq!(e0.joint_randomness(), Err(ChannelError::Disconnected));
     }

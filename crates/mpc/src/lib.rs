@@ -19,14 +19,19 @@
 
 pub mod channel;
 pub mod cost;
+pub mod exec;
 pub mod hash;
 pub mod multiserver;
 pub mod network;
 pub mod party;
 pub mod runtime;
 
-pub use channel::{endpoint_pair, ChannelError, PartyEndpoint, PartyMessage};
+pub use channel::{
+    endpoint_pair, endpoint_pair_tcp, ChannelError, PartyEndpoint, PartyMessage,
+    WIRE_FRAME_OVERHEAD,
+};
 pub use cost::{CostModel, CostReport, SimDuration};
+pub use exec::{ActorPartyExec, PartyContext, PartyExec, PartyMode, PARTY_CRASH_MESSAGE};
 pub use multiserver::MultiServerContext;
 pub use network::NetworkConfig;
 pub use party::{Server, ServerPair};

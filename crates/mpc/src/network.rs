@@ -1,8 +1,14 @@
 //! Network configuration between the two outsourcing servers.
 //!
-//! Only used by the cost model: the simulation never opens sockets, but the network
-//! parameters determine how communicated bytes and protocol rounds translate into
-//! simulated time.
+//! These parameters feed the *cost model*: they determine how metered bytes and
+//! protocol rounds translate into simulated time, regardless of how the two
+//! servers actually execute. Under [`crate::PartyMode::InProcess`] and
+//! [`crate::PartyMode::Actor`] no socket is opened and this description is the
+//! only "network" there is; under [`crate::PartyMode::Tcp`] the party actors
+//! exchange their [`crate::PartyMessage`]s over a real loopback socket
+//! ([`crate::endpoint_pair_tcp`]) whose measured wire bytes reconcile with the
+//! metered bytes this configuration prices — so a `NetworkConfig` now
+//! describes an actual link, not just a formula.
 
 use crate::cost::CostModel;
 use serde::{Deserialize, Serialize};
@@ -36,6 +42,18 @@ impl NetworkConfig {
     }
 
     /// Fold the network parameters into a [`CostModel`], keeping its compute constants.
+    ///
+    /// Exactly two constants are **folded** from the link description:
+    ///
+    /// * `secs_per_byte = 8.0 / bandwidth_bps` — one byte's serialization time
+    ///   on the link (8 bits at line rate);
+    /// * `secs_per_round = 2.0 * latency_secs` — one protocol round costs a
+    ///   full round-trip of the one-way latency.
+    ///
+    /// Everything else — the compute constants (`secs_per_compare`,
+    /// `secs_per_swap`, `secs_per_and`, `secs_per_add`, …) — is **kept** from
+    /// `base` via struct update, because circuit evaluation speed is a property
+    /// of the servers, not of the link between them.
     #[must_use]
     pub fn apply_to(self, base: CostModel) -> CostModel {
         CostModel {
@@ -85,5 +103,33 @@ mod tests {
     fn transfer_time_scales_with_bytes() {
         let lan = NetworkConfig::lan();
         assert!(lan.transfer_secs(2_000_000) > lan.transfer_secs(1_000_000));
+    }
+
+    /// Pins the folded-vs-kept split documented on [`NetworkConfig::apply_to`]:
+    /// the two network constants come out of the stated formulas exactly, and
+    /// every compute constant passes through untouched.
+    #[test]
+    fn apply_to_folds_the_documented_arithmetic() {
+        let base = CostModel::default();
+        for link in [NetworkConfig::lan(), NetworkConfig::wan()] {
+            let model = link.apply_to(base);
+            // Folded: the exact formulas from the rustdoc.
+            assert_eq!(model.secs_per_byte, 8.0 / link.bandwidth_bps);
+            assert_eq!(model.secs_per_round, 2.0 * link.latency_secs);
+            // Kept: circuit-evaluation speed belongs to the servers.
+            assert_eq!(model.secs_per_compare, base.secs_per_compare);
+            assert_eq!(model.secs_per_swap, base.secs_per_swap);
+            assert_eq!(model.secs_per_and, base.secs_per_and);
+            assert_eq!(model.secs_per_add, base.secs_per_add);
+            // And `transfer_secs` is one link crossing plus one round under
+            // the same constants.
+            let bytes = 4096u64;
+            assert!(
+                (link.transfer_secs(bytes)
+                    - (bytes as f64 * model.secs_per_byte + model.secs_per_round))
+                    .abs()
+                    < 1e-15
+            );
+        }
     }
 }

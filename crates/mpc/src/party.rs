@@ -161,23 +161,7 @@ impl ServerPair {
     /// to any installed telemetry collector (a pure read of the event — the
     /// leakage auditor's raw material).
     pub fn observe_both(&mut self, event: ObservedEvent) {
-        if incshrink_telemetry::installed() {
-            let (kind, time, count) = match event {
-                ObservedEvent::UploadBatch { time, count } => {
-                    (incshrink_telemetry::ObserveKind::UploadBatch, time, count)
-                }
-                ObservedEvent::CacheAppend { time, count } => {
-                    (incshrink_telemetry::ObserveKind::CacheAppend, time, count)
-                }
-                ObservedEvent::ViewSync { time, count } => {
-                    (incshrink_telemetry::ObserveKind::ViewSync, time, count)
-                }
-                ObservedEvent::CacheFlush { time, count } => {
-                    (incshrink_telemetry::ObserveKind::CacheFlush, time, count)
-                }
-            };
-            incshrink_telemetry::observe(kind, time, count as u64);
-        }
+        mirror_to_telemetry(&event);
         self.s0.observe(event.clone());
         self.s1.observe(event);
     }
@@ -196,6 +180,31 @@ impl ServerPair {
         let b = self.s1.load_share(name)?;
         Some(incshrink_secretshare::SharePair::from_shares(a, b))
     }
+}
+
+/// Mirror an observed event to any installed telemetry collector. Shared by
+/// every party-execution mode (the in-process `ServerPair` and the driver side
+/// of the actor modes) so the telemetry stream is identical regardless of who
+/// runs the servers.
+pub(crate) fn mirror_to_telemetry(event: &ObservedEvent) {
+    if !incshrink_telemetry::installed() {
+        return;
+    }
+    let (kind, time, count) = match *event {
+        ObservedEvent::UploadBatch { time, count } => {
+            (incshrink_telemetry::ObserveKind::UploadBatch, time, count)
+        }
+        ObservedEvent::CacheAppend { time, count } => {
+            (incshrink_telemetry::ObserveKind::CacheAppend, time, count)
+        }
+        ObservedEvent::ViewSync { time, count } => {
+            (incshrink_telemetry::ObserveKind::ViewSync, time, count)
+        }
+        ObservedEvent::CacheFlush { time, count } => {
+            (incshrink_telemetry::ObserveKind::CacheFlush, time, count)
+        }
+    };
+    incshrink_telemetry::observe(kind, time, count as u64);
 }
 
 #[cfg(test)]

@@ -54,6 +54,7 @@ pub struct TwoPartyContext {
     meter: CostMeter,
     clock: SimDuration,
     time_step: u64,
+    channel_bytes: u64,
 }
 
 impl TwoPartyContext {
@@ -66,6 +67,7 @@ impl TwoPartyContext {
             meter: CostMeter::new(),
             clock: SimDuration::ZERO,
             time_step: 0,
+            channel_bytes: 0,
         }
     }
 
@@ -94,10 +96,17 @@ impl TwoPartyContext {
     /// Drain the meter, convert its report to simulated time, advance the clock, and
     /// return `(report, duration)`. Protocols call this at the end of each invocation
     /// so per-invocation timings can be attributed to Transform / Shrink / queries.
+    ///
+    /// Channel bytes accumulated since the previous charge (joint randomness,
+    /// reshares, named recoveries — the party-to-party traffic) are emitted as a
+    /// `party_bytes` telemetry observable. The count is derived from the metered
+    /// charges, not the transport, so every party-execution mode emits the
+    /// identical event stream.
     pub fn charge(&mut self) -> (CostReport, SimDuration) {
         let report = self.meter.take();
         let duration = self.cost_model.simulate(&report);
         self.clock += duration;
+        emit_party_bytes(std::mem::take(&mut self.channel_bytes), self.time_step);
         (report, duration)
     }
 
@@ -116,6 +125,7 @@ impl TwoPartyContext {
         let w1 = self.servers.s1.random_word64();
         self.meter.bytes(4 + 4 + 8 + 8);
         self.meter.round();
+        self.channel_bytes += 4 + 4 + 8 + 8;
         JointRandomness {
             word: z0 ^ z1,
             word64: w0 ^ w1,
@@ -132,6 +142,7 @@ impl TwoPartyContext {
         self.servers.store_share_pair(name, pair);
         self.meter.bytes(8);
         self.meter.round();
+        self.channel_bytes += 8;
     }
 
     /// Recover a named shared value inside the protocol. Returns `None` when the value
@@ -140,7 +151,18 @@ impl TwoPartyContext {
         let pair = self.servers.load_share_pair(name)?;
         self.meter.bytes(8);
         self.meter.round();
+        self.channel_bytes += 8;
         Some(pair.recover())
+    }
+}
+
+/// Mirror a charge's accumulated channel bytes into telemetry as a
+/// `party_bytes` observable. Shared by every party-execution mode so the
+/// canonical trace is mode-invariant; silent when telemetry is not installed
+/// or no channel traffic occurred since the last charge.
+pub(crate) fn emit_party_bytes(bytes: u64, step: u64) {
+    if bytes > 0 && incshrink_telemetry::installed() {
+        incshrink_telemetry::observe(incshrink_telemetry::ObserveKind::PartyBytes, step, bytes);
     }
 }
 

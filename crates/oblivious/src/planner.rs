@@ -123,6 +123,13 @@ pub struct Calibration {
     pub secs_per_and: f64,
     /// Measured seconds per secure 32-bit addition.
     pub secs_per_add: f64,
+    /// Measured seconds per party-channel protocol round (one command/reply
+    /// round trip on the transport carrying `incshrink_mpc::PartyMessage`s).
+    /// Zero — the default — prices transport as free, which is honest for the
+    /// in-process execution mode; `kernel_throughput` measures the mpsc and
+    /// loopback-TCP round trips so actor/TCP deployments can weigh the rounds
+    /// a plan actually performs.
+    pub secs_per_channel_round: f64,
 }
 
 impl Default for Calibration {
@@ -132,6 +139,7 @@ impl Default for Calibration {
             secs_per_swap: 0.0,
             secs_per_and: 0.0,
             secs_per_add: 0.0,
+            secs_per_channel_round: 0.0,
         }
     }
 }
@@ -146,6 +154,7 @@ impl Calibration {
             && self.secs_per_swap == 0.0
             && self.secs_per_and == 0.0
             && self.secs_per_add == 0.0
+            && self.secs_per_channel_round == 0.0
     }
 
     /// Parse a calibration from JSON. Accepts a bare object
@@ -203,6 +212,9 @@ impl Calibration {
                 "secs_per_swap" => calibration.secs_per_swap = as_secs(key, value)?,
                 "secs_per_and" => calibration.secs_per_and = as_secs(key, value)?,
                 "secs_per_add" => calibration.secs_per_add = as_secs(key, value)?,
+                "secs_per_channel_round" => {
+                    calibration.secs_per_channel_round = as_secs(key, value)?;
+                }
                 _ => {}
             }
         }
@@ -210,7 +222,10 @@ impl Calibration {
     }
 
     /// Predicted wall-clock seconds of an op-count report under this calibration —
-    /// the gate-only pricing path ([`CostModel::op_secs`]) with measured weights.
+    /// the gate-only pricing path ([`CostModel::op_secs`]) with measured weights,
+    /// plus the measured transport cost of the report's protocol rounds (each
+    /// round is one party-channel round trip under the actor/TCP execution
+    /// modes; the default weight of zero reduces this to the gate-only figure).
     #[must_use]
     pub fn predict_secs(&self, report: &CostReport) -> f64 {
         CostModel {
@@ -222,6 +237,7 @@ impl Calibration {
             secs_per_round: 0.0,
         }
         .op_secs(report)
+            + report.rounds as f64 * self.secs_per_channel_round
     }
 }
 
@@ -573,6 +589,31 @@ mod tests {
 
         assert!(Calibration::from_json_str("not json").is_err());
         assert!(Calibration::from_json_str(r#"{"secs_per_compare": "fast"}"#).is_err());
+    }
+
+    #[test]
+    fn channel_round_weight_prices_transport() {
+        // A non-zero round weight leaves compare-only territory (the planner
+        // must weigh rounds, not just gates) and adds exactly
+        // rounds × secs_per_channel_round on top of the gate-only figure.
+        let transported = Calibration {
+            secs_per_channel_round: 1e-5,
+            ..Calibration::default()
+        };
+        assert!(!transported.is_compare_only());
+        let report = CostReport {
+            secure_compares: 100,
+            rounds: 3,
+            ..CostReport::default()
+        };
+        let gate_only = Calibration::default().predict_secs(&report);
+        assert!((transported.predict_secs(&report) - gate_only - 3.0e-5).abs() < 1e-18);
+
+        // The key round-trips through both the JSON reader and serde.
+        let parsed = Calibration::from_json_str(r#"{"secs_per_channel_round": 2.5e-6}"#).unwrap();
+        assert!((parsed.secs_per_channel_round - 2.5e-6).abs() < 1e-18);
+        let json = serde_json::to_string(&transported).unwrap();
+        assert_eq!(Calibration::from_json_str(&json).unwrap(), transported);
     }
 
     #[test]

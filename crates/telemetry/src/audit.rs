@@ -52,6 +52,30 @@ pub fn canonical_observable_trace(events: &[Event]) -> Vec<Event> {
     trace
 }
 
+/// Deterministic 64-bit digest (FNV-1a over the JSONL encoding) of the
+/// [`canonical_observable_trace`]. Two runs replayed the same semantic
+/// trajectory iff their fingerprints agree, so CI can compare runs — e.g. the
+/// same benchmark under different party execution modes — by one hex line
+/// instead of shipping whole traces around. Spans never contribute (they carry
+/// host wall-clock), so the fingerprint is schedule- and machine-stable for a
+/// fixed trajectory.
+#[must_use]
+pub fn canonical_trace_fingerprint(events: &[Event]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = FNV_OFFSET;
+    let mut mix = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    };
+    for event in canonical_observable_trace(events) {
+        let line = serde_json::to_string(&event).expect("events serialize infallibly");
+        line.bytes().for_each(&mut mix);
+        mix(b'\n');
+    }
+    hash
+}
+
 /// Whether view-sync *times* are public (timer cadence) or themselves the
 /// output of a DP mechanism (ANT's noised counter-vs-threshold comparison).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +146,11 @@ impl LeakageProfile {
                         });
                     }
                 }
+                // Channel-byte totals aggregate traffic across the charge
+                // window, including recoveries whose presence rides on
+                // DP-timed sync decisions — protocol metadata, not part of the
+                // noise-free observable profile.
+                ObserveKind::PartyBytes => {}
             }
         }
         Self { entries }
@@ -367,6 +396,18 @@ pub fn check_trace(events: &[Event], expect: &Expectations) -> Result<AuditRepor
                             }
                         }
                     }
+                    ObserveKind::PartyBytes => {
+                        // Every channel charge moves whole 4-byte words
+                        // (joint randomness 24, reshare 8, recovery 8) and a
+                        // zero-byte charge is never emitted.
+                        if o.count == 0 || o.count % 4 != 0 {
+                            violations.push(format!(
+                                "party-channel charge at step {} moved {} bytes, \
+                                 expected a positive multiple of the 4-byte word",
+                                o.step, o.count
+                            ));
+                        }
+                    }
                     ObserveKind::UploadBatch => {}
                 }
             }
@@ -443,6 +484,36 @@ mod tests {
             step: Some(1),
             shard: None,
         })
+    }
+
+    #[test]
+    fn fingerprint_is_schedule_invariant_and_content_sensitive() {
+        let base = vec![
+            ob(ObserveKind::UploadBatch, 1, Some(0), 4),
+            ob(ObserveKind::UploadBatch, 1, Some(1), 4),
+            eps("timer.sync", 0.1),
+            ob(ObserveKind::ViewSync, 2, Some(0), 13),
+        ];
+        let fp = canonical_trace_fingerprint(&base);
+        // Reordering across (step, shard) coordinates — a different thread
+        // schedule — and interleaving spans must not move the fingerprint.
+        let mut shuffled = vec![base[3].clone(), base[1].clone()];
+        shuffled.push(Event::Span(SpanRecord {
+            name: "runtime.step".to_string(),
+            step: Some(1),
+            shard: Some(0),
+            depth: 0,
+            host_nanos: 123_456,
+            sim_nanos: None,
+            cost: None,
+        }));
+        shuffled.push(base[0].clone());
+        shuffled.push(base[2].clone());
+        assert_eq!(canonical_trace_fingerprint(&shuffled), fp);
+        // Any semantic change — one padded size off by one — must move it.
+        let mut tampered = base;
+        tampered[3] = ob(ObserveKind::ViewSync, 2, Some(0), 14);
+        assert_ne!(canonical_trace_fingerprint(&tampered), fp);
     }
 
     #[test]

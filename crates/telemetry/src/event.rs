@@ -70,6 +70,10 @@ pub enum ObserveKind {
     CacheFlush,
     /// One padded routing bucket of the cluster shuffle phase.
     ShuffleBucket,
+    /// Bytes crossing the party-to-party channel since the previous cost
+    /// charge (joint randomness, reshares, named recoveries). Derived from the
+    /// metered charges — identical in every party-execution mode.
+    PartyBytes,
 }
 
 impl ObserveKind {
@@ -82,6 +86,7 @@ impl ObserveKind {
             ObserveKind::ViewSync => "view_sync",
             ObserveKind::CacheFlush => "cache_flush",
             ObserveKind::ShuffleBucket => "shuffle_bucket",
+            ObserveKind::PartyBytes => "party_bytes",
         }
     }
 
@@ -92,6 +97,7 @@ impl ObserveKind {
             "view_sync" => ObserveKind::ViewSync,
             "cache_flush" => ObserveKind::CacheFlush,
             "shuffle_bucket" => ObserveKind::ShuffleBucket,
+            "party_bytes" => ObserveKind::PartyBytes,
             _ => return None,
         })
     }
