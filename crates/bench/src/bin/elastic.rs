@@ -1,0 +1,269 @@
+//! Elastic-vs-static sweep: the elastic sharding control plane against the
+//! static `Shuffled` assignment on `S ∈ {2, 4, 8}` shards × Zipf skew
+//! `s ∈ {0, 0.8, 1.2}` over the store-partitioned TPC-ds workload.
+//!
+//! Each (S, s) cell runs the same dataset twice — static routing and elastic
+//! routing (DP-sized ingest cuts + skew-aware split/merge migration) — and
+//! reports ingest-cut overflows, bucket overflows, padding waste, rebalancing
+//! actions, the elastic ε surcharge, ledger reconciliation against the claimed
+//! per-shard budget, query accuracy, and wall-clock. The expected shape: at
+//! high skew the elastic runs suffer fewer ingest-cut overflows *and* ship
+//! less padding at equal reconciled ε; at `s = 0` (no skew) the two modes are
+//! close, with only residual burst-noise-chasing actions.
+//!
+//! ```bash
+//! cargo run -p incshrink-bench --bin elastic --release
+//! INCSHRINK_BENCH_STEPS=16 INCSHRINK_ELASTIC_SMOKE=1 \
+//!     cargo run -p incshrink-bench --bin elastic --release  # CI smoke
+//! INCSHRINK_ELASTIC_RATE=12 ...  # lighter arrival rate
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use incshrink::prelude::*;
+use incshrink_bench::report::fmt;
+use incshrink_bench::{default_steps, print_table, write_json};
+use incshrink_cluster::{
+    shard_config, ClusterRunReport, ElasticConfig, RoutingPolicy, ShardedSimulation,
+};
+use incshrink_dp::accountant::{MechanismApplication, PrivacyAccountant};
+use incshrink_telemetry::{install, Event, InMemory};
+use incshrink_workload::{to_store_partitioned, to_zipf_skewed};
+use serde::{Deserialize, Serialize};
+
+/// One (shards, skew, mode) cell of the sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ElasticRow {
+    shards: usize,
+    zipf_s: f64,
+    mode: String,
+    cut_overflows: u64,
+    bucket_overflows: u64,
+    padded_dummy_records: u64,
+    padded_dummy_bytes: u64,
+    splits: u64,
+    merges: u64,
+    migrations: u64,
+    migrated_records: u64,
+    epsilon_elastic: f64,
+    ledger_reconciles: bool,
+    avg_relative_error: f64,
+    wall_secs: f64,
+}
+
+impl ElasticRow {
+    fn from_report(
+        shards: usize,
+        zipf_s: f64,
+        mode: &str,
+        report: &ClusterRunReport,
+        reconciles: bool,
+        wall_secs: f64,
+    ) -> Self {
+        let elastic = report.elastic.as_ref();
+        Self {
+            shards,
+            zipf_s,
+            mode: mode.to_string(),
+            cut_overflows: report.shuffle.cut_overflows.iter().sum(),
+            bucket_overflows: report.shuffle.bucket_overflows.iter().sum(),
+            padded_dummy_records: report.shuffle.padded_dummy_records,
+            padded_dummy_bytes: report.shuffle.padded_dummy_bytes,
+            splits: elastic.map_or(0, |e| e.splits),
+            merges: elastic.map_or(0, |e| e.merges),
+            migrations: elastic.map_or(0, |e| e.migrations),
+            migrated_records: elastic.map_or(0, |e| e.migrated_records),
+            epsilon_elastic: elastic.map_or(0.0, |e| e.epsilon_spent),
+            ledger_reconciles: reconciles,
+            avg_relative_error: report.summary.avg_relative_error,
+            wall_secs,
+        }
+    }
+}
+
+/// Run one cluster configuration with an in-memory trace and reconcile its
+/// ε-ledger against the claimed per-shard budget.
+fn run_once(
+    dataset: &Dataset,
+    config: IncShrinkConfig,
+    shards: usize,
+    elastic: Option<ElasticConfig>,
+) -> (ClusterRunReport, bool, f64) {
+    let sink = Arc::new(InMemory::new());
+    let guard = install(sink.clone());
+    let started = Instant::now();
+    let mut sim = ShardedSimulation::new(dataset.clone(), config, shards, 0x7AB2)
+        .with_routing_policy(RoutingPolicy::shuffled());
+    if let Some(cfg) = elastic {
+        sim = sim.with_elastic(cfg);
+    }
+    let report = sim.run();
+    let wall_secs = started.elapsed().as_secs_f64();
+    drop(guard);
+
+    let entries: Vec<_> = sink
+        .take()
+        .into_iter()
+        .filter_map(|e| match e {
+            Event::Epsilon(entry) => Some(entry),
+            _ => None,
+        })
+        .collect();
+    let split = shard_config(&config, shards);
+    let mut claimed = PrivacyAccountant::new();
+    claimed.record(MechanismApplication {
+        mechanism_epsilon: split.epsilon,
+        stability: 1,
+        disjoint: false,
+    });
+    // A short horizon may end before the first DP sync; an empty ledger means
+    // nothing was spent, which is trivially within the claimed budget.
+    let reconciles =
+        entries.is_empty() || claimed.reconciles_with_ledger(&entries, split.contribution_budget);
+    (report, reconciles, wall_secs)
+}
+
+fn main() {
+    let _telemetry = incshrink_bench::init();
+    let steps = default_steps();
+    let smoke = std::env::var("INCSHRINK_ELASTIC_SMOKE").is_ok_and(|v| v == "1");
+    let rate: f64 = std::env::var("INCSHRINK_ELASTIC_RATE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48.0);
+    let config = IncShrinkConfig::tpcds_default(UpdateStrategy::DpTimer { interval: 10 });
+    // The smoke profile releases and plans every other step so even a short
+    // horizon exercises a split; the full profile uses the defaults plus a
+    // full-ε cut slice (better cut SNR at no change to the reconciled bound).
+    let elastic_config = if smoke {
+        ElasticConfig {
+            window: 2,
+            cooldown: 2,
+            cut_slice: 1.0,
+            cut_margin: 3,
+            ..ElasticConfig::default()
+        }
+    } else {
+        ElasticConfig {
+            cut_slice: 1.0,
+            cut_margin: 3,
+            ..ElasticConfig::default()
+        }
+    };
+    let shard_counts: &[usize] = if smoke { &[2] } else { &[2, 4, 8] };
+    let skews: &[f64] = if smoke { &[1.2] } else { &[0.0, 0.8, 1.2] };
+
+    let base = TpcDsGenerator::new(WorkloadParams {
+        steps,
+        view_entries_per_step: rate,
+        seed: 0xAB1E,
+    })
+    .generate();
+
+    let mut all_rows: Vec<ElasticRow> = Vec::new();
+    for &zipf_s in skews {
+        let dataset = to_store_partitioned(&to_zipf_skewed(&base, zipf_s, 0xAB1E), 8, 0.5, 0x570E);
+        for &shards in shard_counts {
+            let (static_report, static_ok, static_secs) = run_once(&dataset, config, shards, None);
+            let (elastic_report, elastic_ok, elastic_secs) =
+                run_once(&dataset, config, shards, Some(elastic_config));
+            all_rows.push(ElasticRow::from_report(
+                shards,
+                zipf_s,
+                "static",
+                &static_report,
+                static_ok,
+                static_secs,
+            ));
+            all_rows.push(ElasticRow::from_report(
+                shards,
+                zipf_s,
+                "elastic",
+                &elastic_report,
+                elastic_ok,
+                elastic_secs,
+            ));
+        }
+    }
+
+    let table: Vec<Vec<String>> = all_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.shards.to_string(),
+                format!("{:.1}", r.zipf_s),
+                r.mode.clone(),
+                r.cut_overflows.to_string(),
+                r.bucket_overflows.to_string(),
+                r.padded_dummy_records.to_string(),
+                format!("{:.1}", r.padded_dummy_bytes as f64 / 1024.0),
+                r.splits.to_string(),
+                r.merges.to_string(),
+                r.migrations.to_string(),
+                fmt(r.epsilon_elastic),
+                r.ledger_reconciles.to_string(),
+                fmt(r.avg_relative_error),
+                fmt(r.wall_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "shards",
+            "zipf s",
+            "mode",
+            "cut ovf",
+            "bkt ovf",
+            "pad recs",
+            "pad KiB",
+            "splits",
+            "merges",
+            "migr",
+            "elastic ε",
+            "ledger ok",
+            "rel err",
+            "wall(s)",
+        ],
+        &table,
+    );
+    write_json("elastic", &all_rows);
+
+    assert!(
+        all_rows.iter().all(|r| r.ledger_reconciles),
+        "every run must reconcile its ε-ledger against the claimed budget"
+    );
+    if smoke {
+        let planned: u64 = all_rows.iter().map(|r| r.splits + r.merges).sum();
+        assert!(
+            planned >= 1,
+            "smoke run must plan at least one rebalancing action"
+        );
+        println!("\nelastic smoke OK: {planned} rebalancing action(s), all ledgers reconcile");
+    } else if steps >= 64 {
+        // The PR acceptance shape at the heaviest skew: strictly fewer
+        // ingest-cut overflows and strictly less padding at S = 4.
+        let cell = |mode: &str| {
+            all_rows
+                .iter()
+                .find(|r| r.shards == 4 && r.zipf_s == 1.2 && r.mode == mode)
+                .expect("S=4 × s=1.2 cell present")
+        };
+        let (st, el) = (cell("static"), cell("elastic"));
+        assert!(
+            el.cut_overflows < st.cut_overflows && el.padded_dummy_bytes < st.padded_dummy_bytes,
+            "elastic must beat static at S=4 × s=1.2: overflows {} vs {}, padding {} vs {} bytes",
+            el.cut_overflows,
+            st.cut_overflows,
+            el.padded_dummy_bytes,
+            st.padded_dummy_bytes
+        );
+    }
+    println!(
+        "\nExpected shape: at s = 0 the two modes are close (residual splits chase \
+         burst noise, at an ε cost the ledger reconciles); as skew grows the static \
+         hot shard overflows its ingest cut while elastic splits its hot ranges away \
+         and the DP-sized cuts shed padding on the cold shards — strictly fewer \
+         overflows and fewer padded bytes at the same reconciled ε."
+    );
+}

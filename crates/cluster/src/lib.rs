@@ -44,12 +44,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod elastic;
 pub mod executor;
 pub mod router;
 pub mod runtime;
 pub mod sharded;
 pub mod shuffle;
 
+pub use elastic::{BucketMove, ElasticConfig, ElasticReport, ElasticRouting, ViewMigrator};
 pub use executor::ScatterGatherExecutor;
 pub use router::{shard_of, ShardRouter};
 pub use runtime::{ParallelRunReport, ParallelShardedSimulation, RuntimeStats};

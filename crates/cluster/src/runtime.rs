@@ -65,17 +65,20 @@
 //! [`ParallelShardedSimulation::with_injected_party_crash`] exercises that
 //! path at a chosen step.
 
+use crate::elastic::{
+    group_moves, BucketMove, ElasticConfig, ElasticReport, ElasticRouting, ViewMigrator,
+};
 use crate::executor::ScatterGatherExecutor;
 use crate::router::ShardRouter;
 use crate::sharded::{
-    assert_routable, build_pipelines, shard_config, ClusterPrivacy, ClusterRunReport, ShardReport,
-    SHARD_SEED_STRIDE,
+    assert_elastic_viable, assert_routable, build_pipelines, shard_config, ClusterPrivacy,
+    ClusterRunReport, ShardReport, SHARD_SEED_STRIDE,
 };
 use crate::shuffle::{ClusterShuffler, RoutingPolicy, ShuffleStats};
 use incshrink::framework::{PipelineStepOutcome, StepUploads};
 use incshrink::metrics::{relative_error, SummaryBuilder};
 use incshrink::query::{Query, QueryEngine, QueryOutcome};
-use incshrink::{IncShrinkConfig, ShardPipeline, StepRecord, UpdateStrategy};
+use incshrink::{IncShrinkConfig, MigratedPartition, ShardPipeline, StepRecord, UpdateStrategy};
 use incshrink_mpc::cost::{CostModel, SimDuration};
 use incshrink_mpc::PartyMode;
 use incshrink_storage::{Relation, UploadBatch};
@@ -97,6 +100,15 @@ enum ShardCommand {
     /// Execute the analyst query against this shard's view (or NM baseline)
     /// and return the partial outcome for the driver's secure-add merge.
     Query { query: Query, t: u64 },
+    /// Elastic migration: extract the listed virtual buckets' state (view
+    /// partition, active records, ledger budgets) and ship it to the driver.
+    ExportPartition { buckets: Vec<usize> },
+    /// Elastic migration: adopt a (DP-padded) partition, re-sharing everything
+    /// with randomness seeded by the driver's migrator.
+    ImportPartition {
+        partition: Box<MigratedPartition>,
+        import_seed: u64,
+    },
     /// Test hook: panic inside the shard thread (teardown regression tests).
     Crash { message: String },
     /// Test hook: kill one of this shard's MPC party executors mid-run. Under
@@ -128,6 +140,14 @@ struct ShardFinal {
 enum ShardReply {
     Step(ShardStepReply),
     Query(Box<QueryOutcome>),
+    /// An exported migration partition plus the (public, padded) view length
+    /// the extraction scanned, for the driver-side cost accounting.
+    Partition {
+        partition: Box<MigratedPartition>,
+        view_len: usize,
+    },
+    /// Acknowledges an [`ShardCommand::ImportPartition`].
+    Imported,
     Final(Box<ShardFinal>),
 }
 
@@ -203,6 +223,20 @@ fn shard_main(
                 };
                 ShardReply::Query(Box::new(partial))
             }
+            ShardCommand::ExportPartition { buckets } => {
+                let view_len = pipeline.view().len();
+                ShardReply::Partition {
+                    partition: Box::new(pipeline.export_partition(&buckets)),
+                    view_len,
+                }
+            }
+            ShardCommand::ImportPartition {
+                partition,
+                import_seed,
+            } => {
+                pipeline.import_partition(*partition, import_seed);
+                ShardReply::Imported
+            }
             ShardCommand::Crash { message } => panic!("{message}"),
             ShardCommand::PartyCrash => {
                 pipeline.inject_party_crash();
@@ -240,12 +274,21 @@ enum BrokerCommand {
 }
 
 enum BrokerReply {
-    /// All of step `t`'s uploads were dispatched to the shard threads.
-    Routed,
-    Final {
-        stats: ShuffleStats,
-        host_shuffle_secs: f64,
-    },
+    /// All of step `t`'s uploads were dispatched to the shard threads, plus
+    /// any bucket moves the elastic control plane planned when closing the
+    /// step (the driver executes the state transfers after the step's
+    /// maintenance and query complete — same schedule as the sequential
+    /// driver).
+    Routed { moves: Vec<BucketMove> },
+    /// Boxed: the cumulative stats payload dwarfs the per-step `Routed` reply.
+    Final(Box<BrokerFinal>),
+}
+
+/// End-of-run payload of [`BrokerReply::Final`].
+struct BrokerFinal {
+    stats: ShuffleStats,
+    host_shuffle_secs: f64,
+    elastic: Option<ElasticReport>,
 }
 
 /// Owner-stream state the broker thread owns under [`RoutingPolicy::Shuffled`]:
@@ -333,6 +376,7 @@ fn broker_main(
         match command {
             BrokerCommand::Step { t } => {
                 let _span = incshrink_telemetry::span!("broker.route", step = t);
+                let mut moves = Vec::new();
                 let dispatched = match &mut shuffle {
                     // Co-partitioned: every pipeline owns its arrival shard's
                     // workload and builds its own uploads (the bit-for-bit
@@ -345,6 +389,11 @@ fn broker_main(
                         let left_routed = state.route(t, Relation::Left, dataset);
                         let right_routed = (!dataset.right_is_public)
                             .then(|| state.route(t, Relation::Right, dataset));
+                        // Close the elastic control step after routing every
+                        // relation — same point in the step as the sequential
+                        // driver, so releases land at identical trace
+                        // coordinates.
+                        moves = state.shuffler.finish_step(t);
                         host_shuffle_secs += started.elapsed().as_secs_f64();
                         let mut rights = right_routed.map(Vec::into_iter);
                         shard_commands.iter().zip(left_routed).all(|(tx, left)| {
@@ -361,7 +410,7 @@ fn broker_main(
                 };
                 // A dead shard (panicked thread) or a gone driver both mean the
                 // run is over; exit so the driver's teardown can join us.
-                if !dispatched || replies.send(BrokerReply::Routed).is_err() {
+                if !dispatched || replies.send(BrokerReply::Routed { moves }).is_err() {
                     return;
                 }
             }
@@ -370,10 +419,12 @@ fn broker_main(
                     .as_ref()
                     .map(|s| s.shuffler.stats())
                     .unwrap_or_default();
-                let _ = replies.send(BrokerReply::Final {
+                let elastic = shuffle.as_ref().and_then(|s| s.shuffler.elastic_report());
+                let _ = replies.send(BrokerReply::Final(Box::new(BrokerFinal {
                     stats,
                     host_shuffle_secs,
-                });
+                    elastic,
+                })));
                 return;
             }
         }
@@ -479,6 +530,7 @@ pub struct ParallelShardedSimulation {
     cost_model: CostModel,
     routing: RoutingPolicy,
     party_mode: PartyMode,
+    elastic: Option<ElasticConfig>,
     ingest_chunk_seed: Option<u64>,
     injected_crash: Option<(usize, u64)>,
     injected_party_crash: Option<(usize, u64)>,
@@ -507,6 +559,7 @@ impl ParallelShardedSimulation {
             cost_model: CostModel::default(),
             routing: RoutingPolicy::CoPartitioned,
             party_mode: PartyMode::from_env(),
+            elastic: None,
             ingest_chunk_seed: None,
             injected_crash: None,
             injected_party_crash: None,
@@ -522,9 +575,28 @@ impl ParallelShardedSimulation {
 
     /// Select how uploads are routed to shard pipelines (see
     /// [`crate::ShardedSimulation::with_routing_policy`]).
+    ///
+    /// # Panics
+    /// Panics when the policy fails [`RoutingPolicy::validate`] (e.g. a
+    /// `Shuffled` cushion of zero).
     #[must_use]
     pub fn with_routing_policy(mut self, routing: RoutingPolicy) -> Self {
+        routing.validate();
         self.routing = routing;
+        self
+    }
+
+    /// Enable the elastic sharding control plane (see
+    /// [`crate::ShardedSimulation::with_elastic`]). Same replay contract as the
+    /// sequential driver: identical seed and config produce the identical
+    /// trajectory, ledger, and migration schedule in every party mode.
+    ///
+    /// # Panics
+    /// Panics when the config fails [`ElasticConfig::validate`].
+    #[must_use]
+    pub fn with_elastic(mut self, elastic: ElasticConfig) -> Self {
+        elastic.validate();
+        self.elastic = Some(elastic);
         self
     }
 
@@ -614,6 +686,7 @@ impl ParallelShardedSimulation {
     #[allow(clippy::too_many_lines)]
     pub fn run(self) -> ParallelRunReport {
         assert_routable(&self.dataset, self.shards, self.routing);
+        assert_elastic_viable(&self.config, self.routing, self.elastic.as_ref());
         let config = self.config;
         let shards = self.shards;
         let seed = self.seed;
@@ -655,7 +728,23 @@ impl ParallelShardedSimulation {
                             )
                         })
                         .collect(),
-                    shuffler: ClusterShuffler::new(shards, bucket_cushion, cost_model, seed),
+                    shuffler: {
+                        // The elastic control plane lives on the broker thread
+                        // with the shuffler it drives; its releases derive from
+                        // the cluster seed, so the trajectory matches the
+                        // sequential driver bit for bit.
+                        let mut shuffler =
+                            ClusterShuffler::new(shards, bucket_cushion, cost_model, seed);
+                        if let Some(cfg) = self.elastic {
+                            shuffler.enable_elastic(ElasticRouting::new(
+                                shards,
+                                per_shard_config.epsilon,
+                                seed,
+                                cfg,
+                            ));
+                        }
+                        shuffler
+                    },
                     left_ingest: router.shard_batch_size(self.dataset.left_batch_size),
                     right_ingest: router.shard_batch_size(self.dataset.right_batch_size),
                     chunk_rng: self.ingest_chunk_seed.map(StdRng::seed_from_u64),
@@ -664,6 +753,17 @@ impl ParallelShardedSimulation {
         };
         let injected_crash = self.injected_crash;
         let injected_party_crash = self.injected_party_crash;
+        // The migration executor stays driver-owned (its rng derives from the
+        // cluster seed, never from party or thread randomness), mirroring the
+        // sequential driver's ownership so elastic trajectories are identical
+        // across party execution modes.
+        let mut migrator = self.elastic.map(|cfg| {
+            ViewMigrator::new(
+                cfg.migrate_slice * per_shard_config.epsilon,
+                seed,
+                cost_model,
+            )
+        });
         let system = self.spawn_actors(pipelines, shuffle_state);
 
         let merger = ScatterGatherExecutor::new(cost_model);
@@ -700,14 +800,20 @@ impl ParallelShardedSimulation {
             // Release the step through the broker, then wait for its ack before
             // reading shard replies: a broker that died mid-dispatch must be
             // detected here, not by blocking on a shard that never got work.
-            let routed = system
+            if system
                 .broker_commands
                 .send(BrokerCommand::Step { t })
-                .is_ok()
-                && matches!(system.broker_replies.recv(), Ok(BrokerReply::Routed));
-            if !routed {
+                .is_err()
+            {
                 system.abort();
             }
+            let pending_moves = match system.broker_replies.recv() {
+                Ok(BrokerReply::Routed { moves }) => moves,
+                Ok(BrokerReply::Final(_)) => {
+                    panic!("protocol desync: expected Routed broker reply")
+                }
+                Err(_) => system.abort(),
+            };
 
             // The shards are now advancing concurrently; collect their replies
             // in shard order so every aggregate below is order-deterministic.
@@ -809,6 +915,48 @@ impl ParallelShardedSimulation {
                 cache_len: step_replies.iter().map(|r| r.cache_len).sum(),
                 synced,
             });
+
+            // Execute planned migrations after the step's maintenance and
+            // query are done — same schedule as the sequential driver. The
+            // export/import round-trips are synchronous per edge, so the
+            // grouped, sorted `group_moves` order fully determines the
+            // migrator's rng draw sequence.
+            if !pending_moves.is_empty() {
+                let migrator = migrator.as_mut().expect("moves imply an elastic migrator");
+                for ((from, to), buckets) in group_moves(&pending_moves) {
+                    if system.actors[from]
+                        .commands
+                        .send(ShardCommand::ExportPartition { buckets })
+                        .is_err()
+                    {
+                        system.abort();
+                    }
+                    let (partition, view_len) = match system.actors[from].replies.recv() {
+                        Ok(ShardReply::Partition {
+                            partition,
+                            view_len,
+                        }) => (partition, view_len),
+                        Ok(_) => panic!("protocol desync: expected Partition reply"),
+                        Err(_) => system.abort(),
+                    };
+                    let (part, import_seed) = migrator.prepare(t, to, *partition, view_len);
+                    if system.actors[to]
+                        .commands
+                        .send(ShardCommand::ImportPartition {
+                            partition: Box::new(part),
+                            import_seed,
+                        })
+                        .is_err()
+                    {
+                        system.abort();
+                    }
+                    match system.actors[to].replies.recv() {
+                        Ok(ShardReply::Imported) => {}
+                        Ok(_) => panic!("protocol desync: expected Imported reply"),
+                        Err(_) => system.abort(),
+                    }
+                }
+            }
             step_wall_secs.push(step_started.elapsed().as_secs_f64());
         }
 
@@ -817,14 +965,20 @@ impl ParallelShardedSimulation {
         if !finished {
             system.abort();
         }
-        let (shuffle_stats, host_shuffle_secs) = match system.broker_replies.recv() {
-            Ok(BrokerReply::Final {
-                stats,
-                host_shuffle_secs,
-            }) => (stats, host_shuffle_secs),
-            Ok(BrokerReply::Routed) => panic!("protocol desync: expected Final broker reply"),
-            Err(_) => system.abort(),
-        };
+        let (shuffle_stats, host_shuffle_secs, elastic_routing_report) =
+            match system.broker_replies.recv() {
+                Ok(BrokerReply::Final(done)) => (done.stats, done.host_shuffle_secs, done.elastic),
+                Ok(BrokerReply::Routed { .. }) => {
+                    panic!("protocol desync: expected Final broker reply")
+                }
+                Err(_) => system.abort(),
+            };
+        let elastic_report = elastic_routing_report.map(|mut routing_side| {
+            if let Some(m) = &migrator {
+                routing_side.merge(&m.report());
+            }
+            routing_side
+        });
         if !system
             .actors
             .iter()
@@ -881,6 +1035,7 @@ impl ParallelShardedSimulation {
                     shuffle_stats.total_secs / steps as f64
                 },
                 shuffle: shuffle_stats,
+                elastic: elastic_report,
             },
             runtime: RuntimeStats {
                 shards,

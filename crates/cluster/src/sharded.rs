@@ -21,6 +21,7 @@
 //! that bound invariant in the cluster size; [`ClusterPrivacy`] evaluates both bounds
 //! through `incshrink_dp::accountant`.
 
+use crate::elastic::{BucketMove, ElasticConfig, ElasticReport, ElasticRouting, ViewMigrator};
 use crate::executor::ScatterGatherExecutor;
 use crate::router::ShardRouter;
 use crate::shuffle::{ClusterShuffler, RoutingPolicy, ShuffleStats};
@@ -164,6 +165,9 @@ pub struct ClusterRunReport {
     /// Cumulative shuffle-phase statistics (all-zero under
     /// [`RoutingPolicy::CoPartitioned`]).
     pub shuffle: ShuffleStats,
+    /// Elastic control-plane statistics, when the run used
+    /// [`ShardedSimulation::with_elastic`] (`None` on static runs).
+    pub elastic: Option<ElasticReport>,
 }
 
 impl ClusterRunReport {
@@ -240,6 +244,32 @@ pub(crate) fn assert_routable(dataset: &Dataset, shards: usize, routing: Routing
     }
 }
 
+/// Panic unless the elastic control-plane configuration (if any) is viable for
+/// this run: the control plane drives the shuffle phase's routing table (there
+/// is nothing to adapt under co-partitioned arrivals), and migration moves
+/// shard state between steps, which a deferred Transform batch would straddle.
+/// Shared by both drivers so they reject the same configurations identically.
+pub(crate) fn assert_elastic_viable(
+    config: &IncShrinkConfig,
+    routing: RoutingPolicy,
+    elastic: Option<&ElasticConfig>,
+) {
+    let Some(cfg) = elastic else { return };
+    assert!(
+        matches!(routing, RoutingPolicy::Shuffled { .. }),
+        "the elastic control plane drives the shuffle phase's routing table: \
+         use RoutingPolicy::Shuffled (co-partitioned arrivals have no shuffle \
+         to adapt)"
+    );
+    if cfg.enable_migration {
+        assert!(
+            config.transform_batch <= 1,
+            "elastic migration cannot relocate shard state around a deferred \
+             Transform batch: use transform_batch = 1 or disable migration"
+        );
+    }
+}
+
 /// Construct pre-partitioned shard datasets into pipelines on the cluster's
 /// per-shard seed schedule (shard 0 keeps `seed`, so one shard replays the
 /// single-pair simulation bit for bit).
@@ -304,6 +334,7 @@ pub struct ShardedSimulation {
     cost_model: CostModel,
     routing: RoutingPolicy,
     party_mode: PartyMode,
+    elastic: Option<ElasticConfig>,
 }
 
 impl ShardedSimulation {
@@ -328,6 +359,7 @@ impl ShardedSimulation {
             cost_model: CostModel::default(),
             routing: RoutingPolicy::CoPartitioned,
             party_mode: PartyMode::from_env(),
+            elastic: None,
         }
     }
 
@@ -356,7 +388,23 @@ impl ShardedSimulation {
     /// handles workloads partitioned by a non-join attribute.
     #[must_use]
     pub fn with_routing_policy(mut self, routing: RoutingPolicy) -> Self {
+        routing.validate();
         self.routing = routing;
+        self
+    }
+
+    /// Attach the elastic sharding control plane ([`crate::elastic`]):
+    /// skew-aware split/merge rebalancing of the bucket-ownership table with
+    /// ε-accounted oblivious view migration, plus DP-sized ingest cuts. Only
+    /// meaningful together with [`RoutingPolicy::Shuffled`] — `run` panics
+    /// otherwise.
+    ///
+    /// # Panics
+    /// Panics when the configuration fails [`ElasticConfig::validate`].
+    #[must_use]
+    pub fn with_elastic(mut self, elastic: ElasticConfig) -> Self {
+        elastic.validate();
+        self.elastic = Some(elastic);
         self
     }
 
@@ -377,9 +425,11 @@ impl ShardedSimulation {
             cost_model,
             routing,
             party_mode,
+            elastic,
         } = self;
 
         assert_routable(&dataset, shards, routing);
+        assert_elastic_viable(&config, routing, elastic.as_ref());
 
         let steps = dataset.params.steps;
         let kind = dataset.kind;
@@ -405,7 +455,15 @@ impl ShardedSimulation {
                         )
                     })
                     .collect();
-                let shuffler = ClusterShuffler::new(shards, bucket_cushion, cost_model, seed);
+                let mut shuffler = ClusterShuffler::new(shards, bucket_cushion, cost_model, seed);
+                if let Some(cfg) = elastic {
+                    shuffler.enable_elastic(ElasticRouting::new(
+                        shards,
+                        per_shard_config.epsilon,
+                        seed,
+                        cfg,
+                    ));
+                }
                 Some((arrival_parts, arrival_rngs, shuffler))
             }
         };
@@ -417,6 +475,16 @@ impl ShardedSimulation {
         };
         let left_ingest = router.shard_batch_size(dataset.left_batch_size);
         let right_ingest = router.shard_batch_size(dataset.right_batch_size);
+        // The migration executor is driver-owned (its rng derives from the
+        // cluster seed, never from party randomness), so elastic trajectories
+        // are identical across party execution modes.
+        let mut migrator = elastic.map(|cfg| {
+            ViewMigrator::new(
+                cfg.migrate_slice * per_shard_config.epsilon,
+                seed,
+                cost_model,
+            )
+        });
         // The unbound executor merges the NM baseline's per-shard outcomes; view
         // strategies bind a fresh executor to the current shard views per query.
         let merger = ScatterGatherExecutor::new(cost_model);
@@ -433,6 +501,7 @@ impl ShardedSimulation {
         for t in 1..=steps {
             // Step every shard pipeline; the pairs run in parallel, so the cluster's
             // per-phase wall-clock is the slowest shard.
+            let mut pending_moves: Vec<BucketMove> = Vec::new();
             let outcomes: Vec<_> = match &mut shuffled_path {
                 None => pipelines
                     .iter_mut()
@@ -501,6 +570,12 @@ impl ShardedSimulation {
                         host_shuffle_secs += shuffle_started.elapsed().as_secs_f64();
                         Some(routed)
                     };
+                    // Close the elastic control step after routing every
+                    // relation: window releases, cut refreshes and any planned
+                    // moves happen here, with the assignment switch taking
+                    // effect for step t+1's routing. The *state* transfer for
+                    // the moves executes at the end of this step's body.
+                    pending_moves = shuffler.finish_step(t);
                     let mut rights = right_routed.map(Vec::into_iter);
                     pipelines
                         .iter_mut()
@@ -591,6 +666,19 @@ impl ShardedSimulation {
                 cache_len: pipelines.iter().map(ShardPipeline::cache_len).sum(),
                 synced,
             });
+
+            // Execute planned migrations after the step's maintenance and query
+            // are done: export the moving buckets from each source pipeline,
+            // DP-pad/price/re-seed the transfer, import at the destination.
+            if !pending_moves.is_empty() {
+                let migrator = migrator.as_mut().expect("moves imply an elastic migrator");
+                for ((from, to), buckets) in crate::elastic::group_moves(&pending_moves) {
+                    let source_view_len = pipelines[from].view().len();
+                    let part = pipelines[from].export_partition(&buckets);
+                    let (part, import_seed) = migrator.prepare(t, to, part, source_view_len);
+                    pipelines[to].import_partition(part, import_seed);
+                }
+            }
         }
 
         builder.record_totals(
@@ -627,9 +715,15 @@ impl ShardedSimulation {
                 sum / queries as f64
             }
         };
-        let shuffle_stats = shuffled_path
-            .map(|(_, _, shuffler)| shuffler.stats())
+        let (shuffle_stats, elastic_routing_report) = shuffled_path
+            .map(|(_, _, shuffler)| (shuffler.stats(), shuffler.elastic_report()))
             .unwrap_or_default();
+        let elastic_report = elastic_routing_report.map(|mut routing_side| {
+            if let Some(m) = &migrator {
+                routing_side.merge(&m.report());
+            }
+            routing_side
+        });
         ClusterRunReport {
             dataset: kind,
             config,
@@ -647,6 +741,7 @@ impl ShardedSimulation {
                 shuffle_stats.total_secs / steps as f64
             },
             shuffle: shuffle_stats,
+            elastic: elastic_report,
         }
     }
 }

@@ -35,8 +35,9 @@
 //! run loop bit for bit (modulo the flush-cadence bugfix shipped in the same PR,
 //! which changes `S > 1` shard configurations on purpose).
 
+use crate::elastic::{BucketMove, ElasticReport, ElasticRouting};
 use incshrink_mpc::cost::{CostMeter, CostModel, SimDuration};
-use incshrink_oblivious::shuffle::shuffle_route;
+use incshrink_oblivious::shuffle::{shuffle_route, shuffle_route_mapped};
 use incshrink_oblivious::sort::charge_sort_network;
 use incshrink_secretshare::arrays::SharedArrayPair;
 use incshrink_secretshare::tuple::{PlainRecord, SharedRecordPair};
@@ -82,6 +83,24 @@ impl RoutingPolicy {
             RoutingPolicy::Shuffled { .. } => "shuffled",
         }
     }
+
+    /// Validate the policy's parameters, panicking with a clear message on
+    /// nonsense values. A zero bucket cushion is rejected here, at
+    /// construction time: `⌈batch/S⌉ × S` can fall short of the batch itself
+    /// whenever `S` does not divide it, so an uncushioned bucket overflows on
+    /// perfectly uniform traffic and the misconfiguration would otherwise only
+    /// surface as a confusing mid-run overflow storm.
+    pub fn validate(&self) {
+        if let RoutingPolicy::Shuffled { bucket_cushion } = self {
+            assert!(
+                *bucket_cushion > 0,
+                "RoutingPolicy::Shuffled requires bucket_cushion >= 1: \
+                 a zero cushion overflows on uniform traffic whenever the \
+                 shard count does not divide the batch size (use \
+                 RoutingPolicy::shuffled() for the default cushion)"
+            );
+        }
+    }
 }
 
 impl std::fmt::Display for RoutingPolicy {
@@ -91,17 +110,45 @@ impl std::fmt::Display for RoutingPolicy {
 }
 
 /// Cumulative statistics of a run's shuffle phase.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ShuffleStats {
     /// Total simulated wall-clock spent in the shuffle phase (per step: slowest
     /// arrival pair's shuffle + slowest destination pair's compaction, since pairs
     /// run in parallel within each sub-phase).
     pub total_secs: f64,
     /// Bucket or ingest-cut overflows — each one leaked a true per-destination
-    /// count for one step (ideally zero; the cushion should dominate).
+    /// count for one step (ideally zero; the cushion should dominate). Always
+    /// the sum of [`Self::bucket_overflows`] and [`Self::cut_overflows`].
     pub overflow_events: u64,
+    /// Shuffle-phase bucket overflows *per destination shard* (a destination
+    /// received more reals from one arrival pair than its padded bucket held).
+    /// Per-destination resolution matters: a single hot shard overflowing
+    /// looks identical to uniform pressure in the cluster-wide total, and the
+    /// elastic planner needs to know *which* shard to split.
+    pub bucket_overflows: Vec<u64>,
+    /// Ingest-cut overflows per destination shard (the destination held more
+    /// reals than its cut after concatenating all buckets).
+    pub cut_overflows: Vec<u64>,
+    /// Dummy records shipped by the shuffle phase (bucket padding plus
+    /// ingest-cut padding) — the padding-waste side of the overflow/padding
+    /// trade the elastic DP cuts attack.
+    pub padded_dummy_records: u64,
+    /// Bytes of that dummy padding (record width × 4 bytes per word).
+    pub padded_dummy_bytes: u64,
     /// Number of routed relation-steps (for averaging).
     pub steps: u64,
+}
+
+impl ShuffleStats {
+    /// Zeroed statistics with per-destination counters sized for `shards`.
+    #[must_use]
+    pub fn for_shards(shards: usize) -> Self {
+        Self {
+            bucket_overflows: vec![0; shards],
+            cut_overflows: vec![0; shards],
+            ..Self::default()
+        }
+    }
 }
 
 /// Executes the shuffle phase for a cluster run: holds the destination count,
@@ -112,29 +159,73 @@ pub struct ClusterShuffler {
     cost_model: CostModel,
     rng: StdRng,
     stats: ShuffleStats,
+    elastic: Option<ElasticRouting>,
 }
 
 impl ClusterShuffler {
     /// A shuffler routing to `shards` destination pipelines.
     ///
     /// # Panics
-    /// Panics when `shards` is zero.
+    /// Panics when `shards` is zero or `bucket_cushion` is zero (see
+    /// [`RoutingPolicy::validate`]).
     #[must_use]
     pub fn new(shards: usize, bucket_cushion: usize, cost_model: CostModel, seed: u64) -> Self {
         assert!(shards > 0, "cluster needs at least one shard");
+        RoutingPolicy::Shuffled { bucket_cushion }.validate();
         Self {
             shards,
             bucket_cushion,
             cost_model,
             rng: StdRng::seed_from_u64(seed ^ 0x05FF_1E5E_ED00_77AA),
-            stats: ShuffleStats::default(),
+            stats: ShuffleStats::for_shards(shards),
+            elastic: None,
+        }
+    }
+
+    /// Attach the elastic control plane: routing switches to the
+    /// assignment-mapped table, per-destination DP cuts apply once released,
+    /// and [`Self::finish_step`] starts releasing tallies / planning moves.
+    ///
+    /// # Panics
+    /// Panics when the control plane was built for a different shard count.
+    pub fn enable_elastic(&mut self, routing: ElasticRouting) {
+        assert_eq!(
+            routing.shards(),
+            self.shards,
+            "elastic control plane sized for a different cluster"
+        );
+        self.elastic = Some(routing);
+    }
+
+    /// The attached elastic control plane, if any.
+    #[must_use]
+    pub fn elastic(&self) -> Option<&ElasticRouting> {
+        self.elastic.as_ref()
+    }
+
+    /// The routing side of the elastic report, if the control plane is on.
+    #[must_use]
+    pub fn elastic_report(&self) -> Option<ElasticReport> {
+        self.elastic.as_ref().map(ElasticRouting::report)
+    }
+
+    /// Close one routed step for the elastic control plane (no-op otherwise):
+    /// on control-window boundaries this releases the noisy load tallies,
+    /// refreshes the DP ingest cuts and returns any planned bucket moves. The
+    /// caller must invoke it exactly once per step, after routing every
+    /// relation of that step, and execute the returned moves before the next
+    /// step's routing (the assignment table has already switched).
+    pub fn finish_step(&mut self, time: u64) -> Vec<BucketMove> {
+        match self.elastic.as_mut() {
+            Some(el) => el.finish_step(time, &self.stats),
+            None => Vec::new(),
         }
     }
 
     /// Cumulative shuffle statistics.
     #[must_use]
     pub fn stats(&self) -> ShuffleStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// Route one step's arrival-shard batches of one relation to the destination
@@ -182,21 +273,42 @@ impl ClusterShuffler {
                 }
             }
             let mut meter = CostMeter::new();
-            let routed = shuffle_route(
-                &batch.records,
-                key_column,
-                self.shards,
-                bucket_size,
-                &mut meter,
-                &mut self.rng,
-            );
+            let routed = if let Some(el) = self.elastic.as_mut() {
+                let mapped = shuffle_route_mapped(
+                    &batch.records,
+                    key_column,
+                    &el.assignment,
+                    self.shards,
+                    bucket_size,
+                    &mut meter,
+                    &mut self.rng,
+                );
+                el.observe_routed(relation, &mapped.bucket_reals);
+                mapped.route
+            } else {
+                shuffle_route(
+                    &batch.records,
+                    key_column,
+                    self.shards,
+                    bucket_size,
+                    &mut meter,
+                    &mut self.rng,
+                )
+            };
             self.stats.overflow_events += routed.overflows;
             let shuffle_report = meter.report();
             route_span.record_cost(shuffle_report.into());
             max_shuffle = max_shuffle.max(self.cost_model.simulate(&shuffle_report));
+            let width = batch.records.arity().unwrap_or(1) as u64 + 1;
             for (dest, (bucket, sources)) in
                 routed.buckets.into_iter().zip(routed.sources).enumerate()
             {
+                if bucket.len() > bucket_size {
+                    self.stats.bucket_overflows[dest] += 1;
+                }
+                let dummy_slots = sources.iter().filter(|s| s.is_none()).count() as u64;
+                self.stats.padded_dummy_records += dummy_slots;
+                self.stats.padded_dummy_bytes += dummy_slots * width * 4;
                 for src in &sources {
                     dest_ids[dest].push(src.and_then(|i| batch.ids.get(i).copied().flatten()));
                 }
@@ -205,12 +317,24 @@ impl ClusterShuffler {
         }
 
         // Phase 2 — per destination pair (parallel): compact the concatenated
-        // buckets (reals first) and cut back to the fixed ingest size.
+        // buckets (reals first) and cut back to the ingest size — the fixed
+        // worst case, or the destination's DP-sized cut when the elastic
+        // control plane has released one (never larger than the worst case).
+        let elastic_cuts: Option<Vec<usize>> = match self.elastic.as_mut() {
+            Some(el) => {
+                el.note_static_cut(relation, ingest_size);
+                el.cuts_for(relation).map(<[usize]>::to_vec)
+            }
+            None => None,
+        };
         let mut out = Vec::with_capacity(self.shards);
         let mut max_compact = SimDuration::ZERO;
-        for (records, ids) in dest_records.into_iter().zip(dest_ids) {
+        for (dest, (records, ids)) in dest_records.into_iter().zip(dest_ids).enumerate() {
+            let cut_size = elastic_cuts
+                .as_ref()
+                .map_or(ingest_size, |cuts| cuts[dest].min(ingest_size));
             let mut meter = CostMeter::new();
-            let (records, ids) = self.compact_and_cut(records, ids, ingest_size, &mut meter);
+            let (records, ids) = self.compact_and_cut(dest, records, ids, cut_size, &mut meter);
             let compact_report = meter.report();
             route_span.record_cost(compact_report.into());
             max_compact = max_compact.max(self.cost_model.simulate(&compact_report));
@@ -239,6 +363,7 @@ impl ClusterShuffler {
     /// counted) rather than dropping data.
     fn compact_and_cut(
         &mut self,
+        dest: usize,
         records: SharedArrayPair,
         ids: Vec<Option<RecordId>>,
         ingest_size: usize,
@@ -258,8 +383,12 @@ impl ClusterShuffler {
         }
         if reals.len() > ingest_size {
             self.stats.overflow_events += 1;
+            self.stats.cut_overflows[dest] += 1;
         }
         let cut = ingest_size.max(reals.len());
+        let cut_dummies = (cut - reals.len()) as u64;
+        self.stats.padded_dummy_records += cut_dummies;
+        self.stats.padded_dummy_bytes += cut_dummies * width * 4;
         let mut out = SharedArrayPair::with_arity(arity);
         let mut out_ids = Vec::with_capacity(cut);
         for (entry, id) in reals {

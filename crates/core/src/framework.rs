@@ -20,12 +20,14 @@ use crate::query::{
     view_count_query, NmBaselineEngine, Query, QueryEngine, QueryOutcome, QueryResult, ViewEngine,
 };
 use crate::shrink::ShrinkProtocol;
-use crate::transform::{StepInputs, TransformProtocol};
+use crate::transform::{BudgetedRecord, StepInputs, TransformProtocol};
 use crate::view::{MaterializedView, ViewDefinition};
 use incshrink_mpc::cost::{CostModel, CostReport, SimDuration};
 use incshrink_mpc::party::ObservedEvent;
 use incshrink_mpc::{PartyContext, PartyExec, PartyMode};
 use incshrink_oblivious::planner::Calibration;
+use incshrink_secretshare::arrays::SharedArrayPair;
+use incshrink_secretshare::tuple::PlainRecord;
 use incshrink_storage::{OutsourcedStore, Relation, SecureCache, UploadBatch};
 use incshrink_workload::{logical_join_counts_per_step, Dataset, DatasetKind};
 use rand::rngs::StdRng;
@@ -119,6 +121,51 @@ pub struct StepUploads {
     pub left: UploadBatch,
     /// The right relation's padded upload batch (`None` when the right is public).
     pub right: Option<UploadBatch>,
+}
+
+/// The state leaving a shard when the elastic control plane migrates a set of
+/// virtual key-range buckets to another owner: the real materialized-view
+/// entries of the range, plus both sides' still-active records (with their
+/// remaining contribution budgets) so future cross-time join pairs form at the
+/// new owner.
+///
+/// Produced by [`ShardPipeline::export_partition`], consumed by
+/// [`ShardPipeline::import_partition`]. The plaintext here is
+/// protocol-internal, exactly like the recovery inside the oblivious shuffle:
+/// the migration protocol pads the shipped size to a DP-noised target and
+/// re-shares everything with fresh randomness before any server sees it.
+#[derive(Debug, Clone, Default)]
+pub struct MigratedPartition {
+    /// Real view entries of the migrating key range (canonical
+    /// `left fields ++ right fields` layout). The migration protocol may append
+    /// dummy records here — they pad the shipped size to its public DP target
+    /// and land in the destination view like Shrink's dummies do.
+    pub view_entries: Vec<PlainRecord>,
+    /// Active left-relation records with their remaining contribution budgets.
+    pub active_left: Vec<BudgetedRecord>,
+    /// Active right-relation records with their remaining contribution budgets.
+    pub active_right: Vec<BudgetedRecord>,
+    /// Arity of view entries (`left_arity + right_arity`), kept so dummy
+    /// padding can be built even when no real view entry migrates.
+    pub view_arity: usize,
+}
+
+impl MigratedPartition {
+    /// Number of real records (view entries counting only reals, plus both
+    /// active sides) — the private quantity whose DP-noised release sets the
+    /// shipped size.
+    #[must_use]
+    pub fn real_records(&self) -> usize {
+        self.view_entries.iter().filter(|r| r.is_view).count()
+            + self.active_left.len()
+            + self.active_right.len()
+    }
+
+    /// Total records shipped, including dummy padding.
+    #[must_use]
+    pub fn shipped_records(&self) -> usize {
+        self.view_entries.len() + self.active_left.len() + self.active_right.len()
+    }
 }
 
 /// One server pair's complete view-maintenance stack: execution context, outsourced
@@ -291,6 +338,65 @@ impl ShardPipeline {
     /// crash-propagation path.
     pub fn inject_party_crash(&mut self) {
         self.ctx.inject_party_crash();
+    }
+
+    /// Extract everything this shard holds for the virtual key-range `buckets`
+    /// (see [`incshrink_oblivious::shuffle::bucket_of`]): real view entries,
+    /// both sides' active records, and their remaining contribution budgets.
+    /// Secure-cache rows in flight are *not* moved — they synchronize into this
+    /// shard's view on their normal cadence, and cluster-level query answers
+    /// are sums over all shards, so where a row materializes does not affect
+    /// correctness.
+    ///
+    /// # Panics
+    /// Panics when a deferred Transform batch is pending (`transform_batch >
+    /// 1` mid-window): migrating around un-invoked uploads would desynchronize
+    /// the batched replay. The elastic driver migrates only at step boundaries
+    /// where `k = 1` keeps this empty.
+    #[must_use]
+    pub fn export_partition(&mut self, buckets: &[usize]) -> MigratedPartition {
+        assert!(
+            self.pending.is_empty(),
+            "cannot migrate around a deferred Transform batch (transform_batch > 1)"
+        );
+        let mut mask = [false; incshrink_oblivious::shuffle::VIRTUAL_BUCKETS];
+        for &b in buckets {
+            mask[b] = true;
+        }
+        let moved = move |key: u32| mask[incshrink_oblivious::shuffle::bucket_of(key)];
+        let left_key = self.dataset.left.schema.key_column;
+        let view_entries = self
+            .view
+            .migrate_out(&mut |fields| fields.get(left_key).is_some_and(|&k| moved(k)));
+        let (active_left, active_right) = self.transform.export_active(&moved);
+        MigratedPartition {
+            view_entries,
+            active_left,
+            active_right,
+            view_arity: self.left_arity + self.right_arity,
+        }
+    }
+
+    /// Adopt a migrated partition: re-share the view entries (reals plus the
+    /// dummy padding the migration protocol added) and resume the active
+    /// records' budgets. `seed` derives the re-sharing randomness — the driver
+    /// draws it from the migration rng, so sequential and actor drivers replay
+    /// identically and no party randomness is consumed.
+    pub fn import_partition(&mut self, partition: MigratedPartition, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if !partition.view_entries.is_empty() {
+            self.view.migrate_in(SharedArrayPair::share_records(
+                &partition.view_entries,
+                &mut rng,
+            ));
+        }
+        self.transform.import_active(
+            partition.active_left,
+            partition.active_right,
+            self.left_arity,
+            self.right_arity,
+            &mut rng,
+        );
     }
 
     /// Ground-truth logical answer over this pipeline's (shard of the) data at step

@@ -56,7 +56,8 @@ pub mod view;
 pub mod prelude {
     pub use crate::config::{IncShrinkConfig, JoinPlanMode, UpdateStrategy};
     pub use crate::framework::{
-        PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord, StepUploads,
+        MigratedPartition, PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord,
+        StepUploads,
     };
     pub use crate::metrics::Summary;
     pub use crate::query::{
@@ -71,7 +72,8 @@ pub mod prelude {
 
 pub use config::{IncShrinkConfig, JoinPlanMode, UpdateStrategy};
 pub use framework::{
-    PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord, StepUploads,
+    MigratedPartition, PipelineStepOutcome, RunReport, ShardPipeline, Simulation, StepRecord,
+    StepUploads,
 };
 pub use metrics::Summary;
 pub use query::{

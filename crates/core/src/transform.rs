@@ -67,6 +67,11 @@ pub struct ActiveRecord {
     pub fields: Vec<u32>,
 }
 
+/// An active record bundled with its remaining contribution budget — the unit
+/// shipped between shards during elastic migration ([`TransformProtocol::export_active`]
+/// / [`TransformProtocol::import_active`]).
+pub type BudgetedRecord = (ActiveRecord, u64);
+
 /// One owner upload step deferred for batched Transform execution: the padded upload
 /// batches plus the *unpruned* outsourced-relation sizes at that step (the quantities
 /// [`TransformProtocol::invoke`] takes as arguments).
@@ -150,6 +155,29 @@ impl DeltaShareCache {
         self.records
             .retain(|_| *record_keep.next().expect("aligned"));
         self.shares.retain_with(|i, _| keep[i]);
+    }
+
+    /// Remove and return the records satisfying `moved`, dropping the plaintext
+    /// mirror and the share encoding in lockstep (elastic migration: the
+    /// selected records leave for another shard, where [`Self::append`] re-shares
+    /// them with fresh randomness).
+    fn extract(&mut self, moved: &mut dyn FnMut(&ActiveRecord) -> bool) -> Vec<ActiveRecord> {
+        let take: Vec<bool> = self.records.iter().map(&mut *moved).collect();
+        if take.iter().all(|t| !t) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut flags = take.iter();
+        self.records.retain(|rec| {
+            if *flags.next().expect("aligned") {
+                out.push(rec.clone());
+                false
+            } else {
+                true
+            }
+        });
+        self.shares.retain_with(|i, _| !take[i]);
+        out
     }
 
     /// Append freshly arrived records: share each one once (the incremental delta —
@@ -313,6 +341,79 @@ impl TransformProtocol {
     #[must_use]
     pub fn truncation_losses(&self) -> u64 {
         self.total_truncation_losses
+    }
+
+    /// Extract the active records whose join key satisfies `moved`, together
+    /// with each record's remaining contribution budget (elastic migration:
+    /// future arrivals for that key range route to another shard, so its
+    /// active records must follow or cross-time join pairs would be lost).
+    /// The records stop being tracked here; the destination's
+    /// [`Self::import_active`] resumes the budgets, so the lifetime `b`-bound
+    /// is preserved across the move.
+    pub fn export_active(
+        &mut self,
+        moved: &dyn Fn(u32) -> bool,
+    ) -> (Vec<BudgetedRecord>, Vec<BudgetedRecord>) {
+        let left_key = self.view.left_key;
+        let right_key = self.view.right_key;
+        let left = self
+            .active_left
+            .extract(&mut |rec| rec.fields.get(left_key).is_some_and(|&k| moved(k)));
+        let right = self
+            .active_right
+            .extract(&mut |rec| rec.fields.get(right_key).is_some_and(|&k| moved(k)));
+        let mut carry = |recs: Vec<ActiveRecord>| -> Vec<BudgetedRecord> {
+            recs.into_iter()
+                .map(|rec| {
+                    let remaining = self.ledger.forget(rec.id);
+                    (rec, remaining)
+                })
+                .collect()
+        };
+        (carry(left), carry(right))
+    }
+
+    /// Adopt active records migrated from another shard: resume each record's
+    /// contribution budget and re-share its encoding with fresh randomness
+    /// (`rng` is the migration protocol's randomness, not party randomness, so
+    /// trajectories stay identical across party execution modes).
+    pub fn import_active<R: Rng + ?Sized>(
+        &mut self,
+        left: Vec<BudgetedRecord>,
+        right: Vec<BudgetedRecord>,
+        left_arity: usize,
+        right_arity: usize,
+        rng: &mut R,
+    ) {
+        let adopt = |ledger: &mut ContributionLedger,
+                     cache: &mut DeltaShareCache,
+                     batch: Vec<BudgetedRecord>,
+                     arity: usize,
+                     rng: &mut R| {
+            if batch.is_empty() {
+                return;
+            }
+            let mut records = Vec::with_capacity(batch.len());
+            for (rec, remaining) in batch {
+                ledger.import(rec.id, remaining);
+                records.push(rec);
+            }
+            cache.append(records, arity, rng);
+        };
+        adopt(
+            &mut self.ledger,
+            &mut self.active_left,
+            left,
+            left_arity,
+            rng,
+        );
+        adopt(
+            &mut self.ledger,
+            &mut self.active_right,
+            right,
+            right_arity,
+            rng,
+        );
     }
 
     fn batch_real_records(batch: &UploadBatch) -> Vec<ActiveRecord> {

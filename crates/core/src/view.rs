@@ -2,6 +2,7 @@
 
 use incshrink_oblivious::JoinSpec;
 use incshrink_secretshare::arrays::SharedArrayPair;
+use incshrink_secretshare::tuple::PlainRecord;
 use incshrink_workload::{Dataset, JoinQuery};
 use serde::{Deserialize, Serialize};
 
@@ -141,6 +142,43 @@ impl MaterializedView {
             .expect("view entries share one arity");
     }
 
+    /// Remove and return the *real* view entries whose plaintext satisfies
+    /// `moved` (elastic migration: the predicate selects the key range leaving
+    /// this shard). Dummy entries stay behind, the sync counter is untouched —
+    /// migration is an ownership transfer, not a Shrink synchronization.
+    ///
+    /// The recovery happens inside the migration protocol (both parties'
+    /// shares meet exactly as they do inside [`shuffle
+    /// routing`](incshrink_oblivious::shuffle::shuffle_route)); the caller
+    /// re-shares the records with fresh randomness before they reach the
+    /// destination pair.
+    pub fn migrate_out(&mut self, moved: &mut dyn FnMut(&[u32]) -> bool) -> Vec<PlainRecord> {
+        let mut out = Vec::new();
+        self.entries.retain_with(|_, entry| {
+            let plain = entry.recover();
+            if plain.is_view && moved(&plain.fields) {
+                out.push(plain);
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// Adopt a batch of migrated entries (real records re-shared in transit
+    /// plus the dummy padding that hides the true migrated count). Unlike
+    /// [`Self::append`] this does not bump the sync counter: migrations are
+    /// ownership transfers, not Shrink synchronizations.
+    pub fn migrate_in(&mut self, batch: SharedArrayPair) {
+        if batch.is_empty() {
+            return;
+        }
+        self.entries
+            .extend(batch)
+            .expect("view entries share one arity");
+    }
+
     /// Size of the view in bytes (logical record width × entries), for the Table-2
     /// "materialized view size" rows.
     #[must_use]
@@ -187,7 +225,6 @@ impl MaterializedView {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use incshrink_secretshare::tuple::PlainRecord;
     use incshrink_workload::{DatasetKind, TpcDsGenerator, WorkloadParams};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -244,5 +281,34 @@ mod tests {
         assert_eq!(view.sync_count(), 1);
         assert_eq!(view.size_bytes(), 3 * 5 * 4);
         assert!(view.size_mb() > 0.0);
+    }
+
+    #[test]
+    fn migration_moves_reals_without_touching_sync_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut source = MaterializedView::new();
+        source.append(SharedArrayPair::share_records(
+            &[
+                PlainRecord::real(vec![10, 1]),
+                PlainRecord::real(vec![20, 2]),
+                PlainRecord::dummy(2),
+                PlainRecord::real(vec![10, 3]),
+            ],
+            &mut rng,
+        ));
+        assert_eq!(source.sync_count(), 1);
+
+        let moved = source.migrate_out(&mut |fields| fields[0] == 10);
+        assert_eq!(moved.len(), 2);
+        assert!(moved.iter().all(|r| r.fields[0] == 10));
+        assert_eq!(source.true_cardinality(), 1, "key 20 stays");
+        assert_eq!(source.dummy_count(), 1, "dummies stay behind");
+        assert_eq!(source.sync_count(), 1, "migration is not a sync");
+
+        let mut dest = MaterializedView::new();
+        dest.migrate_in(SharedArrayPair::share_records(&moved, &mut rng));
+        dest.migrate_in(SharedArrayPair::new()); // empty transfers are ignored
+        assert_eq!(dest.true_cardinality(), 2);
+        assert_eq!(dest.sync_count(), 0);
     }
 }

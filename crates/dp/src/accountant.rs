@@ -102,6 +102,31 @@ impl ContributionLedger {
         }
     }
 
+    /// Remove a record from the ledger (elastic migration: the record's budget
+    /// travels with it to the destination shard). Returns the remaining budget
+    /// to hand to [`Self::import`] on the other side; forgetting an unseen
+    /// record returns the full budget, mirroring [`Self::remaining`].
+    ///
+    /// The retired counter is a cumulative historical statistic and is left
+    /// untouched — a migrated-away retiree still retired *here*.
+    pub fn forget(&mut self, record_id: u64) -> u64 {
+        self.remaining
+            .remove(&record_id)
+            .unwrap_or(self.total_budget)
+    }
+
+    /// Adopt a record migrated from another shard with `remaining` budget left.
+    /// The per-record lifetime bound is preserved because exactly one ledger
+    /// tracks the record at any time ([`Self::forget`] on the source precedes
+    /// `import` on the destination).
+    pub fn import(&mut self, record_id: u64, remaining: u64) {
+        debug_assert!(
+            remaining <= self.total_budget,
+            "imported budget exceeds the lifetime bound"
+        );
+        self.remaining.insert(record_id, remaining);
+    }
+
     /// Number of records whose budget has dropped below one more `omega`-charge.
     #[must_use]
     pub fn retired_count(&self) -> u64 {
@@ -266,6 +291,22 @@ mod tests {
     fn stable_transform_amplification() {
         let t = StableTransform { stability: 10 };
         assert!((t.amplified_epsilon(0.15) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_forget_and_import_preserve_the_budget() {
+        let mut source = ContributionLedger::new(10);
+        let mut dest = ContributionLedger::new(10);
+        assert!(source.charge(7, 4));
+        let carried = source.forget(7);
+        assert_eq!(carried, 6);
+        assert_eq!(source.remaining(7), 10, "forgotten records read as fresh");
+        dest.import(7, carried);
+        assert_eq!(dest.remaining(7), 6);
+        assert!(dest.charge(7, 4));
+        assert!(!dest.charge(7, 4), "lifetime bound survives the migration");
+        // Forgetting a never-seen record hands over the full budget.
+        assert_eq!(dest.forget(999), 10);
     }
 
     #[test]

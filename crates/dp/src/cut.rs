@@ -1,0 +1,162 @@
+//! Shrinkwrap-style DP sizing of intermediate results (arXiv 1810.01816).
+//!
+//! The fixed-size ingest cut of the shuffle phase pays worst-case padding on
+//! every route. Shrinkwrap's observation is that a small ε buys a *noisy* load
+//! estimate, and sizing the intermediate to that estimate (plus a safety
+//! margin) instead of the worst case trades a little privacy budget for a lot
+//! of padding. [`NoisyCutSizer`] packages the two releases the elastic control
+//! plane needs:
+//!
+//! * [`NoisyCutSizer::noisy_counts`] — one Laplace release per *virtual bucket*
+//!   of the routing key space. The buckets partition the records, so by
+//!   parallel composition the joint release of all buckets is `ε`-DP and the
+//!   sizer emits **one** ledger entry per invocation, not one per bucket.
+//! * [`NoisyCutSizer::noisy_max`] — report-noisy-max over the bucket counts
+//!   (each count perturbed with fresh `Lap(1/ε)` noise, the argmax index
+//!   released). Used to pick the hottest bucket when a split has to choose
+//!   what to move; releasing only the argmax is `ε`-DP by the classic
+//!   report-noisy-max argument.
+//!
+//! Both releases stamp the ambient telemetry scopes, so the cluster driver
+//! wraps calls in `mechanism_scope("elastic.cut")` and the spend lands in the
+//! PR 7 ε-ledger where [`crate::accountant::PrivacyAccountant::replay_ledger`]
+//! reconciles it against the claimed bound.
+
+use crate::laplace::LaplaceMechanism;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// DP sizer releasing noisy per-bucket load counts and noisy-max bucket picks.
+///
+/// Deterministic for a given seed: the cluster drivers feed it a seed derived
+/// from the cluster seed, so elastic runs replay bit-for-bit across party
+/// execution modes (the sizer never touches party randomness).
+#[derive(Debug, Clone)]
+pub struct NoisyCutSizer {
+    mechanism: LaplaceMechanism,
+    rng: StdRng,
+}
+
+impl NoisyCutSizer {
+    /// Create a sizer spending `epsilon` per release (sensitivity 1: the
+    /// counts are record counts).
+    ///
+    /// # Panics
+    /// Panics when `epsilon` is not positive.
+    #[must_use]
+    pub fn new(epsilon: f64, seed: u64) -> Self {
+        Self {
+            mechanism: LaplaceMechanism::new(1.0, epsilon),
+            rng: StdRng::seed_from_u64(seed ^ 0xC075_12E5_EED0),
+        }
+    }
+
+    /// The ε spent by each release.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.mechanism.epsilon
+    }
+
+    /// Release a noisy copy of per-bucket record counts (clamped to
+    /// non-negative integers). One `ε`-DP release by parallel composition over
+    /// the disjoint buckets; emits a single ledger entry under the ambient
+    /// telemetry scopes.
+    pub fn noisy_counts(&mut self, true_counts: &[u64]) -> Vec<u64> {
+        let released: Vec<u64> = true_counts
+            .iter()
+            .map(|&c| self.mechanism.randomize_count(c, &mut self.rng))
+            .collect();
+        incshrink_telemetry::epsilon_spent(self.mechanism.epsilon, 1.0);
+        released
+    }
+
+    /// Release a *signed* noisy copy of per-bucket record counts — same
+    /// `ε`-DP release as [`Self::noisy_counts`] (parallel composition, one
+    /// ledger entry), but without the per-bucket non-negativity clamp. Summing
+    /// many clamped near-zero buckets biases the aggregate upward by roughly
+    /// the noise scale per bucket; downstream consumers that aggregate (the
+    /// elastic per-destination cut sizing) need the unbiased signed values and
+    /// clamp only the final sum.
+    pub fn noisy_counts_signed(&mut self, true_counts: &[u64]) -> Vec<f64> {
+        let released: Vec<f64> = true_counts
+            .iter()
+            .map(|&c| self.mechanism.randomize(c as f64, &mut self.rng))
+            .collect();
+        incshrink_telemetry::epsilon_spent(self.mechanism.epsilon, 1.0);
+        released
+    }
+
+    /// Report-noisy-max: the index of the largest count after fresh `Lap(1/ε)`
+    /// perturbation of each. One `ε`-DP release; emits a single ledger entry.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn noisy_max(&mut self, true_counts: &[u64]) -> usize {
+        assert!(!true_counts.is_empty(), "noisy_max over no buckets");
+        let winner = true_counts
+            .iter()
+            .map(|&c| self.mechanism.randomize(c as f64, &mut self.rng))
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        incshrink_telemetry::epsilon_spent(self.mechanism.epsilon, 1.0);
+        winner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incshrink_telemetry::{install, Event};
+    use std::sync::Arc;
+
+    #[test]
+    fn releases_are_deterministic_per_seed() {
+        let counts = [0u64, 5, 1, 40, 2];
+        let a = NoisyCutSizer::new(0.5, 9).noisy_counts(&counts);
+        let b = NoisyCutSizer::new(0.5, 9).noisy_counts(&counts);
+        assert_eq!(a, b);
+        let c = NoisyCutSizer::new(0.5, 10).noisy_counts(&counts);
+        assert_ne!(a, c, "different seed, different noise");
+    }
+
+    #[test]
+    fn noisy_max_finds_a_dominant_bucket() {
+        let mut sizer = NoisyCutSizer::new(2.0, 4);
+        // The gap (10_000 vs 0) dwarfs Lap(1/2) noise.
+        let counts = [0u64, 0, 10_000, 0];
+        for _ in 0..20 {
+            assert_eq!(sizer.noisy_max(&counts), 2);
+        }
+    }
+
+    #[test]
+    fn each_release_emits_one_ledger_entry() {
+        let sink = Arc::new(incshrink_telemetry::InMemory::default());
+        let _guard = install(sink.clone());
+        let _mech = incshrink_telemetry::mechanism_scope("elastic.cut");
+        let mut sizer = NoisyCutSizer::new(0.25, 7);
+        let _ = sizer.noisy_counts(&[3, 1, 4, 1, 5]);
+        let _ = sizer.noisy_max(&[3, 1, 4, 1, 5]);
+        let entries: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Epsilon(entry) => Some(entry),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(entries.len(), 2, "one entry per release, not per bucket");
+        for entry in entries {
+            assert_eq!(entry.mechanism, "elastic.cut");
+            assert!((entry.epsilon - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn non_positive_epsilon_is_rejected() {
+        let _ = NoisyCutSizer::new(0.0, 1);
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`mechanisms`] — the leakage-profile mechanisms `M_timer` and `M_ant` used in the
 //!   security proofs (Theorems 7 & 8); implemented standalone so tests and benches can
 //!   compare the protocols' observable leakage against these mechanisms.
+//! * [`cut`] — Shrinkwrap-style DP sizing of intermediate results: noisy
+//!   per-bucket load releases and report-noisy-max bucket picks for the elastic
+//!   sharding control plane.
 //! * [`accountant`] — q-stability bookkeeping, per-record contribution budgets, and
 //!   sequential/parallel composition (Lemma 2, Theorem 3).
 //! * [`bounds`] — closed-form error bounds of Theorems 4, 5 and 6 (deferred-data and
@@ -25,6 +28,7 @@
 
 pub mod accountant;
 pub mod bounds;
+pub mod cut;
 pub mod joint;
 pub mod laplace;
 pub mod mechanisms;
@@ -34,6 +38,7 @@ pub mod user_level;
 
 pub use accountant::{ContributionLedger, PrivacyAccountant, StableTransform};
 pub use bounds::{ant_deferred_bound, timer_deferred_bound, timer_dummy_bound};
+pub use cut::NoisyCutSizer;
 pub use joint::joint_laplace_noise;
 pub use laplace::{laplace_from_unit, LaplaceMechanism};
 pub use mechanisms::{AntLeakage, TimerLeakage, UpdateLeakage};

@@ -48,7 +48,10 @@ pub use planner::{
     charge_full_relation_gap, charge_planned_join, plan_and_execute, plan_join,
     plan_join_calibrated, Calibration, JoinAlgorithm, JoinPlan,
 };
-pub use shuffle::{destination_of, oblivious_shuffle, shuffle_route, ShuffleRouteOutcome};
+pub use shuffle::{
+    bucket_of, destination_of, oblivious_shuffle, shuffle_route, shuffle_route_mapped,
+    MappedRouteOutcome, ShuffleRouteOutcome, VIRTUAL_BUCKETS,
+};
 pub use sort::{
     batcher_padded_pair_count, batcher_pair_count, batcher_pairs_iter, bitonic_merge_pair_count,
     oblivious_sort_by_field, oblivious_sort_by_is_view, SortOrder,

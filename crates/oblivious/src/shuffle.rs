@@ -115,6 +115,24 @@ pub fn destination_of(key: u32, destinations: usize) -> usize {
     (mix64(u64::from(key)) % destinations as u64) as usize
 }
 
+/// Number of fixed *virtual buckets* the key space is hashed into for elastic
+/// (range-map) routing. Shard ownership is then a `VIRTUAL_BUCKETS`-entry
+/// assignment table rather than a modulus, so buckets can migrate between
+/// shards without rehashing anything.
+///
+/// 64 is a multiple of every shard count the benchmarks sweep (1, 2, 4, 8), so
+/// the identity assignment `bucket % S` makes [`shuffle_route_mapped`] agree
+/// with [`destination_of`] exactly: `(mix64(k) % 64) % S == mix64(k) % S`
+/// whenever `S` divides 64.
+pub const VIRTUAL_BUCKETS: usize = 64;
+
+/// The virtual bucket a routing-tag key hashes into (same `mix64` hash as
+/// [`destination_of`], reduced modulo [`VIRTUAL_BUCKETS`]).
+#[must_use]
+pub fn bucket_of(key: u32) -> usize {
+    (mix64(u64::from(key)) % VIRTUAL_BUCKETS as u64) as usize
+}
+
 /// Obliviously shuffle `batch` and re-route its records into `destinations` padded
 /// buckets by the hashed value of `tag_column`.
 ///
@@ -138,6 +156,87 @@ pub fn shuffle_route<R: Rng + ?Sized>(
     bucket_size: usize,
     meter: &mut CostMeter,
     rng: &mut R,
+) -> ShuffleRouteOutcome {
+    route_inner(
+        batch,
+        tag_column,
+        destinations,
+        bucket_size,
+        meter,
+        rng,
+        &mut |key| destination_of(key, destinations),
+    )
+}
+
+/// Result of one [`shuffle_route_mapped`] invocation: the routed buckets plus
+/// the per-virtual-bucket real-record tally the elastic control plane feeds its
+/// DP cut sizer (the tally itself is protocol-internal — only its *noised*
+/// releases ever become public).
+#[derive(Debug)]
+pub struct MappedRouteOutcome {
+    /// The padded destination buckets, identical in shape to [`shuffle_route`].
+    pub route: ShuffleRouteOutcome,
+    /// Real records seen per virtual bucket ([`VIRTUAL_BUCKETS`] entries).
+    pub bucket_reals: Vec<u64>,
+}
+
+/// [`shuffle_route`] with destinations resolved through a virtual-bucket
+/// `assignment` table instead of a fixed modulus: a real record with key `k`
+/// lands on shard `assignment[bucket_of(k)]`. With the identity assignment
+/// (`bucket % S`, `S` dividing [`VIRTUAL_BUCKETS`]) this is bit-for-bit
+/// [`shuffle_route`]; after a migration the table differs and routing follows
+/// the new owners. Draw order from `rng` is identical in both variants.
+///
+/// # Panics
+/// Panics when `destinations` is zero, `assignment` does not have
+/// [`VIRTUAL_BUCKETS`] entries, an entry names a shard `>= destinations`, or a
+/// real record does not carry `tag_column`.
+pub fn shuffle_route_mapped<R: Rng + ?Sized>(
+    batch: &SharedArrayPair,
+    tag_column: usize,
+    assignment: &[usize],
+    destinations: usize,
+    bucket_size: usize,
+    meter: &mut CostMeter,
+    rng: &mut R,
+) -> MappedRouteOutcome {
+    assert_eq!(
+        assignment.len(),
+        VIRTUAL_BUCKETS,
+        "assignment table must cover every virtual bucket"
+    );
+    assert!(
+        assignment.iter().all(|&d| d < destinations),
+        "assignment names a shard outside 0..{destinations}"
+    );
+    let mut bucket_reals = vec![0u64; VIRTUAL_BUCKETS];
+    let route = route_inner(
+        batch,
+        tag_column,
+        destinations,
+        bucket_size,
+        meter,
+        rng,
+        &mut |key| {
+            let bucket = bucket_of(key);
+            bucket_reals[bucket] += 1;
+            assignment[bucket]
+        },
+    );
+    MappedRouteOutcome {
+        route,
+        bucket_reals,
+    }
+}
+
+fn route_inner<R: Rng + ?Sized>(
+    batch: &SharedArrayPair,
+    tag_column: usize,
+    destinations: usize,
+    bucket_size: usize,
+    meter: &mut CostMeter,
+    rng: &mut R,
+    dest_of: &mut dyn FnMut(u32) -> usize,
 ) -> ShuffleRouteOutcome {
     assert!(destinations > 0, "need at least one destination");
     let n = batch.len();
@@ -176,7 +275,7 @@ pub fn shuffle_route<R: Rng + ?Sized>(
                 plain.fields.len()
             )
         });
-        let dest = destination_of(key, destinations);
+        let dest = dest_of(key);
         buckets[dest]
             .push(SharedRecordPair::share(&plain, rng))
             .expect("uniform arity");
@@ -368,5 +467,91 @@ mod tests {
             .filter(|r| r.is_view)
             .map(|r| r.fields)
             .collect()
+    }
+
+    /// Raw share words of every slot, so tests can assert *bit-for-bit* equality
+    /// (recovered plaintext equality would miss re-share differences).
+    fn share_words(bucket: &SharedArrayPair) -> Vec<Vec<(u32, u32)>> {
+        bucket
+            .entries()
+            .iter()
+            .map(|e| {
+                let mut row: Vec<(u32, u32)> = e.fields.iter().map(|p| (p.s0, p.s1)).collect();
+                row.push((e.is_view.s0, e.is_view.s1));
+                row
+            })
+            .collect()
+    }
+
+    fn identity_assignment(shards: usize) -> Vec<usize> {
+        (0..VIRTUAL_BUCKETS).map(|b| b % shards).collect()
+    }
+
+    #[test]
+    fn identity_assignment_replays_unmapped_route_bit_for_bit() {
+        for shards in [1usize, 2, 4, 8] {
+            let b = batch(&[3, 17, 99, 4, 3, 250, 81, 12], 3);
+            let mut meter_a = CostMeter::new();
+            let mut rng_a = StdRng::seed_from_u64(21);
+            let plain = shuffle_route(&b, 0, shards, 6, &mut meter_a, &mut rng_a);
+            let mut meter_b = CostMeter::new();
+            let mut rng_b = StdRng::seed_from_u64(21);
+            let mapped = shuffle_route_mapped(
+                &b,
+                0,
+                &identity_assignment(shards),
+                shards,
+                6,
+                &mut meter_b,
+                &mut rng_b,
+            );
+            assert_eq!(meter_a.report(), meter_b.report());
+            assert_eq!(plain.overflows, mapped.route.overflows);
+            assert_eq!(plain.sources, mapped.route.sources);
+            for (a, m) in plain.buckets.iter().zip(&mapped.route.buckets) {
+                assert_eq!(share_words(a), share_words(m), "S={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_route_follows_a_migrated_assignment() {
+        let keys = [3u32, 17, 99, 4, 3, 250, 81, 12];
+        let b = batch(&keys, 2);
+        // Move every virtual bucket to shard 1: all reals must land there.
+        let assignment = vec![1usize; VIRTUAL_BUCKETS];
+        let mut meter = CostMeter::new();
+        let mut rng = StdRng::seed_from_u64(22);
+        let out = shuffle_route_mapped(&b, 0, &assignment, 3, 4, &mut meter, &mut rng);
+        assert_eq!(out.route.buckets[1].true_cardinality(), keys.len());
+        assert_eq!(out.route.buckets[0].true_cardinality(), 0);
+        assert_eq!(out.route.buckets[2].true_cardinality(), 0);
+        // The tally accounts for every real record exactly once.
+        assert_eq!(out.bucket_reals.iter().sum::<u64>(), keys.len() as u64);
+        for (&k, _) in keys.iter().zip(keys.iter()) {
+            assert!(out.bucket_reals[bucket_of(k)] > 0);
+        }
+    }
+
+    #[test]
+    fn bucket_of_agrees_with_destination_of_for_divisors_of_64() {
+        for shards in [1usize, 2, 4, 8, 16, 32, 64] {
+            for key in (0..2000u32).chain([u32::MAX, u32::MAX - 7]) {
+                assert_eq!(
+                    bucket_of(key) % shards,
+                    destination_of(key, shards),
+                    "key {key} shards {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment table must cover")]
+    fn short_assignment_table_is_rejected() {
+        let mut meter = CostMeter::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        let b = batch(&[1, 2], 0);
+        let _ = shuffle_route_mapped(&b, 0, &[0usize; 8], 2, 4, &mut meter, &mut rng);
     }
 }

@@ -24,6 +24,7 @@ pub mod partitioned;
 pub mod queries;
 pub mod tpcds;
 pub mod variants;
+pub mod zipf;
 
 pub use cpdb::CpdbGenerator;
 pub use dataset::{Dataset, DatasetKind, WorkloadParams};
@@ -34,3 +35,4 @@ pub use queries::{
 };
 pub use tpcds::TpcDsGenerator;
 pub use variants::{scale_dataset, to_burst, to_sparse, WorkloadVariant};
+pub use zipf::{bucket_load_profile, to_zipf_skewed};
